@@ -1,0 +1,66 @@
+// Ablation — bid level vs realised cost and availability (paper
+// Section IV's bidding discussion).
+//
+// The paper assumes ASPs bid their true valuation and argues that
+// "intentionally overbidding (or underbidding) is not dominant".  This
+// bench sweeps a fixed bid from deep under the market to the on-demand
+// price and reports realised rolling cost, out-of-bid events and the
+// standalone availability profile of that bid — showing the flat
+// region that makes aggressive overbidding pointless and the cliff that
+// punishes underbidding.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "market/auction.hpp"
+
+int main() {
+  using namespace rrp;
+  const market::VmClass vm = market::VmClass::C1Medium;
+  const double lambda = market::info(vm).on_demand_hourly;
+  const auto inputs = bench::make_inputs(vm, 72);
+  const double ideal = core::ideal_case_cost(inputs);
+
+  struct Level {
+    const char* label;
+    double bid;
+  };
+  const double q25 = stats::quantile(inputs.history, 0.25);
+  const double q50 = stats::quantile(inputs.history, 0.50);
+  const double q90 = stats::quantile(inputs.history, 0.90);
+  const double q99 = stats::quantile(inputs.history, 0.99);
+  const double mean = stats::mean(inputs.history);
+  const Level levels[] = {
+      {"q25 of history", q25},   {"median", q50},
+      {"mean (truthful)", mean}, {"q90", q90},
+      {"q99", q99},              {"2x mean (overbid)", 2.0 * mean},
+      {"on-demand price", lambda}};
+
+  Table table("Ablation: fixed bid level (c1.medium, 72h SRRP rolling)");
+  table.set_header({"bid level", "bid $", "uptime", "interruptions",
+                    "realised cost", "overpay", "out-of-bid"});
+  for (const Level& level : levels) {
+    core::PolicyConfig policy = core::sto_exp_mean_policy();
+    policy.name = "sto-fixed";
+    policy.bids = core::BidStrategy::FixedValue;
+    policy.fixed_bid = level.bid;
+    const auto result = core::simulate_policy(inputs, policy);
+    const auto avail =
+        market::analyze_availability(inputs.actual_spot, level.bid);
+    table.add_row({level.label, Table::num(level.bid, 4),
+                   Table::pct(avail.uptime_fraction),
+                   std::to_string(avail.interruptions),
+                   Table::num(result.total_cost(), 3),
+                   Table::pct(core::overpay_fraction(result.total_cost(),
+                                                     ideal)),
+                   std::to_string(result.out_of_bid_events)});
+  }
+  table.print(std::cout);
+  std::cout << "takeaway: below the market the fallback to on-demand "
+               "dominates cost; above ~q90 extra bid aggressiveness buys "
+               "almost nothing (winners pay the spot price, not the "
+               "bid) — consistent with the paper's truthful-bidding "
+               "assumption\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared setup for the figure-reproduction benches: every bench uses
+// the same master seed so the synthetic market is identical across
+// binaries, mirroring how the paper draws every figure from one
+// collected data set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/demand.hpp"
+#include "core/rolling_horizon.hpp"
+#include "market/trace_generator.hpp"
+
+namespace rrp::bench {
+
+inline constexpr std::uint64_t kMasterSeed = 2012;  // IPDPS'12
+
+/// The shared synthetic market trace for a class (deterministic).
+inline market::SpotTrace shared_trace(market::VmClass vm) {
+  return market::generate_trace(vm, kMasterSeed);
+}
+
+/// Simulation inputs over `eval_hours`, with `history_days` of price
+/// history before the evaluation window.
+inline core::SimulationInputs make_inputs(market::VmClass vm,
+                                          std::size_t eval_hours,
+                                          std::size_t history_days = 60,
+                                          std::uint64_t demand_seed = 1) {
+  const auto trace = shared_trace(vm);
+  const auto hourly = trace.hourly();
+  const std::size_t history_hours = 24 * history_days;
+  core::SimulationInputs in;
+  in.vm = vm;
+  in.history.assign(hourly.begin(),
+                    hourly.begin() + static_cast<long>(history_hours));
+  in.actual_spot.assign(
+      hourly.begin() + static_cast<long>(history_hours),
+      hourly.begin() + static_cast<long>(history_hours + eval_hours));
+  Rng rng(demand_seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(vm));
+  in.demand =
+      core::generate_demand(eval_hours, core::DemandConfig{}, rng);
+  return in;
+}
+
+}  // namespace rrp::bench

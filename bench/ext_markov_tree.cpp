@@ -1,0 +1,46 @@
+// Extension — Markov-conditional scenario trees vs the paper's
+// unconditional sampling.
+//
+// The paper's bid-dependent dynamic sampling (Section IV-C) draws every
+// stage from the same base distribution, even though its own Figure 7
+// shows material serial correlation in hourly prices.  This bench
+// compares the realised rolling-horizon cost of SRRP with (a) the
+// paper's iid tree and (b) a tree whose stage distributions are
+// conditioned on the parent state through a fitted Markov chain.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace rrp;
+  const std::size_t kEvalHours = 72;
+  const std::size_t kTrials = 6;
+
+  Table table("Extension: iid vs Markov-conditional SRRP trees (72h, "
+              "mean of " + std::to_string(kTrials) + " trials)");
+  table.set_header({"class", "sto-exp-mean (iid)", "sto-markov",
+                    "markov advantage"});
+  for (market::VmClass vm : market::evaluation_classes()) {
+    double iid_cost = 0.0, markov_cost = 0.0;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      const auto inputs = bench::make_inputs(vm, kEvalHours,
+                                             60 + 3 * trial, trial + 1);
+      iid_cost += core::simulate_policy(inputs, core::sto_exp_mean_policy())
+                      .total_cost() /
+                  kTrials;
+      markov_cost += core::simulate_policy(inputs, core::sto_markov_policy())
+                         .total_cost() /
+                     kTrials;
+    }
+    table.add_row({std::string(market::info(vm).name),
+                   Table::num(iid_cost, 3), Table::num(markov_cost, 3),
+                   Table::pct(1.0 - markov_cost / iid_cost)});
+  }
+  table.print(std::cout);
+  std::cout << "takeaway: conditioning the tree on the observed state "
+               "exploits the serial correlation the paper measured but "
+               "did not model; gains are modest because hourly spot "
+               "prices revert quickly\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 12(b) — Impact of bid-price approximation precision on SRRP
+// (VM class c1.medium).
+//
+// Paper setup: taking the cost derived by the actual realisation of the
+// spot price as the baseline, create artificial bid prices deviating
+// +/-2% to 10% from the actual realisation and measure the percent cost
+// error the approximation introduces (bids further than 10% out are
+// "out of the price range").  We realise the deviated bids as a
+// constant level (1+delta) times the realised window's mean price: a
+// per-hour multiplicative deviation would lose *every* auction for any
+// negative delta (bid_t < spot_t always) and produce a cliff rather
+// than the paper's graded errors.  Paper findings: "the errors increase
+// as approximation becomes less accurate", with under-/over-bidding
+// asymmetric; their own SARIMA bids landed near -12%, "generally
+// acceptable".
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace rrp;
+  const std::size_t kEvalHours = 72;
+  const auto inputs = bench::make_inputs(market::VmClass::C1Medium,
+                                         kEvalHours);
+  const double realized_level = stats::mean(inputs.actual_spot);
+
+  auto deviated_policy = [&](double deviation) {
+    core::PolicyConfig policy = core::sto_exp_mean_policy();
+    policy.name = "sto-deviated";
+    policy.bids = core::BidStrategy::FixedValue;
+    policy.fixed_bid = realized_level * (1.0 + deviation);
+    return policy;
+  };
+
+  // Baseline: bids at the exact level of the actual realisation.
+  const double baseline =
+      core::simulate_policy(inputs, deviated_policy(0.0)).total_cost();
+  std::cout << "baseline cost (bid level = realised mean "
+            << Table::num(realized_level, 4)
+            << "): " << Table::num(baseline, 3) << "\n\n";
+
+  Table table("Figure 12(b): percent cost error vs bid deviation "
+              "(c1.medium)");
+  table.set_header({"deviation", "cost", "percent error"});
+  double err_neg10 = 0.0, err_neg2 = 0.0, err_pos2 = 0.0, err_pos10 = 0.0;
+  for (int pct : {-10, -8, -6, -4, -2, 2, 4, 6, 8, 10}) {
+    const double cost =
+        core::simulate_policy(inputs, deviated_policy(pct / 100.0))
+            .total_cost();
+    const double err = (cost - baseline) / baseline;
+    table.add_row({std::to_string(pct) + "%", Table::num(cost, 3),
+                   Table::pct(err)});
+    if (pct == -10) err_neg10 = err;
+    if (pct == -2) err_neg2 = err;
+    if (pct == 2) err_pos2 = err;
+    if (pct == 10) err_pos10 = err;
+  }
+  table.print(std::cout);
+
+  // The paper's own best approximation: SARIMA-predicted bids.
+  const double pred_cost =
+      core::simulate_policy(inputs, core::sto_predict_policy()).total_cost();
+  std::cout << "sto-predict (SARIMA bids) percent error: "
+            << Table::pct((pred_cost - baseline) / baseline)
+            << "  (paper observed about -12%: "
+               "over/under mixture, generally acceptable)\n";
+  const bool graded = std::abs(err_neg10) >= std::abs(err_neg2) - 1e-9 &&
+                      std::abs(err_pos10) >= std::abs(err_pos2) - 1e-9;
+  const bool asymmetric =
+      std::abs(std::abs(err_neg2) - std::abs(err_pos2)) > 0.01 ||
+      std::abs(std::abs(err_neg10) - std::abs(err_pos10)) > 0.01;
+  std::cout << "paper shape check: error grows with |deviation| "
+            << (graded ? "(reproduced)" : "(NOT reproduced!)")
+            << "; under- vs over-bidding asymmetric "
+            << (asymmetric ? "(reproduced)" : "(NOT reproduced!)") << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3 — Box-and-whisker diagram for spot price data sets.
+//
+// Paper finding: whiskers at 1.5 IQR; "more outliers present in more
+// powerful VM class ... even for the most powerful instance
+// (c1.xlarge), the number of outliers still contributes a trivial
+// amount to the overall data set (< 3%)".
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace rrp;
+  Table table("Figure 3: spot-price box summaries (whiskers at 1.5 IQR)");
+  table.set_header({"class", "min", "q1", "median", "q3", "max",
+                    "outliers", "n"});
+  double prev_fraction = -1.0;
+  bool monotone = true;
+  for (const auto& cls : market::all_classes()) {
+    const auto trace = bench::shared_trace(cls.id);
+    const auto prices = trace.prices();
+    const auto box = stats::box_summary(prices);
+    table.add_row({std::string(cls.name), Table::num(box.min, 3),
+                   Table::num(box.q1, 3), Table::num(box.median, 3),
+                   Table::num(box.q3, 3), Table::num(box.max, 3),
+                   Table::pct(box.outlier_fraction, 2),
+                   std::to_string(box.n)});
+    if (box.outlier_fraction + 1e-9 < prev_fraction) monotone = false;
+    prev_fraction = box.outlier_fraction;
+    if (box.outlier_fraction >= 0.03) {
+      std::cout << "WARNING: " << cls.name
+                << " exceeds the paper's <3% outlier share\n";
+    }
+  }
+  table.print(std::cout);
+  std::cout << "paper shape check: outlier share "
+            << (monotone ? "grows" : "does NOT grow")
+            << " with class size; all classes < 3%\n";
+  return 0;
+}

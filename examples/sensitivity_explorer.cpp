@@ -1,0 +1,74 @@
+// Cost-parameter sensitivity explorer (paper Section V-B, Figure 11).
+//
+// Sweeps the compute price, the I/O price and the demand mean around
+// the paper's base configuration and prints the DRRP-to-no-plan cost
+// ratio for each setting — the quantity whose trends Figure 11 plots.
+//
+//   ./examples/sensitivity_explorer [trials-per-point]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/demand.hpp"
+#include "core/drrp.hpp"
+
+namespace {
+
+using namespace rrp;
+
+double mean_cost_ratio(double compute_price, double io_scale,
+                       double demand_mean, int trials,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  double ratio_sum = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    core::DrrpInstance inst;
+    core::DemandConfig demand;
+    demand.mean = demand_mean;
+    demand.sd = 0.2;
+    Rng trial_rng = rng.split();
+    inst.demand = core::generate_demand(24, demand, trial_rng);
+    inst.compute_price.assign(24, compute_price);
+    inst.costs = market::CostModel::paper_defaults().with_io_scaled(io_scale);
+    const double optimal = core::solve_drrp(inst).cost.total();
+    const double naive = core::no_plan_schedule(inst).cost.total();
+    ratio_sum += optimal / naive;
+  }
+  return ratio_sum / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  Table cpu("Cost ratio vs compute price (m1.large base = 0.4, demand 0.4)");
+  cpu.set_header({"compute $/h", "DRRP / no-plan"});
+  for (double cp : {0.1, 0.2, 0.4, 0.8, 1.2, 1.6}) {
+    cpu.add_row({Table::num(cp, 1),
+                 Table::pct(mean_cost_ratio(cp, 1.0, 0.4, trials, 100))});
+  }
+  cpu.print(std::cout);
+
+  Table io("Cost ratio vs I/O price scale (compute fixed at 0.4)");
+  io.set_header({"I/O scale", "DRRP / no-plan"});
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    io.add_row({Table::num(scale, 2),
+                Table::pct(mean_cost_ratio(0.4, scale, 0.4, trials, 200))});
+  }
+  io.print(std::cout);
+
+  Table dm("Cost ratio vs demand mean (compute 0.4, I/O scale 1)");
+  dm.set_header({"demand GB/h", "DRRP / no-plan"});
+  for (double mean : {0.2, 0.4, 0.8, 1.2, 1.6}) {
+    dm.add_row({Table::num(mean, 1),
+                Table::pct(mean_cost_ratio(0.4, 1.0, mean, trials, 300))});
+  }
+  dm.print(std::cout);
+
+  std::cout << "Expected trends (paper Fig. 11): savings grow with the\n"
+               "compute price, shrink as I/O gets dearer, and vanish as\n"
+               "demand keeps the instance busy every slot.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rrp::csv {
+
+namespace {
+
+std::vector<std::string> parse_record(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+Document parse(const std::string& text, bool has_header) {
+  Document doc;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    auto fields = parse_record(line);
+    if (first && has_header) {
+      doc.header = std::move(fields);
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+Document read_file(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw Error("csv: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), has_header);
+}
+
+std::string escape_field(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write(std::ostream& os, const Document& doc) {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape_field(row[i]);
+    }
+    os << '\n';
+  };
+  if (!doc.header.empty()) write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+}
+
+}  // namespace rrp::csv

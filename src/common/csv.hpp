@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing: enough to load real spot-price traces
+// (timestamp,price rows) and to dump experiment series for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrp::csv {
+
+/// A parsed CSV document: optional header plus string cells.
+struct Document {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text.  Supports quoted fields with embedded commas and
+/// doubled quotes; trims \r at line ends.  If `has_header`, the first
+/// record populates `header`.
+Document parse(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file.  Throws rrp::Error on I/O failure.
+Document read_file(const std::string& path, bool has_header);
+
+/// Writes rows (with optional header) as RFC-4180 CSV.
+void write(std::ostream& os, const Document& doc);
+
+/// Quotes a single field if it contains a comma, quote, or newline.
+std::string escape_field(const std::string& field);
+
+}  // namespace rrp::csv

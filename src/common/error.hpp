@@ -1,0 +1,62 @@
+// Error handling primitives shared by every rrp module.
+//
+// Follows the C++ Core Guidelines contract style: preconditions are
+// checked with RRP_EXPECTS, postconditions/invariants with RRP_ENSURES.
+// Violations throw rrp::ContractViolation (derived from rrp::Error) so
+// tests can assert on them; library code never calls std::abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rrp {
+
+/// Base class for every exception thrown by the rrp library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a precondition/postcondition check fails.
+class ContractViolation : public Error {
+ public:
+  ContractViolation(const char* kind, const char* cond, const char* file,
+                    int line)
+      : Error(std::string(kind) + " failed: " + cond + " at " + file + ":" +
+              std::to_string(line)) {}
+};
+
+/// Thrown when an input value is outside the documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or degenerates.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw ContractViolation(kind, cond, file, line);
+}
+}  // namespace detail
+
+}  // namespace rrp
+
+#define RRP_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::rrp::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                   __LINE__);                              \
+  } while (false)
+
+#define RRP_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::rrp::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                   __LINE__);                              \
+  } while (false)

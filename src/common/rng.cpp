@@ -1,0 +1,150 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace rrp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  has_cached_normal_ = false;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() {
+  // Mix two outputs into a child seed; advances this stream by two draws.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 31));
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa -> [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RRP_EXPECTS(lo < hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RRP_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sd) {
+  RRP_EXPECTS(sd >= 0.0);
+  return mean + sd * normal();
+}
+
+double Rng::truncated_normal(double mean, double sd, double lo) {
+  RRP_EXPECTS(sd > 0.0);
+  // Rejection is fine for the regimes used here (lo well below mean+5sd).
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double x = normal(mean, sd);
+    if (x >= lo) return x;
+  }
+  throw NumericalError("truncated_normal: acceptance region too small");
+}
+
+double Rng::exponential(double lambda) {
+  RRP_EXPECTS(lambda > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::int64_t Rng::poisson(double lambda) {
+  RRP_EXPECTS(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x < 0.0 ? 0 : static_cast<std::int64_t>(x + 0.5);
+}
+
+bool Rng::bernoulli(double p) {
+  RRP_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    RRP_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  RRP_EXPECTS(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return last positive index
+}
+
+}  // namespace rrp

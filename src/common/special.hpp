@@ -1,0 +1,28 @@
+// Special functions backing the statistical tests in the predictability
+// study: normal CDF/quantile (Shapiro-Wilk weights, confidence bands),
+// and the regularised incomplete gamma (chi-square p-values for the
+// Ljung-Box portmanteau test).
+#pragma once
+
+namespace rrp::special {
+
+/// Standard normal probability density.
+double normal_pdf(double x);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation
+/// with one Halley refinement; |error| < 1e-12).  Requires p in (0, 1).
+double normal_quantile(double p);
+
+/// Regularised lower incomplete gamma P(a, x), a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Chi-square CDF with k > 0 degrees of freedom.
+double chi_square_cdf(double x, double k);
+
+/// Upper-tail chi-square p-value.
+double chi_square_sf(double x, double k);
+
+}  // namespace rrp::special

@@ -1,0 +1,197 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rrp::stats {
+
+double mean(std::span<const double> x) {
+  RRP_EXPECTS(!x.empty());
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  RRP_EXPECTS(x.size() >= 2);
+  const double m = mean(x);
+  double ss = 0.0;
+  for (double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size() - 1);
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double skewness(std::span<const double> x) {
+  RRP_EXPECTS(x.size() >= 3);
+  const double n = static_cast<double>(x.size());
+  const double m = mean(x);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  RRP_EXPECTS(m2 > 0.0);
+  const double g1 = m3 / std::pow(m2, 1.5);
+  return std::sqrt(n * (n - 1.0)) / (n - 2.0) * g1;
+}
+
+double excess_kurtosis(std::span<const double> x) {
+  RRP_EXPECTS(x.size() >= 4);
+  const double n = static_cast<double>(x.size());
+  const double m = mean(x);
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m4 /= n;
+  RRP_EXPECTS(m2 > 0.0);
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double quantile(std::span<const double> x, double p) {
+  RRP_EXPECTS(!x.empty());
+  RRP_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double h = (static_cast<double>(sorted.size()) - 1.0) * p;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> x) { return quantile(x, 0.5); }
+
+BoxSummary box_summary(std::span<const double> x, double whisker_k) {
+  RRP_EXPECTS(!x.empty());
+  RRP_EXPECTS(whisker_k >= 0.0);
+  BoxSummary b;
+  b.n = x.size();
+  b.min = *std::min_element(x.begin(), x.end());
+  b.max = *std::max_element(x.begin(), x.end());
+  b.q1 = quantile(x, 0.25);
+  b.median = quantile(x, 0.5);
+  b.q3 = quantile(x, 0.75);
+  b.iqr = b.q3 - b.q1;
+  b.lower_fence = b.q1 - whisker_k * b.iqr;
+  b.upper_fence = b.q3 + whisker_k * b.iqr;
+  for (double v : x)
+    if (v < b.lower_fence || v > b.upper_fence) ++b.n_outliers;
+  b.outlier_fraction =
+      static_cast<double>(b.n_outliers) / static_cast<double>(b.n);
+  return b;
+}
+
+std::vector<double> trim_outliers(std::span<const double> x,
+                                  double whisker_k) {
+  const BoxSummary b = box_summary(x, whisker_k);
+  std::vector<double> out;
+  out.reserve(x.size() - b.n_outliers);
+  for (double v : x)
+    if (v >= b.lower_fence && v <= b.upper_fence) out.push_back(v);
+  return out;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+double Histogram::bin_width() const {
+  return (hi - lo) / static_cast<double>(counts.size());
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+Histogram histogram(std::span<const double> x, double lo, double hi,
+                    std::size_t bins) {
+  RRP_EXPECTS(bins >= 1);
+  RRP_EXPECTS(lo < hi);
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : x) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+Histogram histogram(std::span<const double> x, std::size_t bins) {
+  RRP_EXPECTS(!x.empty());
+  double lo = *std::min_element(x.begin(), x.end());
+  double hi = *std::max_element(x.begin(), x.end());
+  if (lo == hi) {  // degenerate constant sample: widen symmetrically
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  return histogram(x, lo, hi, bins);
+}
+
+std::vector<double> kde(std::span<const double> x,
+                        std::span<const double> at) {
+  RRP_EXPECTS(x.size() >= 2);
+  const double sd = stddev(x);
+  const double iqr = quantile(x, 0.75) - quantile(x, 0.25);
+  const double n = static_cast<double>(x.size());
+  // Silverman: 0.9 * min(sd, iqr/1.34) * n^{-1/5}; guard degenerate spread.
+  double spread = std::min(sd, iqr / 1.34);
+  if (spread <= 0.0) spread = std::max(sd, 1e-12);
+  const double h = 0.9 * spread * std::pow(n, -0.2);
+  std::vector<double> out(at.size(), 0.0);
+  const double norm = 1.0 / (n * h * std::sqrt(2.0 * M_PI));
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    double acc = 0.0;
+    for (double xi : x) {
+      const double z = (at[i] - xi) / h;
+      acc += std::exp(-0.5 * z * z);
+    }
+    out[i] = acc * norm;
+  }
+  return out;
+}
+
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
+  RRP_EXPECTS(x.size() == y.size());
+  RRP_EXPECTS(x.size() >= 2);
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  RRP_EXPECTS(sxx > 0.0 && syy > 0.0);
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mse(std::span<const double> actual,
+           std::span<const double> predicted) {
+  RRP_EXPECTS(actual.size() == predicted.size());
+  RRP_EXPECTS(!actual.empty());
+  double s = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(actual.size());
+}
+
+}  // namespace rrp::stats

@@ -1,0 +1,86 @@
+// Descriptive statistics used across the predictability study (paper
+// Section IV-A): quantiles, box-and-whisker outlier fences, histograms,
+// and the moment summaries the trace generator is calibrated against.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rrp::stats {
+
+/// Arithmetic mean.  Requires a non-empty sample.
+double mean(std::span<const double> x);
+
+/// Unbiased sample variance (n-1 denominator).  Requires n >= 2.
+double variance(std::span<const double> x);
+
+/// Unbiased sample standard deviation.  Requires n >= 2.
+double stddev(std::span<const double> x);
+
+/// Sample skewness (adjusted Fisher-Pearson).  Requires n >= 3.
+double skewness(std::span<const double> x);
+
+/// Sample excess kurtosis.  Requires n >= 4.
+double excess_kurtosis(std::span<const double> x);
+
+/// Quantile with linear interpolation (R type-7, the R default used by
+/// the paper's box plots).  p in [0, 1]; requires a non-empty sample.
+double quantile(std::span<const double> x, double p);
+
+/// Median (type-7 quantile at p = 0.5).
+double median(std::span<const double> x);
+
+/// Five-number summary plus IQR-based whisker fences, matching the
+/// box-and-whisker construction of paper Figure 3.
+struct BoxSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double iqr = 0;
+  double lower_fence = 0;  ///< q1 - whisker_k * iqr
+  double upper_fence = 0;  ///< q3 + whisker_k * iqr
+  std::size_t n = 0;
+  std::size_t n_outliers = 0;      ///< points beyond either fence
+  double outlier_fraction = 0.0;   ///< n_outliers / n
+};
+
+/// Computes the box summary with whiskers at `whisker_k` IQRs (paper
+/// uses the conventional 1.5).
+BoxSummary box_summary(std::span<const double> x, double whisker_k = 1.5);
+
+/// Returns a copy of `x` with points beyond the box fences removed
+/// ("having trimmed out the outliers", paper Section IV-A2).
+std::vector<double> trim_outliers(std::span<const double> x,
+                                  double whisker_k = 1.5);
+
+/// Fixed-width histogram over [lo, hi] with `bins` equal bins.
+struct Histogram {
+  double lo = 0, hi = 0;
+  std::vector<std::size_t> counts;
+  /// Center of bin i.
+  double bin_center(std::size_t i) const;
+  double bin_width() const;
+  std::size_t total() const;
+};
+
+/// Builds a histogram; values outside [lo, hi] are clamped into the
+/// boundary bins.  Requires bins >= 1 and lo < hi.
+Histogram histogram(std::span<const double> x, double lo, double hi,
+                    std::size_t bins);
+
+/// Builds a histogram spanning the sample range.
+Histogram histogram(std::span<const double> x, std::size_t bins);
+
+/// Gaussian kernel density estimate evaluated at `at`, using Silverman's
+/// rule-of-thumb bandwidth (the "density" curve in paper Figure 5).
+std::vector<double> kde(std::span<const double> x,
+                        std::span<const double> at);
+
+/// Pearson correlation coefficient.  Requires equal sizes, n >= 2 and
+/// non-degenerate inputs.
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Mean squared (prediction) error between two equally sized series.
+double mse(std::span<const double> actual, std::span<const double> predicted);
+
+}  // namespace rrp::stats

@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rrp {
+
+void Table::set_header(std::vector<std::string> header) {
+  RRP_EXPECTS(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  RRP_EXPECTS(header_.empty() || row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return num(100.0 * fraction, precision) + "%";
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << "  " << row[i]
+         << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+  os << '\n';
+}
+
+std::string sparkline(const std::vector<double>& values, int width) {
+  if (values.empty() || width <= 0) return {};
+  static const char* levels[] = {"_", ".", ":", "-", "=", "+", "*", "#"};
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const double span = (hi > lo) ? hi - lo : 1.0;
+  std::string out;
+  const auto n = static_cast<double>(values.size());
+  for (int i = 0; i < width; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        std::min(n - 1.0, std::floor(n * i / width)));
+    const double frac = (values[idx] - lo) / span;
+    const int lvl = std::clamp(static_cast<int>(frac * 7.999), 0, 7);
+    out += levels[lvl];
+  }
+  return out;
+}
+
+}  // namespace rrp

@@ -1,0 +1,41 @@
+// Console table rendering for the figure-reproduction harnesses.  Each
+// bench binary prints the same rows/series the paper's figure reports,
+// formatted as an aligned ASCII table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrp {
+
+/// An aligned console table with a title, column headers and rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Formats as a percentage ("12.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a crude ASCII sparkline of a series (used to show trace/
+/// forecast shapes in bench output without a plotting stack).
+std::string sparkline(const std::vector<double>& values, int width = 60);
+
+}  // namespace rrp

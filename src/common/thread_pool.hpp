@@ -1,0 +1,54 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Used to fan out embarrassingly parallel work: per-VM-class MILP solves,
+// Monte-Carlo trials in the rolling-horizon simulator, and the SARIMA
+// order grid search.  All parallelism in rrp flows through this pool so
+// determinism is preserved: tasks receive their index and write to
+// pre-sized slots; no cross-task RNG sharing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rrp {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future propagates exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), blocking until all complete.  The first
+  /// captured exception is rethrown on the caller's thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Shared process-wide pool for library internals.
+ThreadPool& global_pool();
+
+}  // namespace rrp

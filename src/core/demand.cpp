@@ -1,0 +1,40 @@
+#include "core/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rrp::core {
+
+std::vector<double> generate_demand(std::size_t slots,
+                                    const DemandConfig& config, Rng& rng) {
+  RRP_EXPECTS(config.sd > 0.0);
+  RRP_EXPECTS(config.mean > config.floor);
+  std::vector<double> d(slots);
+  for (auto& v : d)
+    v = rng.truncated_normal(config.mean, config.sd, config.floor);
+  return d;
+}
+
+std::vector<double> constant_demand(std::size_t slots, double level) {
+  RRP_EXPECTS(level >= 0.0);
+  return std::vector<double>(slots, level);
+}
+
+std::vector<double> diurnal_demand(std::size_t slots, double base,
+                                   double amplitude) {
+  RRP_EXPECTS(base >= 0.0);
+  RRP_EXPECTS(amplitude >= 0.0);
+  std::vector<double> d(slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    const double v =
+        base * (1.0 + amplitude *
+                          std::sin(2.0 * M_PI * static_cast<double>(t % 24) /
+                                   24.0));
+    d[t] = std::max(v, 0.0);
+  }
+  return d;
+}
+
+}  // namespace rrp::core

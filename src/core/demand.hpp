@@ -1,0 +1,34 @@
+// Customer demand streams D(i,t).
+//
+// The paper samples hourly data-service demand from N(0.4, 0.2) GB,
+// truncated to positive values (Section V-A), and sweeps the mean from
+// 0.2 to 1.6 GB/h in the Figure 11 sensitivity analysis.  Deterministic
+// patterns are provided for tests and examples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rrp::core {
+
+struct DemandConfig {
+  double mean = 0.4;  ///< GB per slot
+  double sd = 0.2;
+  double floor = 0.0;  ///< demand is always positive in the paper
+};
+
+/// Samples `slots` demands from the truncated normal.
+std::vector<double> generate_demand(std::size_t slots,
+                                    const DemandConfig& config, Rng& rng);
+
+/// Constant demand (useful for analytic test cases).
+std::vector<double> constant_demand(std::size_t slots, double level);
+
+/// Day-shaped demand: base * (1 + amplitude * sin(2*pi*t/24)), clamped
+/// at zero.
+std::vector<double> diurnal_demand(std::size_t slots, double base,
+                                   double amplitude);
+
+}  // namespace rrp::core

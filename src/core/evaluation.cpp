@@ -1,0 +1,87 @@
+#include "core/evaluation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "market/trace_generator.hpp"
+
+namespace rrp::core {
+
+const PolicyStats& EvaluationResult::by_name(const std::string& name) const {
+  for (const PolicyStats& p : policies) {
+    if (p.policy == name) return p;
+  }
+  throw InvalidArgument("no such policy in the evaluation: " + name);
+}
+
+SimulationInputs make_trial_inputs(const EvaluationConfig& cfg,
+                                   std::size_t trial) {
+  RRP_EXPECTS(cfg.eval_hours >= 1);
+  RRP_EXPECTS(cfg.history_hours >= 48);
+  const auto trace = market::generate_trace(cfg.vm, cfg.seed);
+  const auto hourly = trace.hourly();
+  const std::size_t start = cfg.window_shift_hours * trial;
+  RRP_EXPECTS(start + cfg.history_hours + cfg.eval_hours <= hourly.size());
+
+  SimulationInputs in;
+  in.vm = cfg.vm;
+  in.history.assign(
+      hourly.begin() + static_cast<long>(start),
+      hourly.begin() + static_cast<long>(start + cfg.history_hours));
+  in.actual_spot.assign(
+      hourly.begin() + static_cast<long>(start + cfg.history_hours),
+      hourly.begin() +
+          static_cast<long>(start + cfg.history_hours + cfg.eval_hours));
+  Rng rng(cfg.seed * 1315423911ULL + trial * 2654435761ULL);
+  in.demand = generate_demand(cfg.eval_hours, cfg.demand, rng);
+  in.initial_storage = cfg.initial_storage;
+  return in;
+}
+
+EvaluationResult evaluate_policies(
+    const EvaluationConfig& cfg, const std::vector<PolicyConfig>& policies) {
+  RRP_EXPECTS(cfg.trials >= 2);
+  RRP_EXPECTS(!policies.empty());
+  for (const PolicyConfig& p : policies) p.validate();
+
+  const std::size_t P = policies.size();
+  std::vector<std::vector<double>> costs(P,
+                                         std::vector<double>(cfg.trials));
+  std::vector<std::vector<double>> overpays(
+      P, std::vector<double>(cfg.trials));
+  std::vector<std::vector<double>> oob(P, std::vector<double>(cfg.trials));
+  std::vector<double> ideals(cfg.trials);
+
+  global_pool().parallel_for(cfg.trials, [&](std::size_t trial) {
+    const SimulationInputs in = make_trial_inputs(cfg, trial);
+    const double ideal = ideal_case_cost(in);
+    ideals[trial] = ideal;
+    for (std::size_t p = 0; p < P; ++p) {
+      const SimulationResult r = simulate_policy(in, policies[p]);
+      costs[p][trial] = r.total_cost();
+      overpays[p][trial] = overpay_fraction(r.total_cost(), ideal);
+      oob[p][trial] = static_cast<double>(r.out_of_bid_events);
+    }
+  });
+
+  EvaluationResult result;
+  result.mean_ideal_cost = stats::mean(ideals);
+  const double z95 = 1.959963984540054;
+  for (std::size_t p = 0; p < P; ++p) {
+    PolicyStats s;
+    s.policy = policies[p].name;
+    s.per_trial_cost = costs[p];
+    s.mean_cost = stats::mean(costs[p]);
+    s.stddev_cost = stats::stddev(costs[p]);
+    s.ci_half_width =
+        z95 * s.stddev_cost / std::sqrt(static_cast<double>(cfg.trials));
+    s.mean_overpay = stats::mean(overpays[p]);
+    s.mean_out_of_bid = stats::mean(oob[p]);
+    result.policies.push_back(std::move(s));
+  }
+  return result;
+}
+
+}  // namespace rrp::core

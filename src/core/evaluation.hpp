@@ -1,0 +1,57 @@
+// Monte Carlo evaluation harness: repeated rolling-horizon simulations
+// over demand realisations and market windows, with mean and normal-
+// approximation confidence intervals per policy.  This is how the
+// paper's "simulations over a wide range of experimental scenarios"
+// become statistically grounded comparisons rather than single draws.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "core/rolling_horizon.hpp"
+
+namespace rrp::core {
+
+struct EvaluationConfig {
+  market::VmClass vm = market::VmClass::C1Medium;
+  std::size_t eval_hours = 72;
+  std::size_t trials = 10;
+  /// History window start is shifted by this many hours per trial so
+  /// different trials see different market conditions.
+  std::size_t window_shift_hours = 72;
+  std::size_t history_hours = 24 * 60;
+  DemandConfig demand;
+  double initial_storage = 0.0;
+  std::uint64_t seed = 2012;
+};
+
+struct PolicyStats {
+  std::string policy;
+  double mean_cost = 0.0;
+  double stddev_cost = 0.0;
+  double mean_overpay = 0.0;     ///< vs the per-trial ideal case
+  double ci_half_width = 0.0;    ///< 95% CI on the mean cost
+  double mean_out_of_bid = 0.0;
+  std::vector<double> per_trial_cost;
+};
+
+struct EvaluationResult {
+  std::vector<PolicyStats> policies;  ///< same order as the input
+  double mean_ideal_cost = 0.0;
+
+  const PolicyStats& by_name(const std::string& name) const;
+};
+
+/// Builds the inputs for one trial of the configuration (exposed so
+/// tests and benches can reproduce individual trials).
+SimulationInputs make_trial_inputs(const EvaluationConfig& config,
+                                   std::size_t trial);
+
+/// Simulates every policy on every trial (trials run in parallel on the
+/// global pool; each trial reuses the same inputs across policies, so
+/// differences are paired).
+EvaluationResult evaluate_policies(const EvaluationConfig& config,
+                                   const std::vector<PolicyConfig>& policies);
+
+}  // namespace rrp::core

@@ -1,0 +1,101 @@
+#include "core/fleet.hpp"
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/wagner_whitin.hpp"
+
+namespace rrp::core {
+
+namespace {
+
+void validate_entries(const std::vector<FleetEntry>& entries) {
+  RRP_EXPECTS(!entries.empty());
+  const std::size_t horizon = entries.front().total_demand.size();
+  RRP_EXPECTS(horizon >= 1);
+  for (const FleetEntry& e : entries) {
+    RRP_EXPECTS(e.instances >= 1);
+    RRP_EXPECTS(e.total_demand.size() == horizon);
+    RRP_EXPECTS(e.compute_price.empty() ||
+                e.compute_price.size() == horizon);
+    RRP_EXPECTS(e.initial_storage_per_instance >= 0.0);
+  }
+}
+
+DrrpInstance per_instance_problem(const FleetEntry& e,
+                                  const market::CostModel& costs) {
+  DrrpInstance inst;
+  inst.vm = e.vm;
+  inst.costs = costs;
+  inst.initial_storage = e.initial_storage_per_instance;
+  const double n = static_cast<double>(e.instances);
+  inst.demand.reserve(e.total_demand.size());
+  for (double d : e.total_demand) {
+    RRP_EXPECTS(d >= 0.0);
+    inst.demand.push_back(d / n);  // each instance serves 1/n
+  }
+  if (e.compute_price.empty()) {
+    inst.compute_price.assign(e.total_demand.size(),
+                              market::info(e.vm).on_demand_hourly);
+  } else {
+    inst.compute_price = e.compute_price;
+  }
+  return inst;
+}
+
+CostBreakdown scale(const CostBreakdown& c, double n) {
+  CostBreakdown out;
+  out.compute = c.compute * n;
+  out.holding = c.holding * n;
+  out.transfer_in = c.transfer_in * n;
+  out.transfer_out = c.transfer_out * n;
+  return out;
+}
+
+FleetPlan aggregate(std::vector<FleetClassPlan> classes) {
+  FleetPlan plan;
+  for (const FleetClassPlan& c : classes) {
+    plan.total.compute += c.class_cost.compute;
+    plan.total.holding += c.class_cost.holding;
+    plan.total.transfer_in += c.class_cost.transfer_in;
+    plan.total.transfer_out += c.class_cost.transfer_out;
+  }
+  plan.classes = std::move(classes);
+  return plan;
+}
+
+}  // namespace
+
+FleetPlan plan_fleet(const std::vector<FleetEntry>& entries,
+                     const market::CostModel& costs) {
+  validate_entries(entries);
+  std::vector<FleetClassPlan> classes(entries.size());
+  global_pool().parallel_for(entries.size(), [&](std::size_t i) {
+    const FleetEntry& e = entries[i];
+    const DrrpInstance inst = per_instance_problem(e, costs);
+    FleetClassPlan& out = classes[i];
+    out.vm = e.vm;
+    out.instances = e.instances;
+    out.per_instance = solve_drrp_wagner_whitin(inst);
+    out.class_cost = scale(out.per_instance.cost,
+                           static_cast<double>(e.instances));
+  });
+  return aggregate(std::move(classes));
+}
+
+FleetPlan no_plan_fleet(const std::vector<FleetEntry>& entries,
+                        const market::CostModel& costs) {
+  validate_entries(entries);
+  std::vector<FleetClassPlan> classes(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const FleetEntry& e = entries[i];
+    const DrrpInstance inst = per_instance_problem(e, costs);
+    classes[i].vm = e.vm;
+    classes[i].instances = e.instances;
+    classes[i].per_instance = no_plan_schedule(inst);
+    classes[i].class_cost = scale(classes[i].per_instance.cost,
+                                  static_cast<double>(e.instances));
+  }
+  return aggregate(std::move(classes));
+}
+
+}  // namespace rrp::core

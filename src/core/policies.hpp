@@ -1,0 +1,98 @@
+// Rental policies for the spot-market experiments (paper Section V-C).
+//
+// A policy describes (a) which planner runs at each decision point
+// (none / DRRP / SRRP), (b) how bids are formed (SARIMA prediction,
+// the historical expected mean, always-on-demand, or oracle foresight)
+// and (c) the planning lookahead.  Figure 12(a)'s five curves map to:
+//
+//   on-demand     : DRRP planner, on-demand prices, no auction
+//   det-predict   : DRRP with SARIMA-predicted prices as bids
+//   sto-predict   : SRRP with SARIMA-predicted bids
+//   det-exp-mean  : DRRP bidding the historical mean price
+//   sto-exp-mean  : SRRP bidding the historical mean price
+//
+// plus the oracle (DRRP on the realised prices) as the ideal-case
+// denominator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "milp/branch_and_bound.hpp"
+
+namespace rrp::core {
+
+enum class PlannerKind { NoPlan, Drrp, Srrp };
+
+enum class BidStrategy {
+  Predicted,       ///< SARIMA day-ahead forecasts (Section IV-A)
+  ExpectedMean,    ///< fixed bid at the historical mean price
+  FixedValue,      ///< fixed bid at PolicyConfig::fixed_bid
+  OnDemandAlways,  ///< no auction: rent on-demand at lambda
+  Oracle,          ///< perfect foresight of realised prices
+  /// Realised prices deviated by PolicyConfig::bid_deviation — the
+  /// artificial +/-2%..10% bids of Figure 12(b)'s precision study.
+  OracleDeviated,
+};
+
+/// Which exact solver executes the per-slot plans.
+enum class PlannerBackend {
+  /// Wagner-Whitin (DRRP) / tree DP (SRRP): exact and near-instant for
+  /// the uncapacitated instances the rolling simulator produces.
+  DynamicProgramming,
+  /// The MILP deterministic equivalents; identical optima, orders of
+  /// magnitude slower.  Kept selectable for cross-validation.
+  Milp,
+};
+
+struct PolicyConfig {
+  std::string name;
+  PlannerKind planner = PlannerKind::Drrp;
+  PlannerBackend backend = PlannerBackend::DynamicProgramming;
+  BidStrategy bids = BidStrategy::ExpectedMean;
+  double fixed_bid = 0.0;        ///< used by BidStrategy::FixedValue
+  double bid_deviation = 0.0;    ///< used by BidStrategy::OracleDeviated
+  std::size_t lookahead = 24;    ///< DRRP horizon (paper: 24h)
+  /// Re-plan cadence (paper Section V-D: "a revised plan is issued
+  /// periodically (after a few slots of the whole planning horizon)").
+  /// 1 = re-plan every slot.  Between re-plans a DRRP policy executes
+  /// its cached schedule; an SRRP policy follows the scenario-tree path
+  /// matching the realised prices (true multistage recourse).
+  std::size_t replan_every = 1;
+  /// SRRP scenario-tree branching per stage, bushy-early lean-late;
+  /// resized to the lookahead (padded with 1s) when shorter.
+  std::vector<std::size_t> stage_widths = {4, 3, 2, 1, 1, 1};
+  std::size_t distribution_support = 12;  ///< base distribution clusters
+  /// SRRP only: build the scenario tree from a fitted Markov price
+  /// chain (stage distributions conditional on the parent state)
+  /// instead of the paper's unconditional base distribution.
+  bool markov_tree = false;
+  /// Hours of history used for the base distribution / SARIMA fit.
+  std::size_t fit_window = 24 * 60;
+  milp::BnbOptions solver;
+
+  void validate() const;
+};
+
+/// Figure 10's baseline: rent every slot with positive demand.
+PolicyConfig no_plan_policy();
+
+/// Figure 12(a) policies (paper names).
+PolicyConfig on_demand_policy();
+PolicyConfig det_predict_policy();
+PolicyConfig sto_predict_policy();
+PolicyConfig det_exp_mean_policy();
+PolicyConfig sto_exp_mean_policy();
+
+/// The ideal-case planner: DRRP fed the realised spot prices.
+PolicyConfig oracle_policy();
+
+/// Extension: SRRP over a Markov-conditional scenario tree (stage
+/// distributions conditioned on the parent price state) with
+/// expected-mean bids.
+PolicyConfig sto_markov_policy();
+
+/// All five evaluated policies of Figure 12(a), in plot order.
+std::vector<PolicyConfig> figure12a_policies();
+
+}  // namespace rrp::core

@@ -1,0 +1,209 @@
+#include "core/price_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace rrp::core {
+
+namespace {
+constexpr double kProbEps = 1e-12;
+}
+
+EmpiricalPriceDistribution::EmpiricalPriceDistribution(
+    std::vector<double> values, std::vector<double> probs)
+    : values_(std::move(values)), probs_(std::move(probs)) {
+  RRP_EXPECTS(!values_.empty());
+  RRP_EXPECTS(values_.size() == probs_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    RRP_EXPECTS(values_[i] > 0.0);
+    RRP_EXPECTS(probs_[i] > 0.0);
+    if (i > 0) RRP_EXPECTS(values_[i] > values_[i - 1]);
+    total += probs_[i];
+  }
+  RRP_EXPECTS(std::fabs(total - 1.0) < 1e-9);
+}
+
+EmpiricalPriceDistribution EmpiricalPriceDistribution::from_history(
+    std::span<const double> prices, std::size_t max_support) {
+  RRP_EXPECTS(!prices.empty());
+  RRP_EXPECTS(max_support >= 1);
+
+  // Exact empirical distribution over distinct values first.
+  std::map<double, std::size_t> counts;
+  for (double p : prices) {
+    RRP_EXPECTS(p > 0.0);
+    ++counts[p];
+  }
+  const double n = static_cast<double>(prices.size());
+
+  if (counts.size() <= max_support) {
+    std::vector<double> values, probs;
+    values.reserve(counts.size());
+    probs.reserve(counts.size());
+    for (const auto& [value, count] : counts) {
+      values.push_back(value);
+      probs.push_back(static_cast<double>(count) / n);
+    }
+    return EmpiricalPriceDistribution(std::move(values), std::move(probs));
+  }
+
+  // Quantile clustering: walk the sorted distinct values accumulating
+  // probability mass into max_support equal buckets; each bucket is
+  // replaced by its probability-weighted mean.
+  std::vector<double> values, probs;
+  const double target = 1.0 / static_cast<double>(max_support);
+  double bucket_mass = 0.0, bucket_weighted = 0.0, consumed = 0.0;
+  std::size_t buckets_done = 0;
+  for (const auto& [value, count] : counts) {
+    const double mass = static_cast<double>(count) / n;
+    bucket_mass += mass;
+    bucket_weighted += mass * value;
+    consumed += mass;
+    const bool last_bucket = buckets_done + 1 == max_support;
+    if (!last_bucket &&
+        consumed >= target * static_cast<double>(buckets_done + 1)) {
+      values.push_back(bucket_weighted / bucket_mass);
+      probs.push_back(bucket_mass);
+      bucket_mass = bucket_weighted = 0.0;
+      ++buckets_done;
+    }
+  }
+  if (bucket_mass > kProbEps) {
+    values.push_back(bucket_weighted / bucket_mass);
+    probs.push_back(bucket_mass);
+  }
+  // Weighted means of consecutive buckets are strictly increasing by
+  // construction; normalise any floating-point drift.
+  double total = 0.0;
+  for (double p : probs) total += p;
+  for (double& p : probs) p /= total;
+  return EmpiricalPriceDistribution(std::move(values), std::move(probs));
+}
+
+double EmpiricalPriceDistribution::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    m += values_[i] * probs_[i];
+  return m;
+}
+
+double EmpiricalPriceDistribution::out_of_bid_probability(double bid) const {
+  double mass = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    if (values_[i] > bid) mass += probs_[i];
+  return mass;
+}
+
+std::vector<PricePoint> EmpiricalPriceDistribution::truncate_at_bid(
+    double bid, double lambda) const {
+  RRP_EXPECTS(bid >= 0.0);
+  RRP_EXPECTS(lambda > 0.0);
+  std::vector<PricePoint> out;
+  double in_bid_mass = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] <= bid) {
+      out.push_back(PricePoint{values_[i], probs_[i], false});
+      in_bid_mass += probs_[i];
+    }
+  }
+  const double oob = 1.0 - in_bid_mass;
+  if (oob > kProbEps) {
+    out.push_back(PricePoint{lambda, oob, true});
+  } else if (!out.empty()) {
+    out.back().prob += oob;  // absorb rounding so the mass is exactly 1
+  }
+  RRP_ENSURES(!out.empty());
+  return out;
+}
+
+std::vector<PricePoint> reduce_support(std::span<const PricePoint> points,
+                                       std::size_t max_points) {
+  RRP_EXPECTS(max_points >= 1);
+  RRP_EXPECTS(!points.empty());
+
+  std::vector<PricePoint> regular;
+  PricePoint oob{};
+  bool has_oob = false;
+  for (const PricePoint& p : points) {
+    RRP_EXPECTS(p.prob >= 0.0);
+    if (p.out_of_bid) {
+      RRP_EXPECTS(!has_oob);
+      has_oob = true;
+      oob = p;
+    } else {
+      regular.push_back(p);
+    }
+  }
+  std::sort(regular.begin(), regular.end(),
+            [](const PricePoint& a, const PricePoint& b) {
+              return a.price < b.price;
+            });
+
+  std::vector<PricePoint> out;
+  if (max_points == 1) {
+    // Expected-value collapse: one point carrying the full mass at the
+    // probability-weighted mean price (the out-of-bid distinction is
+    // deliberately given up; "lean late" scenario-tree stages do this).
+    if (regular.empty()) {
+      out.push_back(oob);
+      return out;
+    }
+    double total = 0.0, weighted = 0.0;
+    for (const PricePoint& p : regular) {
+      total += p.prob;
+      weighted += p.prob * p.price;
+    }
+    if (has_oob) {
+      total += oob.prob;
+      weighted += oob.prob * oob.price;
+    }
+    out.push_back(PricePoint{weighted / total, total, false});
+    return out;
+  }
+  const std::size_t budget = max_points - (has_oob ? 1 : 0);
+
+  if (regular.size() <= budget) {
+    out = regular;
+  } else {
+    double total = 0.0;
+    for (const auto& p : regular) total += p.prob;
+    const double target = total / static_cast<double>(budget);
+    double bucket_mass = 0.0, bucket_weighted = 0.0, consumed = 0.0;
+    std::size_t buckets_done = 0;
+    for (const PricePoint& p : regular) {
+      bucket_mass += p.prob;
+      bucket_weighted += p.prob * p.price;
+      consumed += p.prob;
+      const bool last_bucket = buckets_done + 1 == budget;
+      if (!last_bucket &&
+          consumed >= target * static_cast<double>(buckets_done + 1)) {
+        out.push_back(
+            PricePoint{bucket_weighted / bucket_mass, bucket_mass, false});
+        bucket_mass = bucket_weighted = 0.0;
+        ++buckets_done;
+      }
+    }
+    if (bucket_mass > kProbEps) {
+      out.push_back(
+          PricePoint{bucket_weighted / bucket_mass, bucket_mass, false});
+    }
+  }
+  if (has_oob) out.push_back(oob);
+  return out;
+}
+
+double mean_of(std::span<const PricePoint> points) {
+  double m = 0.0, total = 0.0;
+  for (const PricePoint& p : points) {
+    m += p.price * p.prob;
+    total += p.prob;
+  }
+  RRP_EXPECTS(total > 0.0);
+  return m / total;
+}
+
+}  // namespace rrp::core

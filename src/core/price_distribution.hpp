@@ -1,0 +1,68 @@
+// Empirical spot-price distributions and bid-dependent dynamic sampling
+// (paper Section IV-C).
+//
+// The base distribution summarises a historical price series as a
+// discrete distribution over a sorted support.  For a bid price b and
+// on-demand price lambda, the sampled distribution keeps every support
+// point s <= b (the bid wins) and collapses the remaining mass onto
+// lambda — the out-of-bid event in which the ASP falls back to the
+// on-demand market (equation (10)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rrp::core {
+
+/// One support point of a discrete price distribution.
+struct PricePoint {
+  double price = 0.0;
+  double prob = 0.0;
+  bool out_of_bid = false;  ///< this point is the lambda fallback state
+};
+
+class EmpiricalPriceDistribution {
+ public:
+  /// Summarises a price history.  When the number of distinct values
+  /// exceeds `max_support`, values are clustered into `max_support`
+  /// equal-probability quantile buckets (probability-weighted means),
+  /// keeping the scenario tree tractable (DESIGN.md decision 3).
+  static EmpiricalPriceDistribution from_history(
+      std::span<const double> prices, std::size_t max_support = 16);
+
+  /// Exact discrete distribution from explicit support/probabilities
+  /// (sorted ascending, probabilities summing to 1).
+  EmpiricalPriceDistribution(std::vector<double> values,
+                             std::vector<double> probs);
+
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& probabilities() const { return probs_; }
+  std::size_t support_size() const { return values_.size(); }
+
+  double mean() const;
+
+  /// Probability that the price exceeds `bid` (out-of-bid likelihood).
+  double out_of_bid_probability(double bid) const;
+
+  /// Bid-dependent dynamic sampling (paper eq. (10)): support points
+  /// <= bid keep their probability; the remainder becomes a single
+  /// point at the on-demand price `lambda`.  Probabilities always sum
+  /// to 1; the lambda point is dropped when its mass is ~0.
+  std::vector<PricePoint> truncate_at_bid(double bid, double lambda) const;
+
+ private:
+  std::vector<double> values_;  ///< sorted ascending, distinct
+  std::vector<double> probs_;
+};
+
+/// Reduces a discrete set of price points to at most `max_points` by
+/// quantile clustering (probability-weighted); preserves any out-of-bid
+/// point exactly.  Used to bound per-stage branching in scenario trees.
+std::vector<PricePoint> reduce_support(std::span<const PricePoint> points,
+                                       std::size_t max_points);
+
+/// Probability-weighted mean of a point set.
+double mean_of(std::span<const PricePoint> points);
+
+}  // namespace rrp::core

@@ -1,0 +1,373 @@
+#include "core/rolling_horizon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "core/markov_prices.hpp"
+#include "core/srrp.hpp"
+#include "core/srrp_dp.hpp"
+#include "core/wagner_whitin.hpp"
+#include "market/auction.hpp"
+#include "timeseries/arima.hpp"
+
+namespace rrp::core {
+
+void SimulationInputs::validate() const {
+  RRP_EXPECTS(!demand.empty());
+  RRP_EXPECTS(actual_spot.size() == demand.size());
+  RRP_EXPECTS(!history.empty());
+  for (double d : demand) RRP_EXPECTS(d >= 0.0);
+  for (double p : actual_spot) RRP_EXPECTS(p > 0.0);
+  for (double p : history) RRP_EXPECTS(p > 0.0);
+  RRP_EXPECTS(initial_storage >= 0.0);
+}
+
+namespace {
+
+constexpr double kPriceFloor = 1e-4;
+
+/// Execution engine for one (inputs, policy) pair.
+class PolicyRunner {
+ public:
+  PolicyRunner(const SimulationInputs& inputs, const PolicyConfig& policy)
+      : in_(inputs),
+        cfg_(policy),
+        lambda_(market::info(inputs.vm).on_demand_hourly) {
+    in_.validate();
+    cfg_.validate();
+
+    // Fit window: the tail of the pre-evaluation history.
+    const std::size_t window = std::min(cfg_.fit_window, in_.history.size());
+    fit_series_.assign(in_.history.end() - static_cast<long>(window),
+                       in_.history.end());
+    history_mean_ = rrp::stats::mean(fit_series_);
+    base_dist_ = EmpiricalPriceDistribution::from_history(
+        fit_series_, cfg_.distribution_support);
+
+    if (cfg_.planner == PlannerKind::Srrp && cfg_.markov_tree) {
+      markov_ = MarkovPriceModel::fit(fit_series_,
+                                      cfg_.distribution_support);
+    }
+    if (cfg_.bids == BidStrategy::Predicted) {
+      // The paper's selected order for hourly spot prices:
+      // SARIMA(2,0,1)(2,0,0)_24 (Section IV-A2).
+      ts::SarimaOrder order;
+      order.p = 2;
+      order.q = 1;
+      order.P = 2;
+      order.s = 24;
+      ts::SarimaFitOptions fit;
+      fit.optimizer.max_evaluations = 4000;
+      sarima_ = ts::fit_sarima(fit_series_, order, fit);
+    }
+
+    observed_ = fit_series_;  // grows as spot prices realise
+  }
+
+  SimulationResult run();
+
+ private:
+  /// Per-slot bid/price estimates for the next `w` slots.
+  std::vector<double> price_estimates(std::size_t t, std::size_t w);
+
+  SlotRecord execute_drrp_like(std::size_t t, std::size_t w, double store);
+  SlotRecord execute_srrp(std::size_t t, std::size_t w, double store);
+  SlotRecord execute_no_plan(std::size_t t, double store);
+
+  /// True when slot t should trigger a fresh plan (cadence reached or
+  /// the cached plan exhausted).
+  bool needs_replan(std::size_t t) const;
+
+  /// Settles acquisition of one instance-slot given the decision to
+  /// rent; fills rented/won/bid/price_paid.
+  void settle_rental(SlotRecord& rec, std::size_t t, double bid);
+
+  SimulationInputs in_;
+  PolicyConfig cfg_;
+  double lambda_;
+  std::vector<double> fit_series_;
+  std::vector<double> observed_;
+  double history_mean_ = 0.0;
+  EmpiricalPriceDistribution base_dist_{{1.0}, {1.0}};
+  std::optional<ts::SarimaModel> sarima_;
+  std::optional<MarkovPriceModel> markov_;
+
+  // --- Cached plan state (replan_every > 1, paper Section V-D). ---
+  std::size_t plan_origin_ = 0;      ///< slot the cached plan was made at
+  bool have_plan_ = false;
+  RentalPlan cached_plan_;           ///< DRRP schedule from plan_origin_
+  std::vector<double> cached_bids_;  ///< plan-time price estimates
+  SrrpPolicy cached_policy_;         ///< SRRP recourse policy
+  ScenarioTree cached_tree_;
+  std::size_t tree_cursor_ = 0;      ///< vertex executed at the previous
+                                     ///< slot (root before stage 1)
+};
+
+std::vector<double> PolicyRunner::price_estimates(std::size_t t,
+                                                  std::size_t w) {
+  switch (cfg_.bids) {
+    case BidStrategy::OnDemandAlways:
+      return std::vector<double>(w, lambda_);
+    case BidStrategy::Oracle:
+      return {in_.actual_spot.begin() + static_cast<long>(t),
+              in_.actual_spot.begin() + static_cast<long>(t + w)};
+    case BidStrategy::OracleDeviated: {
+      std::vector<double> bids(
+          in_.actual_spot.begin() + static_cast<long>(t),
+          in_.actual_spot.begin() + static_cast<long>(t + w));
+      for (double& b : bids)
+        b = std::max(b * (1.0 + cfg_.bid_deviation), kPriceFloor);
+      return bids;
+    }
+    case BidStrategy::ExpectedMean:
+      return std::vector<double>(w, history_mean_);
+    case BidStrategy::FixedValue:
+      return std::vector<double>(w, cfg_.fixed_bid);
+    case BidStrategy::Predicted: {
+      // Forecast from the observed series; a bounded tail suffices
+      // because the expanded SARIMA lags reach back ~2 seasons.
+      const std::size_t tail =
+          std::min<std::size_t>(observed_.size(), 24 * 14);
+      std::vector<double> recent(observed_.end() - static_cast<long>(tail),
+                                 observed_.end());
+      auto f = ts::forecast(*sarima_, recent, w);
+      for (double& v : f) v = std::max(v, kPriceFloor);
+      return f;
+    }
+  }
+  throw InvalidArgument("unknown bid strategy");
+}
+
+void PolicyRunner::settle_rental(SlotRecord& rec, std::size_t t,
+                                 double bid) {
+  rec.rented = true;
+  if (cfg_.bids == BidStrategy::OnDemandAlways) {
+    rec.won = true;  // no auction: a guaranteed on-demand rental
+    rec.bid = lambda_;
+    rec.price_paid = lambda_;
+    return;
+  }
+  if (cfg_.bids == BidStrategy::Oracle) {
+    rec.won = true;  // perfect foresight never loses
+    rec.bid = in_.actual_spot[t];
+    rec.price_paid = in_.actual_spot[t];
+    return;
+  }
+  const auto outcome =
+      market::settle(bid, in_.actual_spot[t], lambda_);
+  rec.won = outcome.won;
+  rec.bid = bid;
+  rec.price_paid = outcome.price_paid;
+}
+
+SlotRecord PolicyRunner::execute_no_plan(std::size_t t, double store) {
+  SlotRecord rec;
+  rec.alpha = std::max(in_.demand[t] - store, 0.0);
+  if (rec.alpha > 0.0) settle_rental(rec, t, lambda_);
+  return rec;
+}
+
+bool PolicyRunner::needs_replan(std::size_t t) const {
+  if (!have_plan_) return true;
+  const std::size_t age = t - plan_origin_;
+  if (age >= cfg_.replan_every) return true;
+  // The cached plan must still cover this slot.
+  if (cfg_.planner == PlannerKind::Drrp)
+    return age >= cached_plan_.alpha.size();
+  return age >= cached_tree_.num_stages();
+}
+
+SlotRecord PolicyRunner::execute_drrp_like(std::size_t t, std::size_t w,
+                                           double store) {
+  if (needs_replan(t)) {
+    const std::vector<double> estimates = price_estimates(t, w);
+    DrrpInstance inst;
+    inst.vm = in_.vm;
+    inst.demand.assign(in_.demand.begin() + static_cast<long>(t),
+                       in_.demand.begin() + static_cast<long>(t + w));
+    inst.compute_price = estimates;
+    inst.costs = in_.costs;
+    inst.initial_storage = store;
+    cached_plan_ = cfg_.backend == PlannerBackend::DynamicProgramming
+                       ? solve_drrp_wagner_whitin(inst)
+                       : solve_drrp(inst, cfg_.solver);
+    RRP_ENSURES(cached_plan_.feasible());
+    cached_bids_ = estimates;
+    plan_origin_ = t;
+    have_plan_ = true;
+  }
+  // Execute the cached schedule at this slot's offset.  The schedule's
+  // inventory path is followed exactly (alpha is generated even when
+  // the auction is lost, on the fallback on-demand instance), so the
+  // plan stays consistent until the next re-plan.
+  const std::size_t offset = t - plan_origin_;
+  SlotRecord rec;
+  rec.alpha = cached_plan_.alpha[offset];
+  if (cached_plan_.chi[offset])
+    settle_rental(rec, t, cached_bids_[offset]);
+  return rec;
+}
+
+SlotRecord PolicyRunner::execute_srrp(std::size_t t, std::size_t w,
+                                      double store) {
+  if (needs_replan(t)) {
+    const std::vector<double> bids = price_estimates(t, w);
+    std::vector<std::size_t> widths(w, 1);
+    for (std::size_t i = 0; i < w && i < cfg_.stage_widths.size(); ++i)
+      widths[i] = cfg_.stage_widths[i];
+
+    SrrpInstance inst;
+    inst.vm = in_.vm;
+    inst.demand.assign(in_.demand.begin() + static_cast<long>(t),
+                       in_.demand.begin() + static_cast<long>(t + w));
+    if (markov_.has_value()) {
+      // Conditional tree rooted at the price currently in force.
+      inst.tree =
+          markov_->build_tree(observed_.back(), bids, lambda_, widths);
+    } else {
+      inst.tree = ScenarioTree::build(
+          make_stage_supports(base_dist_, bids, lambda_, widths));
+    }
+    inst.costs = in_.costs;
+    inst.initial_storage = store;
+    cached_policy_ = cfg_.backend == PlannerBackend::DynamicProgramming
+                         ? solve_srrp_tree_dp(inst)
+                         : solve_srrp(inst, cfg_.solver);
+    RRP_ENSURES(cached_policy_.feasible());
+    cached_tree_ = inst.tree;
+    cached_bids_ = bids;
+    tree_cursor_ = cached_tree_.root();
+    plan_origin_ = t;
+    have_plan_ = true;
+  }
+
+  // Multistage recourse execution: descend one tree stage per slot,
+  // picking the child state that matches the realised acquisition.
+  const std::size_t offset = t - plan_origin_;
+  const auto children = cached_tree_.children(tree_cursor_);
+  RRP_ENSURES(!children.empty());
+
+  bool any_rents = false;
+  for (std::size_t u : children)
+    if (cached_policy_.chi[u]) any_rents = true;
+
+  SlotRecord rec;
+  const double spot = in_.actual_spot[t];
+  auto pick_child = [&](bool won) {
+    std::size_t best = children.front();
+    double best_dist = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (std::size_t u : children) {
+      if (cached_tree_.vertex(u).out_of_bid != !won) continue;
+      const double dist = std::fabs(cached_tree_.vertex(u).price - spot);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = u;
+        found = true;
+      }
+    }
+    if (!found) {
+      for (std::size_t u : children) {
+        const double dist = std::fabs(cached_tree_.vertex(u).price - spot);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = u;
+        }
+      }
+    }
+    return best;
+  };
+
+  std::size_t u;
+  if (!any_rents) {
+    // Recourse: no state at this stage rents, so no bid is placed.
+    u = pick_child(/*won=*/true);
+    rec.alpha = cached_policy_.alpha[u];
+  } else {
+    const double bid = cached_bids_[offset];
+    const bool won = bid >= spot;
+    u = pick_child(won);
+    rec.alpha = cached_policy_.alpha[u];
+    if (cached_policy_.chi[u]) {
+      rec.rented = true;
+      rec.won = won;
+      rec.bid = bid;
+      rec.price_paid = won ? spot : lambda_;
+    }
+  }
+  tree_cursor_ = u;
+  return rec;
+}
+
+SimulationResult PolicyRunner::run() {
+  SimulationResult result;
+  const std::size_t T = in_.horizon();
+  result.slots.reserve(T);
+  double store = in_.initial_storage;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const std::size_t w = std::min(cfg_.lookahead, T - t);
+    SlotRecord rec;
+    switch (cfg_.planner) {
+      case PlannerKind::NoPlan:
+        rec = execute_no_plan(t, store);
+        break;
+      case PlannerKind::Drrp:
+        rec = execute_drrp_like(t, w, store);
+        break;
+      case PlannerKind::Srrp:
+        rec = execute_srrp(t, w, store);
+        break;
+    }
+
+    // Inventory update; the planners guarantee coverage.
+    store += rec.alpha - in_.demand[t];
+    RRP_ENSURES(store > -1e-6);
+    store = std::max(store, 0.0);
+    rec.inventory = store;
+
+    // Realised cost accounting.
+    if (rec.rented) {
+      result.cost.compute += rec.price_paid;
+      ++result.rentals;
+      if (!rec.won) ++result.out_of_bid_events;
+    }
+    result.cost.holding += in_.costs.holding(t) * store;
+    result.cost.transfer_in += in_.costs.generation_cost(rec.alpha, t);
+    result.cost.transfer_out += in_.costs.delivery_cost(in_.demand[t], t);
+
+    result.slots.push_back(rec);
+    observed_.push_back(in_.actual_spot[t]);
+  }
+  return result;
+}
+
+}  // namespace
+
+SimulationResult simulate_policy(const SimulationInputs& inputs,
+                                 const PolicyConfig& policy) {
+  PolicyRunner runner(inputs, policy);
+  return runner.run();
+}
+
+double ideal_case_cost(const SimulationInputs& inputs) {
+  inputs.validate();
+  DrrpInstance inst;
+  inst.vm = inputs.vm;
+  inst.demand = inputs.demand;
+  inst.compute_price = inputs.actual_spot;
+  inst.costs = inputs.costs;
+  inst.initial_storage = inputs.initial_storage;
+  return solve_drrp_wagner_whitin(inst).cost.total();
+}
+
+double overpay_fraction(double policy_cost, double ideal_cost) {
+  RRP_EXPECTS(ideal_cost > 0.0);
+  return (policy_cost - ideal_cost) / ideal_cost;
+}
+
+}  // namespace rrp::core

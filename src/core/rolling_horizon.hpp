@@ -1,0 +1,69 @@
+// Rolling-horizon execution of rental policies against realised spot
+// prices (paper Section V-C / V-D: "the resource rental planning is
+// often conducted in a rolling horizon fashion, i.e., a revised plan is
+// issued periodically to include the new information").
+//
+// Each hour the policy re-plans over its lookahead using only
+// information available so far (price history, its bid strategy, the
+// current inventory), commits the first-slot decision, and the market
+// settles it against the actual spot price: a lost auction forces an
+// on-demand rental at lambda to keep serving demand.
+#pragma once
+
+#include <vector>
+
+#include "core/drrp.hpp"
+#include "core/policies.hpp"
+#include "market/cost_model.hpp"
+#include "market/instance_types.hpp"
+
+namespace rrp::core {
+
+struct SimulationInputs {
+  market::VmClass vm = market::VmClass::C1Medium;
+  std::vector<double> demand;       ///< per evaluation slot; known ahead
+  std::vector<double> actual_spot;  ///< realised hourly spot prices
+  std::vector<double> history;      ///< hourly prices before slot 0
+  market::CostModel costs = market::CostModel::paper_defaults();
+  double initial_storage = 0.0;
+
+  std::size_t horizon() const { return demand.size(); }
+  void validate() const;
+};
+
+struct SlotRecord {
+  bool rented = false;
+  bool won = false;          ///< auction outcome (true if no auction ran)
+  double bid = 0.0;
+  double price_paid = 0.0;   ///< 0 when not rented
+  double alpha = 0.0;
+  double inventory = 0.0;    ///< end-of-slot beta
+};
+
+struct SimulationResult {
+  CostBreakdown cost;        ///< realised, not planned
+  std::vector<SlotRecord> slots;
+  std::size_t out_of_bid_events = 0;
+  std::size_t rentals = 0;
+
+  double total_cost() const { return cost.total(); }
+};
+
+/// Runs the policy over the evaluation window.  Deterministic given the
+/// inputs (any model fitting inside is deterministic).
+SimulationResult simulate_policy(const SimulationInputs& inputs,
+                                 const PolicyConfig& policy);
+
+/// The paper's ideal case: "an oracle who knows all the future
+/// realization of spot instance price in advance, and takes them as
+/// input to the DRRP model" — a single full-horizon DRRP solve on the
+/// realised prices.  This is a certified lower bound on the realised
+/// cost of ANY policy (every policy's executed schedule is feasible for
+/// that DRRP, and wins pay spot while losses pay more).
+double ideal_case_cost(const SimulationInputs& inputs);
+
+/// Overpay of a policy relative to the ideal-case (oracle) cost, the
+/// y-axis of Figure 12(a): (cost - ideal) / ideal.
+double overpay_fraction(double policy_cost, double ideal_cost);
+
+}  // namespace rrp::core

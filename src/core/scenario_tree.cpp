@@ -1,0 +1,142 @@
+#include "core/scenario_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rrp::core {
+
+ScenarioTree ScenarioTree::build(
+    std::span<const std::vector<PricePoint>> stage_supports) {
+  RRP_EXPECTS(!stage_supports.empty());
+  for (const auto& support : stage_supports) {
+    RRP_EXPECTS(!support.empty());
+    double total = 0.0;
+    for (const PricePoint& p : support) {
+      RRP_EXPECTS(p.price > 0.0);
+      RRP_EXPECTS(p.prob > 0.0);
+      total += p.prob;
+    }
+    RRP_EXPECTS(std::fabs(total - 1.0) < 1e-6);
+  }
+
+  ScenarioTree tree;
+  tree.num_stages_ = stage_supports.size();
+  tree.vertices_.push_back(ScenarioVertex{});  // root
+  tree.by_stage_.assign(tree.num_stages_ + 1, {});
+  tree.by_stage_[0].push_back(0);
+
+  std::vector<std::size_t> frontier = {0};
+  for (std::size_t stage = 1; stage <= tree.num_stages_; ++stage) {
+    const auto& support = stage_supports[stage - 1];
+    std::vector<std::size_t> next;
+    next.reserve(frontier.size() * support.size());
+    for (std::size_t parent : frontier) {
+      for (const PricePoint& p : support) {
+        ScenarioVertex v;
+        v.parent = parent;
+        v.stage = stage;
+        v.price = p.price;
+        v.out_of_bid = p.out_of_bid;
+        v.branch_prob = p.prob;
+        v.path_prob = tree.vertices_[parent].path_prob * p.prob;
+        tree.vertices_.push_back(v);
+        next.push_back(tree.vertices_.size() - 1);
+        tree.by_stage_[stage].push_back(tree.vertices_.size() - 1);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  tree.children_.assign(tree.vertices_.size(), {});
+  for (std::size_t v = 1; v < tree.vertices_.size(); ++v)
+    tree.children_[tree.vertices_[v].parent].push_back(v);
+  return tree;
+}
+
+ScenarioTree ScenarioTree::build_conditional(
+    const std::vector<PricePoint>& initial, std::size_t stages,
+    const ConditionalSupport& conditional) {
+  RRP_EXPECTS(stages >= 1);
+  auto check = [](const std::vector<PricePoint>& support) {
+    RRP_EXPECTS(!support.empty());
+    double total = 0.0;
+    for (const PricePoint& p : support) {
+      RRP_EXPECTS(p.price > 0.0);
+      RRP_EXPECTS(p.prob > 0.0);
+      total += p.prob;
+    }
+    RRP_EXPECTS(std::fabs(total - 1.0) < 1e-6);
+  };
+  check(initial);
+
+  ScenarioTree tree;
+  tree.num_stages_ = stages;
+  tree.vertices_.push_back(ScenarioVertex{});  // root
+  tree.by_stage_.assign(stages + 1, {});
+  tree.by_stage_[0].push_back(0);
+
+  std::vector<std::size_t> frontier = {0};
+  for (std::size_t stage = 1; stage <= stages; ++stage) {
+    std::vector<std::size_t> next;
+    for (std::size_t parent : frontier) {
+      const std::vector<PricePoint> support =
+          stage == 1 ? initial
+                     : conditional(tree.vertices_[parent], stage);
+      if (stage > 1) check(support);
+      for (const PricePoint& p : support) {
+        ScenarioVertex v;
+        v.parent = parent;
+        v.stage = stage;
+        v.price = p.price;
+        v.out_of_bid = p.out_of_bid;
+        v.branch_prob = p.prob;
+        v.path_prob = tree.vertices_[parent].path_prob * p.prob;
+        tree.vertices_.push_back(v);
+        next.push_back(tree.vertices_.size() - 1);
+        tree.by_stage_[stage].push_back(tree.vertices_.size() - 1);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  tree.children_.assign(tree.vertices_.size(), {});
+  for (std::size_t v = 1; v < tree.vertices_.size(); ++v)
+    tree.children_[tree.vertices_[v].parent].push_back(v);
+  return tree;
+}
+
+std::span<const std::size_t> ScenarioTree::children(std::size_t v) const {
+  RRP_EXPECTS(v < vertices_.size());
+  return children_[v];
+}
+
+const std::vector<std::size_t>& ScenarioTree::stage_vertices(
+    std::size_t stage) const {
+  RRP_EXPECTS(stage < by_stage_.size());
+  return by_stage_[stage];
+}
+
+const std::vector<std::size_t>& ScenarioTree::leaves() const {
+  return by_stage_[num_stages_];
+}
+
+std::vector<std::size_t> ScenarioTree::path_from_root(std::size_t v) const {
+  RRP_EXPECTS(v < vertices_.size());
+  std::vector<std::size_t> path;
+  while (v != 0) {
+    path.push_back(v);
+    v = vertices_[v].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double ScenarioTree::stage_probability_mass(std::size_t stage) const {
+  double mass = 0.0;
+  for (std::size_t v : stage_vertices(stage)) mass += vertices_[v].path_prob;
+  return mass;
+}
+
+}  // namespace rrp::core

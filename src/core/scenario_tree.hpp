@@ -1,0 +1,78 @@
+// Multistage scenario tree (paper Section IV-D, Figure 9).
+//
+// Stage 0 is the root ("the current state of the world"); each stage
+// t in {1..T} corresponds to time slot t, and a vertex at stage t is a
+// distinguishable price state reachable at that slot.  Every non-root
+// vertex stores the slot's realised compute price (a spot support
+// point, or the on-demand price for an out-of-bid state) together with
+// its conditional branch probability; path probabilities multiply down
+// the tree and sum to 1 within each stage.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/price_distribution.hpp"
+
+namespace rrp::core {
+
+struct ScenarioVertex {
+  std::size_t parent = 0;       ///< root points to itself
+  std::size_t stage = 0;        ///< tau(v); root is stage 0
+  double price = 0.0;           ///< Cp realisation (unused at the root)
+  bool out_of_bid = false;
+  double branch_prob = 1.0;     ///< conditional probability given parent
+  double path_prob = 1.0;       ///< p_v: product along the root path
+};
+
+class ScenarioTree {
+ public:
+  /// Builds a tree with `stage_supports.size()` decision stages; every
+  /// vertex at stage t-1 branches into stage_supports[t-1]'s points.
+  /// Each stage's probabilities must sum to 1.
+  static ScenarioTree build(
+      std::span<const std::vector<PricePoint>> stage_supports);
+
+  /// Builds a tree whose branch distributions are *conditional on the
+  /// parent state*: stage-1 vertices come from `initial`, and every
+  /// other vertex's children come from `conditional(parent_point,
+  /// stage)` — e.g. a Markov price model where tomorrow's distribution
+  /// depends on today's price bucket.  Each returned support must be
+  /// non-empty with probabilities summing to 1.
+  using ConditionalSupport = std::function<std::vector<PricePoint>(
+      const ScenarioVertex& parent, std::size_t stage)>;
+  static ScenarioTree build_conditional(
+      const std::vector<PricePoint>& initial, std::size_t stages,
+      const ConditionalSupport& conditional);
+
+  std::size_t num_vertices() const { return vertices_.size(); }
+  std::size_t num_stages() const { return num_stages_; }  ///< T
+  const ScenarioVertex& vertex(std::size_t v) const { return vertices_[v]; }
+  std::size_t root() const { return 0; }
+
+  /// Children of a vertex, in support order.
+  std::span<const std::size_t> children(std::size_t v) const;
+
+  /// All vertices at a given stage (stage 0 = {root}).
+  const std::vector<std::size_t>& stage_vertices(std::size_t stage) const;
+
+  /// Leaves (= scenarios, paper's set S).
+  const std::vector<std::size_t>& leaves() const;
+
+  /// Root-to-v path, excluding the root (P(v) in the paper).
+  std::vector<std::size_t> path_from_root(std::size_t v) const;
+
+  /// Sum of path probabilities over a stage (should be ~1; exposed for
+  /// validation and tests).
+  double stage_probability_mass(std::size_t stage) const;
+
+ private:
+  std::vector<ScenarioVertex> vertices_;
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::vector<std::size_t>> by_stage_;
+  std::size_t num_stages_ = 0;
+};
+
+}  // namespace rrp::core

@@ -1,0 +1,27 @@
+// Exact dynamic program for the stochastic uncapacitated lot-sizing
+// structure of SRRP (the tree analogue of Wagner-Whitin; cf. Guan &
+// Miller's polynomial algorithms for stochastic ULS).
+//
+// Structural property (extreme-point argument on the fixed-chi min-cost
+// flow, plus "alpha cannot be reduced" optimality): some optimal
+// solution has, for every producing vertex v, a descendant w such that
+// the post-production inventory level equals the exact demand of the
+// path v..w.  Consequently the inventory entering any vertex v takes a
+// value from the O(|V|) candidate set { D(path to w) - D(path to
+// parent(v)) } plus the initial-storage offset, and a memoised DP over
+// (vertex, entering inventory) solves SRRP exactly in roughly
+// O(|V|^3) time — microseconds at the paper's tree sizes, versus
+// seconds-to-hours for branch & bound on the deterministic equivalent.
+//
+// Requires an uncapacitated instance (like Wagner-Whitin for DRRP).
+#pragma once
+
+#include "core/srrp.hpp"
+
+namespace rrp::core {
+
+/// Solves SRRP exactly by dynamic programming over the scenario tree.
+/// Throws InvalidArgument when the bottleneck constraint is active.
+SrrpPolicy solve_srrp_tree_dp(const SrrpInstance& instance);
+
+}  // namespace rrp::core

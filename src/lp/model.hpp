@@ -1,0 +1,93 @@
+// Linear program container.
+//
+// A program is `min/max c'x  s.t.  lo_r <= a_r' x <= hi_r,  l <= x <= u`,
+// with +/-infinity bounds expressed via rrp::lp::kInfinity.  The simplex
+// solver consumes this structure directly; rrp::milp builds instances of
+// it from the higher-level modelling API.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rrp::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { Minimize, Maximize };
+
+/// One nonzero of a constraint row.
+struct Entry {
+  std::size_t col = 0;
+  double coeff = 0.0;
+};
+
+/// A ranged constraint row lo <= a'x <= hi (lo == hi for equalities).
+struct Row {
+  std::vector<Entry> entries;
+  double lo = -kInfinity;
+  double hi = kInfinity;
+  std::string name;
+};
+
+/// Variable bounds and objective coefficient.
+struct Variable {
+  double lo = 0.0;
+  double hi = kInfinity;
+  double objective = 0.0;
+  std::string name;
+};
+
+class LinearProgram {
+ public:
+  /// Adds a variable with bounds [lo, hi] and the given objective
+  /// coefficient.  Requires lo <= hi and finite objective.
+  std::size_t add_variable(double lo, double hi, double objective,
+                           std::string name = {});
+
+  /// Adds a ranged row.  Column indices must reference existing
+  /// variables; duplicate columns within a row are summed.
+  std::size_t add_row(std::vector<Entry> entries, double lo, double hi,
+                      std::string name = {});
+
+  void set_sense(Sense sense) { sense_ = sense; }
+  Sense sense() const { return sense_; }
+
+  void set_objective(std::size_t var, double coeff);
+  void set_variable_bounds(std::size_t var, double lo, double hi);
+
+  std::size_t num_variables() const { return variables_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  const Variable& variable(std::size_t i) const { return variables_[i]; }
+  const Row& row(std::size_t r) const { return rows_[r]; }
+
+  /// Evaluates the objective at a point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Max constraint/bound violation at a point; 0 means feasible.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Row> rows_;
+  Sense sense_ = Sense::Minimize;
+};
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+const char* to_string(SolveStatus status);
+
+/// Result of a simplex solve.
+struct Solution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;             ///< in the model's original sense
+  std::vector<double> x;              ///< primal values, one per variable
+  std::vector<double> duals;          ///< one per row (minimisation sign)
+  std::vector<double> reduced_costs;  ///< one per variable
+  std::size_t iterations = 0;
+};
+
+}  // namespace rrp::lp

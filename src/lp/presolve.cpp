@@ -1,0 +1,187 @@
+#include "lp/presolve.hpp"
+
+#include <cmath>
+
+#include "lp/simplex.hpp"
+
+namespace rrp::lp {
+
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+struct WorkingState {
+  std::vector<double> lo, hi, obj;       // per original variable
+  std::vector<std::vector<Entry>> rows;  // live rows (entries on live vars)
+  std::vector<double> row_lo, row_hi;
+  std::vector<bool> row_live;
+  std::vector<bool> var_live;
+  double offset = 0.0;
+  bool infeasible = false;
+  std::size_t rows_removed = 0;
+};
+
+/// Fixes variable j at value v: moves its contribution into row bounds
+/// and the objective offset.
+void fix_variable(WorkingState& s, std::size_t j, double v) {
+  s.var_live[j] = false;
+  s.offset += s.obj[j] * v;
+  s.lo[j] = s.hi[j] = v;
+  for (std::size_t r = 0; r < s.rows.size(); ++r) {
+    if (!s.row_live[r]) continue;
+    for (auto it = s.rows[r].begin(); it != s.rows[r].end(); ++it) {
+      if (it->col == j) {
+        const double shift = it->coeff * v;
+        if (s.row_lo[r] > -kInfinity) s.row_lo[r] -= shift;
+        if (s.row_hi[r] < kInfinity) s.row_hi[r] -= shift;
+        s.rows[r].erase(it);
+        break;
+      }
+    }
+  }
+}
+
+/// One reduction sweep; returns true if anything changed.
+bool sweep(WorkingState& s) {
+  bool changed = false;
+  // Newly fixed variables (bounds collapsed by singleton rows).
+  for (std::size_t j = 0; j < s.var_live.size(); ++j) {
+    if (!s.var_live[j]) continue;
+    if (s.lo[j] > s.hi[j] + kFeasTol) {
+      s.infeasible = true;
+      return false;
+    }
+    if (s.hi[j] - s.lo[j] <= kFeasTol) {
+      fix_variable(s, j, 0.5 * (s.lo[j] + s.hi[j]));
+      changed = true;
+    }
+  }
+  for (std::size_t r = 0; r < s.rows.size(); ++r) {
+    if (!s.row_live[r]) continue;
+    if (s.rows[r].empty()) {
+      // Empty row: 0 must satisfy the bounds.
+      if (s.row_lo[r] > kFeasTol || s.row_hi[r] < -kFeasTol) {
+        s.infeasible = true;
+        return false;
+      }
+      s.row_live[r] = false;
+      ++s.rows_removed;
+      changed = true;
+      continue;
+    }
+    if (s.rows[r].size() == 1) {
+      // Singleton row a*x in [lo, hi] -> bound tightening on x.
+      const Entry e = s.rows[r].front();
+      double lo = s.row_lo[r], hi = s.row_hi[r];
+      if (e.coeff < 0.0) std::swap(lo, hi);
+      const double new_lo =
+          lo <= -kInfinity || lo >= kInfinity ? -kInfinity : lo / e.coeff;
+      const double new_hi =
+          hi >= kInfinity || hi <= -kInfinity ? kInfinity : hi / e.coeff;
+      if (new_lo > s.lo[e.col]) {
+        s.lo[e.col] = new_lo;
+        changed = true;
+      }
+      if (new_hi < s.hi[e.col]) {
+        s.hi[e.col] = new_hi;
+        changed = true;
+      }
+      if (s.lo[e.col] > s.hi[e.col] + kFeasTol) {
+        s.infeasible = true;
+        return false;
+      }
+      s.row_live[r] = false;
+      ++s.rows_removed;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::vector<double> PresolvedLp::restore(
+    const std::vector<double>& reduced_x) const {
+  RRP_EXPECTS(reduced_x.size() == var_map.size());
+  std::vector<double> x(fixed.size(), 0.0);
+  for (std::size_t j = 0; j < fixed.size(); ++j)
+    if (fixed[j].has_value()) x[j] = *fixed[j];
+  for (std::size_t k = 0; k < var_map.size(); ++k)
+    x[var_map[k]] = reduced_x[k];
+  return x;
+}
+
+PresolvedLp presolve(const LinearProgram& lp) {
+  WorkingState s;
+  const std::size_t n = lp.num_variables();
+  s.lo.resize(n);
+  s.hi.resize(n);
+  s.obj.resize(n);
+  s.var_live.assign(n, true);
+  for (std::size_t j = 0; j < n; ++j) {
+    s.lo[j] = lp.variable(j).lo;
+    s.hi[j] = lp.variable(j).hi;
+    s.obj[j] = lp.variable(j).objective;
+  }
+  for (std::size_t r = 0; r < lp.num_rows(); ++r) {
+    s.rows.push_back(lp.row(r).entries);
+    s.row_lo.push_back(lp.row(r).lo);
+    s.row_hi.push_back(lp.row(r).hi);
+    s.row_live.push_back(true);
+  }
+
+  while (sweep(s)) {
+  }
+
+  PresolvedLp out;
+  out.fixed.assign(n, std::nullopt);
+  if (s.infeasible) {
+    out.infeasible = true;
+    return out;
+  }
+  out.objective_offset = s.offset;
+  out.rows_removed = s.rows_removed;
+
+  // Rebuild the reduced program over the surviving variables/rows.
+  std::vector<std::size_t> new_index(n, static_cast<std::size_t>(-1));
+  out.reduced.set_sense(lp.sense());
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!s.var_live[j]) {
+      out.fixed[j] = s.lo[j];
+      ++out.vars_removed;
+      continue;
+    }
+    new_index[j] = out.reduced.add_variable(s.lo[j], s.hi[j], s.obj[j],
+                                            lp.variable(j).name);
+    out.var_map.push_back(j);
+  }
+  for (std::size_t r = 0; r < s.rows.size(); ++r) {
+    if (!s.row_live[r]) continue;
+    std::vector<Entry> entries;
+    entries.reserve(s.rows[r].size());
+    for (const Entry& e : s.rows[r])
+      entries.push_back(Entry{new_index[e.col], e.coeff});
+    out.reduced.add_row(std::move(entries), s.row_lo[r], s.row_hi[r],
+                        lp.row(r).name);
+  }
+  return out;
+}
+
+Solution presolve_and_solve(const LinearProgram& lp,
+                            const SimplexOptions& options) {
+  const PresolvedLp pre = presolve(lp);
+  Solution sol;
+  if (pre.infeasible) {
+    sol.status = SolveStatus::Infeasible;
+    return sol;
+  }
+  const Solution reduced = solve(pre.reduced, options);
+  sol.status = reduced.status;
+  sol.iterations = reduced.iterations;
+  if (reduced.status != SolveStatus::Optimal) return sol;
+  sol.x = pre.restore(reduced.x);
+  sol.objective = lp.objective_value(sol.x);
+  return sol;
+}
+
+}  // namespace rrp::lp

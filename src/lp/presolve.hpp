@@ -1,0 +1,51 @@
+// LP presolve: standard reductions applied before the simplex.
+//
+//  * empty rows   — dropped (or proven infeasible);
+//  * singleton rows — converted into variable-bound tightenings;
+//  * fixed variables (lo == hi) — substituted into rows and the
+//    objective, shrinking the problem;
+// iterated to a fixpoint (a singleton row may fix a variable, whose
+// substitution creates new singletons).
+//
+// Presolve is opt-in: `presolve()` produces a reduced program plus the
+// bookkeeping needed to map a reduced solution back to the original
+// variable space.  The planners' models are already minimal, but
+// user-supplied programs (via the public rrp::lp API) often are not.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace rrp::lp {
+
+struct PresolvedLp {
+  /// The reduced program (empty when `infeasible`).
+  LinearProgram reduced;
+  /// Detected infeasibility during reduction (bounds crossed).
+  bool infeasible = false;
+  /// Per original variable: its fixed value, or nullopt if it survives
+  /// into `reduced`.
+  std::vector<std::optional<double>> fixed;
+  /// reduced variable index -> original variable index.
+  std::vector<std::size_t> var_map;
+  /// Objective contribution of the eliminated variables.
+  double objective_offset = 0.0;
+  std::size_t rows_removed = 0;
+  std::size_t vars_removed = 0;
+
+  /// Lifts a reduced-space solution vector back to original indices.
+  std::vector<double> restore(const std::vector<double>& reduced_x) const;
+};
+
+/// Applies the reductions.  The input program is not modified.
+PresolvedLp presolve(const LinearProgram& lp);
+
+/// Convenience: presolve, solve the reduction, and lift the result
+/// (objective/status refer to the ORIGINAL program).
+Solution presolve_and_solve(const LinearProgram& lp,
+                            const SimplexOptions& options = {});
+
+}  // namespace rrp::lp

@@ -1,0 +1,454 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace rrp::lp {
+
+namespace {
+
+enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, FreeAtZero };
+
+enum class PhaseResult { Optimal, Unbounded, IterationLimit };
+
+/// The working state of a bounded-variable simplex solve.  Variable
+/// layout: [0, n) structural, [n, n+m) slacks, [n+m, n+2m) artificials.
+class Worker {
+ public:
+  Worker(const LinearProgram& lp, const SimplexOptions& opt);
+
+  Solution run();
+
+ private:
+  PhaseResult run_phase(const std::vector<double>& cost,
+                        std::size_t max_iters);
+  void pivot_out_artificials();
+  void refactorize();
+  void recompute_basic_values();
+  std::vector<double> compute_duals(const std::vector<double>& cost) const;
+  double reduced_cost(std::size_t j, const std::vector<double>& cost,
+                      const std::vector<double>& y) const;
+  std::vector<double> ftran(std::size_t j) const;  ///< Binv * A_j
+  double nonbasic_value(std::size_t j) const;
+  double current_objective(const std::vector<double>& cost) const;
+
+  const LinearProgram& lp_;
+  const SimplexOptions& opt_;
+  std::size_t m_ = 0;        ///< rows
+  std::size_t n_ = 0;        ///< structural variables
+  std::size_t total_ = 0;    ///< structural + slack + artificial
+  std::size_t art_begin_ = 0;
+
+  std::vector<std::vector<Entry>> cols_;  ///< column-sparse A (rows indices)
+  std::vector<double> lb_, ub_;
+  std::vector<VarStatus> status_;
+  std::vector<double> value_;   ///< meaningful for nonbasic variables
+  std::vector<std::size_t> basis_;  ///< variable index per basis position
+  std::vector<double> xb_;          ///< basic variable values
+  Matrix binv_;
+  std::size_t pivots_since_refactor_ = 0;
+  std::size_t iterations_ = 0;
+};
+
+Worker::Worker(const LinearProgram& lp, const SimplexOptions& opt)
+    : lp_(lp), opt_(opt) {
+  m_ = lp.num_rows();
+  n_ = lp.num_variables();
+  art_begin_ = n_ + m_;
+  total_ = n_ + 2 * m_;
+
+  cols_.resize(total_);
+  lb_.assign(total_, 0.0);
+  ub_.assign(total_, kInfinity);
+  for (std::size_t j = 0; j < n_; ++j) {
+    lb_[j] = lp.variable(j).lo;
+    ub_[j] = lp.variable(j).hi;
+  }
+  for (std::size_t r = 0; r < m_; ++r) {
+    for (const Entry& e : lp.row(r).entries) {
+      cols_[e.col].push_back(Entry{r, e.coeff});
+    }
+    // Slack: a'x - s = 0, s in [row.lo, row.hi].
+    const std::size_t s = n_ + r;
+    cols_[s].push_back(Entry{r, -1.0});
+    lb_[s] = lp.row(r).lo;
+    ub_[s] = lp.row(r).hi;
+  }
+
+  // Initial nonbasic point: every structural/slack at its finite bound
+  // nearest zero (0 for free variables).
+  status_.assign(total_, VarStatus::AtLower);
+  value_.assign(total_, 0.0);
+  for (std::size_t j = 0; j < art_begin_; ++j) {
+    const bool lo_finite = lb_[j] > -kInfinity;
+    const bool hi_finite = ub_[j] < kInfinity;
+    if (lo_finite && hi_finite) {
+      if (std::fabs(lb_[j]) <= std::fabs(ub_[j])) {
+        status_[j] = VarStatus::AtLower;
+        value_[j] = lb_[j];
+      } else {
+        status_[j] = VarStatus::AtUpper;
+        value_[j] = ub_[j];
+      }
+    } else if (lo_finite) {
+      status_[j] = VarStatus::AtLower;
+      value_[j] = lb_[j];
+    } else if (hi_finite) {
+      status_[j] = VarStatus::AtUpper;
+      value_[j] = ub_[j];
+    } else {
+      status_[j] = VarStatus::FreeAtZero;
+      value_[j] = 0.0;
+    }
+  }
+
+  // Residual of Ax = 0 at the initial point determines artificial signs.
+  std::vector<double> resid(m_, 0.0);
+  for (std::size_t j = 0; j < art_begin_; ++j) {
+    if (value_[j] == 0.0) continue;
+    for (const Entry& e : cols_[j]) resid[e.col] -= e.coeff * value_[j];
+  }
+  basis_.resize(m_);
+  xb_.resize(m_);
+  binv_ = Matrix(m_, m_);
+  for (std::size_t r = 0; r < m_; ++r) {
+    const double sign = resid[r] >= 0.0 ? 1.0 : -1.0;
+    const std::size_t a = art_begin_ + r;
+    cols_[a].push_back(Entry{r, sign});
+    lb_[a] = 0.0;
+    ub_[a] = kInfinity;
+    basis_[r] = a;
+    status_[a] = VarStatus::Basic;
+    xb_[r] = std::fabs(resid[r]);
+    binv_(r, r) = sign;  // inverse of diag(sign)
+  }
+}
+
+std::vector<double> Worker::ftran(std::size_t j) const {
+  std::vector<double> w(m_, 0.0);
+  for (const Entry& e : cols_[j]) {
+    const double c = e.coeff;
+    for (std::size_t i = 0; i < m_; ++i) w[i] += c * binv_(i, e.col);
+  }
+  return w;
+}
+
+double Worker::nonbasic_value(std::size_t j) const { return value_[j]; }
+
+std::vector<double> Worker::compute_duals(
+    const std::vector<double>& cost) const {
+  // y = c_B^T * Binv.
+  std::vector<double> y(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double cb = cost[basis_[i]];
+    if (cb == 0.0) continue;
+    for (std::size_t k = 0; k < m_; ++k) y[k] += cb * binv_(i, k);
+  }
+  return y;
+}
+
+double Worker::reduced_cost(std::size_t j, const std::vector<double>& cost,
+                            const std::vector<double>& y) const {
+  double d = cost[j];
+  for (const Entry& e : cols_[j]) d -= y[e.col] * e.coeff;
+  return d;
+}
+
+void Worker::refactorize() {
+  Matrix b(m_, m_);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    for (const Entry& e : cols_[basis_[pos]]) b(e.col, pos) = e.coeff;
+  }
+  binv_ = b.inverse();
+  pivots_since_refactor_ = 0;
+  recompute_basic_values();
+}
+
+void Worker::recompute_basic_values() {
+  // x_B = Binv * (0 - sum_nonbasic A_j v_j).
+  std::vector<double> rhs(m_, 0.0);
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
+    for (const Entry& e : cols_[j]) rhs[e.col] -= e.coeff * value_[j];
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < m_; ++k) acc += binv_(i, k) * rhs[k];
+    xb_[i] = acc;
+  }
+}
+
+double Worker::current_objective(const std::vector<double>& cost) const {
+  double obj = 0.0;
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (status_[j] != VarStatus::Basic && cost[j] != 0.0)
+      obj += cost[j] * value_[j];
+  }
+  for (std::size_t i = 0; i < m_; ++i) obj += cost[basis_[i]] * xb_[i];
+  return obj;
+}
+
+PhaseResult Worker::run_phase(const std::vector<double>& cost,
+                              std::size_t max_iters) {
+  const double dtol = opt_.optimality_tol;
+  std::size_t stall = 0;
+  double last_obj = current_objective(cost);
+  bool use_bland = opt_.pricing == Pricing::Bland;
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter, ++iterations_) {
+    const std::vector<double> y = compute_duals(cost);
+
+    // --- Pricing: choose the entering variable and its direction. ---
+    std::size_t enter = total_;
+    int dir = 0;
+    double best_score = dtol;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == VarStatus::Basic) continue;
+      if (lb_[j] == ub_[j]) continue;  // fixed: can never move
+      const double d = reduced_cost(j, cost, y);
+      int cand_dir = 0;
+      double score = 0.0;
+      switch (status_[j]) {
+        case VarStatus::AtLower:
+          if (d < -dtol) { cand_dir = +1; score = -d; }
+          break;
+        case VarStatus::AtUpper:
+          if (d > dtol) { cand_dir = -1; score = d; }
+          break;
+        case VarStatus::FreeAtZero:
+          if (std::fabs(d) > dtol) {
+            cand_dir = d < 0.0 ? +1 : -1;
+            score = std::fabs(d);
+          }
+          break;
+        case VarStatus::Basic:
+          break;
+      }
+      if (cand_dir == 0) continue;
+      if (use_bland) {  // first eligible index
+        enter = j;
+        dir = cand_dir;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+        dir = cand_dir;
+      }
+    }
+    if (enter == total_) return PhaseResult::Optimal;
+
+    // --- Ratio test. ---
+    const std::vector<double> w = ftran(enter);
+    // Limit from the entering variable's own opposite bound.
+    double t_max = kInfinity;
+    int limit_kind = 0;  // 0: own bound flip, 1: basic leaves
+    std::size_t leave_pos = m_;
+    bool leave_at_upper = false;
+    if (dir > 0 && ub_[enter] < kInfinity) t_max = ub_[enter] - value_[enter];
+    if (dir < 0 && lb_[enter] > -kInfinity) t_max = value_[enter] - lb_[enter];
+
+    const double piv_tol = 1e-9;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double delta = -static_cast<double>(dir) * w[i];  // d x_B[i]/dt
+      if (std::fabs(delta) <= piv_tol) continue;
+      const std::size_t bi = basis_[i];
+      double t_i = kInfinity;
+      bool hits_upper = false;
+      if (delta < 0.0) {
+        if (lb_[bi] > -kInfinity) t_i = (xb_[i] - lb_[bi]) / (-delta);
+      } else {
+        if (ub_[bi] < kInfinity) {
+          t_i = (ub_[bi] - xb_[i]) / delta;
+          hits_upper = true;
+        }
+      }
+      if (t_i < -opt_.feasibility_tol) t_i = 0.0;  // clamp tiny negatives
+      t_i = std::max(t_i, 0.0);
+      // Prefer strictly smaller ratios; among near-ties keep the larger
+      // pivot element for numerical stability.
+      if (t_i < t_max - 1e-12 ||
+          (t_i < t_max + 1e-12 && limit_kind == 1 &&
+           std::fabs(w[i]) > std::fabs(w[leave_pos]))) {
+        t_max = t_i;
+        limit_kind = 1;
+        leave_pos = i;
+        leave_at_upper = hits_upper;
+      }
+    }
+
+    if (t_max == kInfinity) return PhaseResult::Unbounded;
+
+    // --- Apply the step. ---
+    const double step = std::max(t_max, 0.0);
+    for (std::size_t i = 0; i < m_; ++i)
+      xb_[i] -= static_cast<double>(dir) * step * w[i];
+
+    if (limit_kind == 0) {
+      // Bound flip: the entering variable moves to its other bound.
+      value_[enter] += static_cast<double>(dir) * step;
+      status_[enter] =
+          dir > 0 ? VarStatus::AtUpper : VarStatus::AtLower;
+    } else {
+      const std::size_t leave = basis_[leave_pos];
+      // Snap the leaving variable exactly onto its bound.
+      value_[leave] = leave_at_upper ? ub_[leave] : lb_[leave];
+      status_[leave] =
+          leave_at_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+      const double enter_val = value_[enter] + static_cast<double>(dir) * step;
+      basis_[leave_pos] = enter;
+      status_[enter] = VarStatus::Basic;
+      xb_[leave_pos] = enter_val;
+      // Eta update of the basis inverse.
+      const double piv = w[leave_pos];
+      if (std::fabs(piv) < piv_tol)
+        throw NumericalError("simplex: vanishing pivot element");
+      auto prow = binv_.row(leave_pos);
+      for (double& v : prow) v /= piv;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (i == leave_pos || w[i] == 0.0) continue;
+        const double f = w[i];
+        auto irow = binv_.row(i);
+        for (std::size_t k = 0; k < m_; ++k) irow[k] -= f * prow[k];
+      }
+      if (++pivots_since_refactor_ >= opt_.refactor_every) refactorize();
+    }
+
+    // --- Stall detection -> Bland fallback. ---
+    const double obj = current_objective(cost);
+    if (obj < last_obj - 1e-10 * (1.0 + std::fabs(last_obj))) {
+      stall = 0;
+      if (opt_.pricing != Pricing::Bland) use_bland = false;
+      last_obj = obj;
+    } else if (++stall >= opt_.stall_limit) {
+      use_bland = true;
+    }
+  }
+  return PhaseResult::IterationLimit;
+}
+
+void Worker::pivot_out_artificials() {
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    if (basis_[pos] < art_begin_) continue;
+    // Find a non-artificial, non-basic column with a usable pivot element
+    // in this basis row and swap it in (a degenerate pivot: the primal
+    // point is unchanged because the artificial sits at zero).
+    for (std::size_t j = 0; j < art_begin_; ++j) {
+      if (status_[j] == VarStatus::Basic) continue;
+      double wpos = 0.0;
+      for (const Entry& e : cols_[j]) wpos += binv_(pos, e.col) * e.coeff;
+      if (std::fabs(wpos) < 1e-7) continue;
+      const std::size_t art = basis_[pos];
+      status_[art] = VarStatus::AtLower;
+      value_[art] = 0.0;
+      basis_[pos] = j;
+      status_[j] = VarStatus::Basic;
+      refactorize();
+      break;
+    }
+  }
+  // Whatever artificials remain basic correspond to redundant rows; pin
+  // every artificial to zero so phase 2 cannot move them.
+  for (std::size_t r = 0; r < m_; ++r) {
+    ub_[art_begin_ + r] = 0.0;
+  }
+  recompute_basic_values();
+}
+
+Solution Worker::run() {
+  Solution sol;
+
+  // Phase 1: minimise the artificial mass.
+  std::vector<double> phase1_cost(total_, 0.0);
+  for (std::size_t r = 0; r < m_; ++r) phase1_cost[art_begin_ + r] = 1.0;
+  PhaseResult p1 = run_phase(phase1_cost, opt_.max_iterations);
+  if (p1 == PhaseResult::IterationLimit) {
+    sol.status = SolveStatus::IterationLimit;
+    sol.iterations = iterations_;
+    return sol;
+  }
+  refactorize();
+  const double infeasibility = current_objective(phase1_cost);
+  if (infeasibility > 1e-6) {
+    sol.status = SolveStatus::Infeasible;
+    sol.iterations = iterations_;
+    return sol;
+  }
+  pivot_out_artificials();
+
+  // Phase 2: the model objective (negated internally for Maximize).
+  const double sense = lp_.sense() == Sense::Maximize ? -1.0 : 1.0;
+  std::vector<double> cost(total_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j)
+    cost[j] = sense * lp_.variable(j).objective;
+  PhaseResult p2 = run_phase(cost, opt_.max_iterations);
+  if (p2 == PhaseResult::IterationLimit) {
+    sol.status = SolveStatus::IterationLimit;
+    sol.iterations = iterations_;
+    return sol;
+  }
+  if (p2 == PhaseResult::Unbounded) {
+    sol.status = SolveStatus::Unbounded;
+    sol.iterations = iterations_;
+    return sol;
+  }
+
+  refactorize();
+  sol.status = SolveStatus::Optimal;
+  sol.iterations = iterations_;
+  sol.x.assign(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j)
+    if (status_[j] != VarStatus::Basic) sol.x[j] = value_[j];
+  for (std::size_t i = 0; i < m_; ++i)
+    if (basis_[i] < n_) sol.x[basis_[i]] = xb_[i];
+  sol.objective = lp_.objective_value(sol.x);
+  const std::vector<double> y = compute_duals(cost);
+  sol.duals = y;
+  sol.reduced_costs.assign(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j)
+    sol.reduced_costs[j] = reduced_cost(j, cost, y);
+  return sol;
+}
+
+}  // namespace
+
+Solution solve(const LinearProgram& lp, const SimplexOptions& options) {
+  if (lp.num_rows() == 0) {
+    // Pure bound problem: each variable sits at its cheapest finite bound.
+    Solution sol;
+    sol.status = SolveStatus::Optimal;
+    sol.x.assign(lp.num_variables(), 0.0);
+    const double sense = lp.sense() == Sense::Maximize ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < lp.num_variables(); ++j) {
+      const Variable& v = lp.variable(j);
+      const double c = sense * v.objective;
+      if (c > 0.0) {
+        if (v.lo == -kInfinity) {
+          sol.status = SolveStatus::Unbounded;
+          return sol;
+        }
+        sol.x[j] = v.lo;
+      } else if (c < 0.0) {
+        if (v.hi == kInfinity) {
+          sol.status = SolveStatus::Unbounded;
+          return sol;
+        }
+        sol.x[j] = v.hi;
+      } else {
+        sol.x[j] = std::clamp(0.0, v.lo, v.hi);
+      }
+    }
+    sol.objective = lp.objective_value(sol.x);
+    sol.reduced_costs.assign(lp.num_variables(), 0.0);
+    for (std::size_t j = 0; j < lp.num_variables(); ++j)
+      sol.reduced_costs[j] = sense * lp.variable(j).objective;
+    return sol;
+  }
+  Worker worker(lp, options);
+  return worker.run();
+}
+
+}  // namespace rrp::lp

@@ -1,0 +1,42 @@
+// Bounded-variable revised primal simplex.
+//
+// Internals: every ranged row `lo <= a'x <= hi` gets a slack variable
+// bounded by [lo, hi] so the system becomes Ax = 0 with box-constrained
+// variables; feasibility is established by a phase-1 minimisation of
+// artificial variables, after which the original objective is optimised
+// (phase 2).  The basis inverse is kept explicitly and refactorised
+// periodically; Dantzig pricing switches to Bland's rule during stalls
+// to guarantee finiteness under degeneracy.
+//
+// This is the LP engine under rrp::milp's branch & bound, which in turn
+// solves the paper's DRRP and SRRP mixed-integer programs.
+#pragma once
+
+#include <cstddef>
+
+#include "lp/model.hpp"
+
+namespace rrp::lp {
+
+enum class Pricing {
+  Dantzig,  ///< most negative reduced cost (default)
+  Bland,    ///< least index; slow but never cycles
+};
+
+struct SimplexOptions {
+  Pricing pricing = Pricing::Dantzig;
+  std::size_t max_iterations = 50000;
+  /// Rebuild the basis inverse from scratch every this many pivots.
+  std::size_t refactor_every = 64;
+  /// Consecutive non-improving pivots before falling back to Bland.
+  std::size_t stall_limit = 200;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+};
+
+/// Solves the LP.  Never throws on infeasible/unbounded inputs (that is
+/// reported through Solution::status); throws rrp::NumericalError only
+/// if the basis algebra degenerates beyond repair.
+Solution solve(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace rrp::lp

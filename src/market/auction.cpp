@@ -1,0 +1,77 @@
+#include "market/auction.hpp"
+
+#include "common/error.hpp"
+
+namespace rrp::market {
+
+AuctionOutcome settle(double bid, double spot_price,
+                      double on_demand_price) {
+  RRP_EXPECTS(bid >= 0.0);
+  RRP_EXPECTS(spot_price > 0.0);
+  RRP_EXPECTS(on_demand_price > 0.0);
+  AuctionOutcome out;
+  out.won = bid >= spot_price;
+  out.price_paid = out.won ? spot_price : on_demand_price;
+  return out;
+}
+
+std::vector<AuctionOutcome> settle_horizon(std::span<const double> bids,
+                                           std::span<const double> spot,
+                                           double on_demand_price) {
+  RRP_EXPECTS(bids.size() == spot.size());
+  std::vector<AuctionOutcome> out;
+  out.reserve(bids.size());
+  for (std::size_t t = 0; t < bids.size(); ++t)
+    out.push_back(settle(bids[t], spot[t], on_demand_price));
+  return out;
+}
+
+AvailabilityReport analyze_availability(std::span<const double> hourly,
+                                        double bid) {
+  RRP_EXPECTS(!hourly.empty());
+  RRP_EXPECTS(bid > 0.0);
+  AvailabilityReport r;
+  std::size_t up_slots = 0;
+  std::size_t up_runs = 0, down_runs = 0;
+  double paid = 0.0;
+  bool prev_up = false;
+  for (std::size_t t = 0; t < hourly.size(); ++t) {
+    RRP_EXPECTS(hourly[t] > 0.0);
+    const bool up = bid >= hourly[t];
+    if (up) {
+      ++up_slots;
+      paid += hourly[t];
+      if (!prev_up) ++up_runs;
+    } else {
+      if (prev_up && t > 0) ++r.interruptions;
+      if (prev_up || t == 0) ++down_runs;
+    }
+    prev_up = up;
+  }
+  const double n = static_cast<double>(hourly.size());
+  r.uptime_fraction = static_cast<double>(up_slots) / n;
+  r.mean_uptime_run =
+      up_runs == 0 ? 0.0
+                   : static_cast<double>(up_slots) /
+                         static_cast<double>(up_runs);
+  const std::size_t down_slots = hourly.size() - up_slots;
+  r.mean_downtime_run =
+      down_runs == 0 ? 0.0
+                     : static_cast<double>(down_slots) /
+                           static_cast<double>(down_runs);
+  r.mean_price_paid = up_slots == 0 ? 0.0
+                                    : paid / static_cast<double>(up_slots);
+  return r;
+}
+
+AuctionStats summarize(std::span<const AuctionOutcome> outcomes) {
+  AuctionStats s;
+  s.slots = outcomes.size();
+  for (const AuctionOutcome& o : outcomes) {
+    if (!o.won) ++s.out_of_bid_events;
+    s.total_paid += o.price_paid;
+  }
+  return s;
+}
+
+}  // namespace rrp::market

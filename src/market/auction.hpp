@@ -1,0 +1,62 @@
+// Spot auction semantics (paper Section IV assumptions):
+//
+//  * uniform-price auction — a winner pays the spot price (the lowest
+//    winning bid), not their own bid;
+//  * an out-of-bid event occurs when the bid is below the spot price;
+//    the ASP must then rent the instance from the on-demand market at
+//    lambda_i to meet demand.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "market/instance_types.hpp"
+
+namespace rrp::market {
+
+struct AuctionOutcome {
+  bool won = false;          ///< bid >= spot price
+  double price_paid = 0.0;   ///< spot if won, on-demand lambda otherwise
+};
+
+/// Settles one slot's acquisition attempt.
+AuctionOutcome settle(double bid, double spot_price, double on_demand_price);
+
+/// Settles a whole horizon of bids against realised spot prices.
+std::vector<AuctionOutcome> settle_horizon(std::span<const double> bids,
+                                           std::span<const double> spot,
+                                           double on_demand_price);
+
+/// Summary statistics of a settled horizon.
+struct AuctionStats {
+  std::size_t slots = 0;
+  std::size_t out_of_bid_events = 0;
+  double total_paid = 0.0;
+  double out_of_bid_rate() const {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(out_of_bid_events) /
+                            static_cast<double>(slots);
+  }
+};
+
+AuctionStats summarize(std::span<const AuctionOutcome> outcomes);
+
+/// Availability of a persistent bid against an hourly price series —
+/// the concern the paper raises in Section II/IV ("The biggest concern
+/// for utilizing spot instances is that it is hard to guarantee
+/// resource availability", cf. refs [19][20]): a spot instance is held
+/// only while bid >= spot.
+struct AvailabilityReport {
+  double uptime_fraction = 0.0;     ///< share of slots the bid holds
+  std::size_t interruptions = 0;    ///< up -> down transitions
+  double mean_uptime_run = 0.0;     ///< average up-run length, slots
+  double mean_downtime_run = 0.0;   ///< average down-run length, slots
+  double mean_price_paid = 0.0;     ///< average spot price over up slots
+};
+
+/// Analyses a constant bid against realised hourly prices.
+AvailabilityReport analyze_availability(std::span<const double> hourly,
+                                        double bid);
+
+}  // namespace rrp::market

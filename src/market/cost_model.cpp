@@ -1,0 +1,32 @@
+#include "market/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace rrp::market {
+
+CostModel::CostModel(Parameters params) : p_(params) {
+  RRP_EXPECTS(p_.storage_per_gb_slot >= 0.0);
+  RRP_EXPECTS(p_.io_per_gb_slot >= 0.0);
+  RRP_EXPECTS(p_.transfer_in_per_gb >= 0.0);
+  RRP_EXPECTS(p_.transfer_out_per_gb >= 0.0);
+  RRP_EXPECTS(p_.input_output_ratio >= 0.0);
+}
+
+CostModel CostModel::paper_defaults() {
+  Parameters p;
+  p.storage_per_gb_slot = 0.1 / 730.0;  // $0.1 per GB-month, hourly slots
+  p.io_per_gb_slot = 0.2;               // normalised Montage I/O cost
+  p.transfer_in_per_gb = 0.1;
+  p.transfer_out_per_gb = 0.17;
+  p.input_output_ratio = 0.5;           // Phi_i for all classes
+  return CostModel(p);
+}
+
+CostModel CostModel::with_io_scaled(double factor) const {
+  RRP_EXPECTS(factor >= 0.0);
+  Parameters p = p_;
+  p.io_per_gb_slot *= factor;
+  return CostModel(p);
+}
+
+}  // namespace rrp::market

@@ -1,0 +1,74 @@
+// The per-instance rental cost model of paper Section III (Figure 2 /
+// objective (1)) with the Section V-A parameter values:
+//
+//   * compute rental  Cp(i,t)   — per class-i instance per slot;
+//   * storage         Cs(t)     — per data unit per slot ($0.1/GB-month
+//                                  via EBS);
+//   * I/O             Cio(t)    — per data unit per slot, normalised to
+//                                  $0.2/GB from the Montage 3-year cost
+//                                  study (Berriman et al.);
+//   * transfer in/out C+f, C-f  — $0.1 / $0.17 per GB;
+//   * input-output ratio Phi_i = 0.5 for all classes.
+//
+// Time-varying hooks are provided (every accessor takes the slot) even
+// though the paper's evaluation holds the non-compute parameters fixed.
+#pragma once
+
+#include <cstddef>
+
+#include "market/instance_types.hpp"
+
+namespace rrp::market {
+
+class CostModel {
+ public:
+  struct Parameters {
+    double storage_per_gb_slot;    ///< Cs
+    double io_per_gb_slot;         ///< Cio
+    double transfer_in_per_gb;     ///< C+f
+    double transfer_out_per_gb;    ///< C-f
+    double input_output_ratio;     ///< Phi (input GB fetched per output GB)
+  };
+
+  explicit CostModel(Parameters params);
+
+  /// The paper's Section V-A values.  Slots are hours: EBS storage at
+  /// $0.1 per GB-month is ~0.000137 per GB-hour.
+  static CostModel paper_defaults();
+
+  double storage(std::size_t /*slot*/) const { return p_.storage_per_gb_slot; }
+  double io(std::size_t /*slot*/) const { return p_.io_per_gb_slot; }
+  double transfer_in(std::size_t /*slot*/) const {
+    return p_.transfer_in_per_gb;
+  }
+  double transfer_out(std::size_t /*slot*/) const {
+    return p_.transfer_out_per_gb;
+  }
+  double input_output_ratio() const { return p_.input_output_ratio; }
+
+  /// Cs + Cio: the per-slot unit cost of holding generated data, the
+  /// inventory term multiplying beta in objective (1).
+  double holding(std::size_t slot) const { return storage(slot) + io(slot); }
+
+  /// Cost of generating `alpha` data units in `slot` excluding compute:
+  /// the transfer-in of the required input data.
+  double generation_cost(double alpha, std::size_t slot) const {
+    return transfer_in(slot) * p_.input_output_ratio * alpha;
+  }
+
+  /// Cost of delivering `demand` data units to customers in `slot`.
+  double delivery_cost(double demand, std::size_t slot) const {
+    return transfer_out(slot) * demand;
+  }
+
+  const Parameters& parameters() const { return p_; }
+
+  /// Returns a copy with the I/O price scaled by `factor` (sensitivity
+  /// analysis of Figure 11).
+  CostModel with_io_scaled(double factor) const;
+
+ private:
+  Parameters p_;
+};
+
+}  // namespace rrp::market

@@ -1,0 +1,53 @@
+#include "market/instance_types.hpp"
+
+#include <array>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rrp::market {
+
+namespace {
+
+// On-demand prices follow the paper's Section V-A ({0.2, 0.4, 0.8} for
+// the three evaluation classes); c1.xlarge is extrapolated on the same
+// scale (8x c1.medium, matching EC2's 2011 relative pricing).  Spot
+// process parameters are calibrated so the generated traces reproduce
+// the Figure 3 pattern: bigger classes fluctuate more and show more
+// outliers, while outliers stay under ~3% of updates.
+// The body volatility is kept small relative to the spike layer so the
+// marginal distribution is right-skewed, as the real market's was: most
+// updates sit in a tight band near the floor and the mean is dragged
+// above the median by rare upward excursions.  (This is also what makes
+// "bid the historical mean" win most auctions in Figure 12(a).)
+constexpr std::array<VmClassInfo, 4> kClasses = {{
+    {VmClass::C1Medium, "c1.medium", 0.2, 0.30, 0.015, 0.010},
+    {VmClass::M1Large, "m1.large", 0.4, 0.31, 0.016, 0.015},
+    {VmClass::M1Xlarge, "m1.xlarge", 0.8, 0.32, 0.018, 0.020},
+    {VmClass::C1Xlarge, "c1.xlarge", 1.6, 0.32, 0.020, 0.024},
+}};
+
+constexpr std::array<VmClass, 3> kEvaluationClasses = {
+    VmClass::C1Medium, VmClass::M1Large, VmClass::M1Xlarge};
+
+}  // namespace
+
+std::span<const VmClassInfo> all_classes() { return kClasses; }
+
+std::span<const VmClass> evaluation_classes() { return kEvaluationClasses; }
+
+const VmClassInfo& info(VmClass vm) {
+  for (const VmClassInfo& c : kClasses) {
+    if (c.id == vm) return c;
+  }
+  throw InvalidArgument("unknown VM class");
+}
+
+VmClass from_name(std::string_view name) {
+  for (const VmClassInfo& c : kClasses) {
+    if (c.name == name) return c.id;
+  }
+  throw InvalidArgument("unknown VM class name: " + std::string(name));
+}
+
+}  // namespace rrp::market

@@ -1,0 +1,51 @@
+// VM classes and on-demand pricing.
+//
+// The paper evaluates on Amazon EC2 linux instances in us-east-1.  Its
+// planning experiments (Section V-A) use I = {c1.medium, m1.large,
+// m1.xlarge} with hourly on-demand rental costs {$0.2, $0.4, $0.8}; the
+// predictability study (Figure 3) additionally covers c1.xlarge.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace rrp::market {
+
+enum class VmClass {
+  C1Medium,
+  M1Large,
+  M1Xlarge,
+  C1Xlarge,
+};
+
+struct VmClassInfo {
+  VmClass id;
+  std::string_view name;           ///< EC2-style name, e.g. "c1.medium"
+  double on_demand_hourly;         ///< lambda_i: on-demand price per hour
+  /// Long-run mean of the spot price as a fraction of on-demand (spot
+  /// instances historically cleared well below on-demand; ~60%+ savings
+  /// per the paper's reference [23]).
+  double spot_mean_ratio;
+  /// Relative volatility of the spot process; larger classes showed
+  /// more price dynamics / outliers in Figure 3.
+  double spot_volatility;
+  /// Per-update probability of an outlier spike, also growing with
+  /// class size in Figure 3 (but < 3% overall).
+  double spike_probability;
+};
+
+/// All four classes of the predictability study, in Figure 3's order
+/// semantics (by increasing capability: c1.medium < m1.large <
+/// m1.xlarge < c1.xlarge in rental price).
+std::span<const VmClassInfo> all_classes();
+
+/// The three classes of the planning evaluation (Section V-A).
+std::span<const VmClass> evaluation_classes();
+
+const VmClassInfo& info(VmClass vm);
+
+/// Lookup by EC2-style name ("c1.medium"); throws InvalidArgument for
+/// unknown names.
+VmClass from_name(std::string_view name);
+
+}  // namespace rrp::market

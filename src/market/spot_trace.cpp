@@ -1,0 +1,78 @@
+#include "market/spot_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace rrp::market {
+
+SpotTrace::SpotTrace(VmClass vm, std::vector<ts::Tick> ticks)
+    : vm_(vm), ticks_(std::move(ticks)) {
+  RRP_EXPECTS(!ticks_.empty());
+  RRP_EXPECTS(std::is_sorted(ticks_.begin(), ticks_.end(),
+                             [](const ts::Tick& a, const ts::Tick& b) {
+                               return a.time_hours < b.time_hours;
+                             }));
+  for (const ts::Tick& t : ticks_) RRP_EXPECTS(t.value > 0.0);
+}
+
+double SpotTrace::duration_hours() const {
+  return ticks_.back().time_hours - ticks_.front().time_hours;
+}
+
+std::vector<double> SpotTrace::prices() const {
+  std::vector<double> out;
+  out.reserve(ticks_.size());
+  for (const ts::Tick& t : ticks_) out.push_back(t.value);
+  return out;
+}
+
+std::vector<double> SpotTrace::hourly(long first_hour, long last_hour) const {
+  return ts::hourly_locf(ticks_, first_hour, last_hour);
+}
+
+std::vector<double> SpotTrace::hourly() const {
+  const long last =
+      static_cast<long>(std::ceil(ticks_.back().time_hours)) + 1;
+  return hourly(static_cast<long>(std::floor(ticks_.front().time_hours)),
+                last);
+}
+
+std::vector<std::size_t> SpotTrace::daily_update_counts() const {
+  return ts::daily_update_counts(ticks_);
+}
+
+SpotTrace SpotTrace::load_csv(const std::string& path, VmClass vm) {
+  const auto doc = csv::read_file(path, /*has_header=*/false);
+  std::vector<ts::Tick> ticks;
+  ticks.reserve(doc.rows.size());
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const auto& row = doc.rows[i];
+    if (row.size() < 2) throw Error("spot trace CSV: short row in " + path);
+    try {
+      ticks.push_back(ts::Tick{std::stod(row[0]), std::stod(row[1])});
+    } catch (const std::exception&) {
+      if (i == 0) continue;  // tolerate a header line
+      throw Error("spot trace CSV: bad numeric field in " + path);
+    }
+  }
+  std::sort(ticks.begin(), ticks.end(),
+            [](const ts::Tick& a, const ts::Tick& b) {
+              return a.time_hours < b.time_hours;
+            });
+  return SpotTrace(vm, std::move(ticks));
+}
+
+void SpotTrace::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("spot trace CSV: cannot write " + path);
+  out << "time_hours,price\n";
+  out.precision(10);
+  for (const ts::Tick& t : ticks_) out << t.time_hours << ',' << t.value
+                                       << '\n';
+}
+
+}  // namespace rrp::market

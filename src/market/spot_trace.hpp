@@ -1,0 +1,47 @@
+// Spot-price trace container: the irregular update stream published by
+// the provider (the cloudexchange.org format the paper collected), plus
+// conversions to the hourly decision-point series used everywhere else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "market/instance_types.hpp"
+#include "timeseries/regularize.hpp"
+
+namespace rrp::market {
+
+class SpotTrace {
+ public:
+  SpotTrace(VmClass vm, std::vector<ts::Tick> ticks);
+
+  VmClass vm_class() const { return vm_; }
+  const std::vector<ts::Tick>& ticks() const { return ticks_; }
+  double duration_hours() const;
+
+  /// All update prices, one per tick (the raw sample Figure 3/5 uses).
+  std::vector<double> prices() const;
+
+  /// Hourly last-observation-carried-forward series over hour indices
+  /// [first_hour, last_hour) (paper Section IV-A2 regularisation).
+  std::vector<double> hourly(long first_hour, long last_hour) const;
+
+  /// Whole-trace hourly series starting at hour 0.
+  std::vector<double> hourly() const;
+
+  /// Updates per day (Figure 4).
+  std::vector<std::size_t> daily_update_counts() const;
+
+  /// Loads "time_hours,price" CSV rows (header optional, detected by a
+  /// non-numeric first field).  Ticks are sorted by time.
+  static SpotTrace load_csv(const std::string& path, VmClass vm);
+
+  /// Writes "time_hours,price" rows with a header.
+  void save_csv(const std::string& path) const;
+
+ private:
+  VmClass vm_;
+  std::vector<ts::Tick> ticks_;
+};
+
+}  // namespace rrp::market

@@ -1,0 +1,97 @@
+#include "market/trace_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rrp::market {
+
+TraceGeneratorConfig default_config(VmClass vm) {
+  const VmClassInfo& c = info(vm);
+  TraceGeneratorConfig cfg;
+  cfg.base_price = c.on_demand_hourly * c.spot_mean_ratio;
+  cfg.volatility = c.spot_volatility;
+  cfg.spike_probability = c.spike_probability;
+  // Spikes may exceed on-demand: cap the factor so a spike lands in
+  // (1.5x base, ~1.3x on-demand].
+  cfg.spike_max_factor = 1.3 / c.spot_mean_ratio;
+  return cfg;
+}
+
+SpotTrace generate_trace(VmClass vm, const TraceGeneratorConfig& cfg,
+                         Rng& rng) {
+  RRP_EXPECTS(cfg.days > 0.0);
+  RRP_EXPECTS(cfg.base_price > 0.0);
+  RRP_EXPECTS(cfg.mean_updates_per_day > 0.0);
+  RRP_EXPECTS(cfg.spike_min_factor >= 1.0);
+  RRP_EXPECTS(cfg.spike_max_factor >= cfg.spike_min_factor);
+  RRP_EXPECTS(cfg.quantum > 0.0);
+
+  const auto n_days = static_cast<std::size_t>(std::ceil(cfg.days));
+  std::vector<ts::Tick> ticks;
+  ticks.reserve(n_days *
+                static_cast<std::size_t>(cfg.mean_updates_per_day + 1));
+
+  double log_dev = 0.0;  // OU deviation from the (cyclic) level, log scale
+  double rate = cfg.mean_updates_per_day;
+  double last_time = -1.0;
+
+  // Seed tick at t = 0 so hourly regularisation always has a value.
+  auto level_at = [&cfg](double hours) {
+    const double cycle =
+        cfg.daily_amplitude *
+        std::sin(2.0 * M_PI * std::fmod(hours, 24.0) / 24.0);
+    return cfg.base_price * (1.0 + cycle);
+  };
+  auto emit = [&](double hours) {
+    double price = level_at(hours) * std::exp(log_dev);
+    if (rng.uniform() < cfg.spike_probability) {
+      price *= rng.uniform(cfg.spike_min_factor, cfg.spike_max_factor);
+    }
+    price = std::max(price, cfg.floor_factor * cfg.base_price);
+    price = std::round(price / cfg.quantum) * cfg.quantum;
+    // Strictly increasing timestamps keep downstream invariants simple.
+    if (hours <= last_time) hours = last_time + 1e-4;
+    last_time = hours;
+    ticks.push_back(ts::Tick{hours, price});
+  };
+
+  emit(0.0);
+  for (std::size_t day = 0; day < n_days; ++day) {
+    // Slowly drifting daily update intensity (Figure 4's variation).
+    rate = cfg.update_rate_persistence * rate +
+           (1.0 - cfg.update_rate_persistence) * cfg.mean_updates_per_day +
+           rng.normal(0.0, cfg.update_rate_noise);
+    rate = std::clamp(rate, 1.0, 4.0 * cfg.mean_updates_per_day);
+    const auto updates = static_cast<std::size_t>(
+        std::max<std::int64_t>(rng.poisson(rate), 1));
+
+    // Update instants uniform within the day, in order.
+    std::vector<double> times(updates);
+    for (auto& t : times)
+      t = (static_cast<double>(day) + rng.uniform()) * 24.0;
+    std::sort(times.begin(), times.end());
+
+    double prev_time = static_cast<double>(day) * 24.0;
+    for (double t : times) {
+      // OU step sized by the elapsed time between updates.
+      const double dt = std::max(t - prev_time, 1e-3);
+      const double decay = std::exp(-cfg.reversion_per_hour * dt);
+      log_dev = decay * log_dev +
+                cfg.volatility * std::sqrt(1.0 - decay * decay) /
+                    std::sqrt(2.0 * cfg.reversion_per_hour) *
+                    rng.normal();
+      prev_time = t;
+      emit(t);
+    }
+  }
+  return SpotTrace(vm, std::move(ticks));
+}
+
+SpotTrace generate_trace(VmClass vm, std::uint64_t seed) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(vm) << 32));
+  return generate_trace(vm, default_config(vm), rng);
+}
+
+}  // namespace rrp::market

@@ -1,0 +1,55 @@
+// Synthetic spot-price trace generator.
+//
+// SUBSTITUTION (see DESIGN.md): the paper analyses a cloudexchange.org
+// dump of Amazon EC2 spot prices (Feb 2010 - Jun 2011, us-east-1,
+// linux), which is not redistributable here.  The planner and the
+// predictability study only interact with that data through three
+// statistics, which this generator reproduces:
+//
+//  1. the marginal price distribution — tightly clustered around a
+//     level well below on-demand, non-normal, with rare high outliers
+//     (< 3% of updates), more pronounced for larger classes (Fig. 3/5);
+//  2. weak autocorrelation with a mild daily cycle and no trend
+//     (Fig. 6/7), which caps achievable forecast accuracy (Fig. 8);
+//  3. irregular update times whose daily frequency itself drifts
+//     (Fig. 4).
+//
+// Mechanism: an Ornstein-Uhlenbeck process on log-price around a level
+// with a small daily sinusoid, sampled at Poisson-arriving update times
+// whose daily rate follows a slow AR(1), plus occasional multiplicative
+// spikes that can exceed the on-demand price (out-of-bid risk).
+#pragma once
+
+#include "common/rng.hpp"
+#include "market/spot_trace.hpp"
+
+namespace rrp::market {
+
+struct TraceGeneratorConfig {
+  double days = 507;              ///< paper window: 2/1/2010 - 6/22/2011
+  double base_price = 0.06;      ///< long-run mean spot price
+  double reversion_per_hour = 0.08;  ///< OU pull toward the level
+  double volatility = 0.012;     ///< OU innovation sd (log scale, per step)
+  double daily_amplitude = 0.01; ///< relative amplitude of the 24h cycle
+  double mean_updates_per_day = 12.0;
+  double update_rate_persistence = 0.97;  ///< AR(1) on the daily rate
+  double update_rate_noise = 1.5;
+  double spike_probability = 0.02;  ///< per update
+  double spike_min_factor = 1.4;
+  double spike_max_factor = 4.0;
+  double floor_factor = 0.55;    ///< price floor relative to base
+  double quantum = 0.001;        ///< prices quantised like EC2 ($0.001)
+};
+
+/// Default configuration for a VM class: level = on-demand price times
+/// the class's spot_mean_ratio, volatility/spikes from the class info.
+TraceGeneratorConfig default_config(VmClass vm);
+
+/// Generates a trace; consumes randomness from `rng` deterministically.
+SpotTrace generate_trace(VmClass vm, const TraceGeneratorConfig& config,
+                         Rng& rng);
+
+/// Convenience: default configuration + a stream derived from `seed`.
+SpotTrace generate_trace(VmClass vm, std::uint64_t seed);
+
+}  // namespace rrp::market

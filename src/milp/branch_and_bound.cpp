@@ -1,0 +1,350 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace rrp::milp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  // Bound overrides for the integer variables only, indexed by the
+  // position of the variable in the integer-variable list.
+  std::vector<double> lo;
+  std::vector<double> hi;
+  double bound = -kInf;  ///< parent relaxation value (internal min sense)
+  std::size_t depth = 0;
+};
+
+struct NodeBoundGreater {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.bound > b.bound;
+  }
+};
+
+/// Simple pseudocost store: average objective degradation per unit of
+/// fractionality, per integer variable and branching direction.
+struct Pseudocosts {
+  std::vector<double> down_sum, up_sum;
+  std::vector<std::size_t> down_n, up_n;
+
+  explicit Pseudocosts(std::size_t n)
+      : down_sum(n, 0.0), up_sum(n, 0.0), down_n(n, 0), up_n(n, 0) {}
+
+  void record(std::size_t idx, bool up, double frac, double degradation) {
+    if (frac <= 1e-9) return;
+    const double unit = degradation / (up ? (1.0 - frac) : frac);
+    if (up) {
+      up_sum[idx] += std::max(unit, 0.0);
+      ++up_n[idx];
+    } else {
+      down_sum[idx] += std::max(unit, 0.0);
+      ++down_n[idx];
+    }
+  }
+
+  double score(std::size_t idx, double frac) const {
+    if (down_n[idx] == 0 || up_n[idx] == 0) return -1.0;  // uninitialised
+    const double down = down_sum[idx] / static_cast<double>(down_n[idx]);
+    const double up = up_sum[idx] / static_cast<double>(up_n[idx]);
+    // Product rule (standard in MIP solvers): rewards balanced impact.
+    return std::max(down * frac, 1e-12) * std::max(up * (1.0 - frac), 1e-12);
+  }
+};
+
+class Solver {
+ public:
+  Solver(const Model& model, const BnbOptions& opt)
+      : model_(model),
+        opt_(opt),
+        relaxation_(model.to_lp()),
+        sense_mult_(model.objective_sense() == Objective::Minimize ? 1.0
+                                                                   : -1.0),
+        pseudo_(model.num_variables()) {
+    for (std::size_t j = 0; j < model.num_variables(); ++j)
+      if (model.is_integral(j)) int_vars_.push_back(j);
+  }
+
+  MipResult run();
+
+ private:
+  /// Applies node bounds and solves the relaxation.
+  lp::Solution solve_relaxation(const Node& node);
+
+  /// Returns the index (into int_vars_) of the branching variable, or
+  /// int_vars_.size() when the point is integral.
+  std::size_t pick_branch_var(const std::vector<double>& x) const;
+
+  void try_rounding_heuristic(const Node& node, const std::vector<double>& x);
+
+  void offer_incumbent(const std::vector<double>& x, double internal_obj);
+
+  const Model& model_;
+  const BnbOptions& opt_;
+  lp::LinearProgram relaxation_;
+  double sense_mult_;
+  std::vector<std::size_t> int_vars_;
+  Pseudocosts pseudo_;
+
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = kInf;  ///< internal (minimisation) space
+  std::vector<double> incumbent_x_;
+  std::size_t nodes_ = 0;
+  std::size_t lp_iterations_ = 0;
+};
+
+lp::Solution Solver::solve_relaxation(const Node& node) {
+  for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+    relaxation_.set_variable_bounds(int_vars_[k], node.lo[k], node.hi[k]);
+  }
+  lp::Solution sol = lp::solve(relaxation_, opt_.lp);
+  lp_iterations_ += sol.iterations;
+  return sol;
+}
+
+std::size_t Solver::pick_branch_var(const std::vector<double>& x) const {
+  std::size_t best = int_vars_.size();
+  double best_score = -kInf;
+  for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+    const double v = x[int_vars_[k]];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= opt_.integrality_tol) continue;
+    double score = 0.0;
+    switch (opt_.branching) {
+      case Branching::FirstFractional:
+        return k;
+      case Branching::MostFractional:
+        score = dist;
+        break;
+      case Branching::PseudoCost: {
+        score = pseudo_.score(int_vars_[k], frac);
+        if (score < 0.0) score = dist * 1e-6;  // fall back until initialised
+        break;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = k;
+    }
+  }
+  return best;
+}
+
+void Solver::offer_incumbent(const std::vector<double>& x,
+                             double internal_obj) {
+  if (!have_incumbent_ || internal_obj < incumbent_obj_) {
+    have_incumbent_ = true;
+    incumbent_obj_ = internal_obj;
+    incumbent_x_ = x;
+    // Snap integer variables exactly.
+    for (std::size_t j : int_vars_)
+      incumbent_x_[j] = std::round(incumbent_x_[j]);
+  }
+}
+
+void Solver::try_rounding_heuristic(const Node& node,
+                                    const std::vector<double>& x) {
+  // Fix every integer variable to the nearest integer inside the node
+  // bounds, then re-solve the LP for the continuous variables.
+  Node fixed = node;
+  for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+    double v = std::round(x[int_vars_[k]]);
+    v = std::clamp(v, node.lo[k], node.hi[k]);
+    fixed.lo[k] = v;
+    fixed.hi[k] = v;
+  }
+  lp::Solution sol = solve_relaxation(fixed);
+  if (sol.status == lp::SolveStatus::Optimal) {
+    offer_incumbent(sol.x, sense_mult_ * model_.objective_value(sol.x));
+  }
+}
+
+MipResult Solver::run() {
+  MipResult result;
+
+  Node root;
+  root.lo.resize(int_vars_.size());
+  root.hi.resize(int_vars_.size());
+  for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+    root.lo[k] = model_.variable(int_vars_[k]).lo;
+    root.hi[k] = model_.variable(int_vars_[k]).hi;
+  }
+
+  // Two interchangeable frontiers: a heap for best-bound, a stack for DFS.
+  std::priority_queue<Node, std::vector<Node>, NodeBoundGreater> heap;
+  std::deque<Node> stack;
+  auto push = [&](Node&& n) {
+    if (opt_.node_selection == NodeSelection::BestBound)
+      heap.push(std::move(n));
+    else
+      stack.push_back(std::move(n));
+  };
+  auto empty = [&] { return heap.empty() && stack.empty(); };
+  auto pop = [&] {
+    if (opt_.node_selection == NodeSelection::BestBound) {
+      Node n = heap.top();
+      heap.pop();
+      return n;
+    }
+    Node n = std::move(stack.back());
+    stack.pop_back();
+    return n;
+  };
+  auto frontier_best_bound = [&] {
+    if (opt_.node_selection == NodeSelection::BestBound)
+      return heap.empty() ? kInf : heap.top().bound;
+    double best = kInf;
+    for (const Node& n : stack) best = std::min(best, n.bound);
+    return best;
+  };
+
+  push(std::move(root));
+  double explored_bound_floor = -kInf;  // max lower bound among processed
+
+  while (!empty()) {
+    if (nodes_ >= opt_.max_nodes) {
+      result.status =
+          have_incumbent_ ? MipStatus::NodeLimit : MipStatus::NoIncumbent;
+      break;
+    }
+    Node node = pop();
+    ++nodes_;
+
+    // Bound-based pruning against the incumbent, honouring both gap
+    // tolerances: a node whose bound cannot improve the incumbent by
+    // more than the configured gap is not worth expanding.
+    const double prune_margin =
+        have_incumbent_
+            ? std::max(opt_.absolute_gap,
+                       opt_.relative_gap * (1.0 + std::fabs(incumbent_obj_)))
+            : 0.0;
+    if (have_incumbent_ && node.bound >= incumbent_obj_ - prune_margin)
+      continue;
+
+    lp::Solution sol = solve_relaxation(node);
+    if (sol.status == lp::SolveStatus::Infeasible) continue;
+    if (sol.status == lp::SolveStatus::Unbounded) {
+      // A relaxation unbounded at the root means the MILP is unbounded
+      // or infeasible; report unbounded (standard convention).
+      result.status = MipStatus::Unbounded;
+      result.nodes_explored = nodes_;
+      result.lp_iterations = lp_iterations_;
+      return result;
+    }
+    if (sol.status != lp::SolveStatus::Optimal) continue;  // iter limit
+
+    const double node_obj = sense_mult_ * model_.objective_value(sol.x);
+    explored_bound_floor = std::max(explored_bound_floor, node.bound);
+    if (have_incumbent_ && node_obj >= incumbent_obj_ - prune_margin)
+      continue;
+
+    const std::size_t k = pick_branch_var(sol.x);
+    if (k == int_vars_.size()) {
+      offer_incumbent(sol.x, node_obj);
+      continue;
+    }
+
+    if (opt_.rounding_heuristic && (nodes_ == 1 || nodes_ % 64 == 0))
+      try_rounding_heuristic(node, sol.x);
+
+    const std::size_t var = int_vars_[k];
+    const double v = sol.x[var];
+    const double frac = v - std::floor(v);
+
+    Node down = node;
+    down.hi[k] = std::floor(v);
+    down.bound = node_obj;
+    down.depth = node.depth + 1;
+    Node up = node;
+    up.lo[k] = std::ceil(v);
+    up.bound = node_obj;
+    up.depth = node.depth + 1;
+
+    // Record pseudocosts lazily by peeking at the children right away
+    // when pseudocost branching is active (strong-branching-lite).
+    if (opt_.branching == Branching::PseudoCost && node.depth < 4) {
+      lp::Solution dsol = solve_relaxation(down);
+      if (dsol.status == lp::SolveStatus::Optimal)
+        pseudo_.record(var, false, frac,
+                       sense_mult_ * model_.objective_value(dsol.x) -
+                           node_obj);
+      lp::Solution usol = solve_relaxation(up);
+      if (usol.status == lp::SolveStatus::Optimal)
+        pseudo_.record(var, true, frac,
+                       sense_mult_ * model_.objective_value(usol.x) -
+                           node_obj);
+    }
+
+    // DFS dives toward the nearer integer first (pushed last).
+    if (frac >= 0.5) {
+      push(std::move(down));
+      push(std::move(up));
+    } else {
+      push(std::move(up));
+      push(std::move(down));
+    }
+
+    // Gap-based early termination.
+    if (have_incumbent_) {
+      const double bound = std::min(frontier_best_bound(), node_obj);
+      const double gap = incumbent_obj_ - bound;
+      if (gap <= opt_.absolute_gap ||
+          gap <= opt_.relative_gap * (1.0 + std::fabs(incumbent_obj_))) {
+        result.status = MipStatus::Optimal;
+        break;
+      }
+    }
+  }
+
+  result.nodes_explored = nodes_;
+  result.lp_iterations = lp_iterations_;
+  if (!have_incumbent_) {
+    if (result.status == MipStatus::NoIncumbent && nodes_ < opt_.max_nodes)
+      result.status = MipStatus::Infeasible;
+    result.best_bound = sense_mult_ * frontier_best_bound();
+    return result;
+  }
+  if (empty() && result.status != MipStatus::NodeLimit)
+    result.status = MipStatus::Optimal;
+
+  const double internal_bound =
+      result.status == MipStatus::Optimal
+          ? incumbent_obj_
+          : std::min(frontier_best_bound(), incumbent_obj_);
+  result.objective = sense_mult_ * incumbent_obj_;
+  result.best_bound = sense_mult_ * internal_bound;
+  result.x = incumbent_x_;
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(MipStatus status) {
+  switch (status) {
+    case MipStatus::Optimal: return "optimal";
+    case MipStatus::Infeasible: return "infeasible";
+    case MipStatus::Unbounded: return "unbounded";
+    case MipStatus::NodeLimit: return "node-limit";
+    case MipStatus::NoIncumbent: return "no-incumbent";
+  }
+  return "unknown";
+}
+
+double MipResult::gap() const {
+  if (x.empty()) return kInf;
+  const double denom = 1.0 + std::fabs(objective);
+  return std::fabs(objective - best_bound) / denom;
+}
+
+MipResult solve(const Model& model, const BnbOptions& options) {
+  Solver solver(model, options);
+  return solver.run();
+}
+
+}  // namespace rrp::milp

@@ -1,0 +1,66 @@
+// Branch & bound over the simplex LP relaxation.
+//
+// The paper solves DRRP and the deterministic-equivalent SRRP with a
+// commercial B&B (CPLEX via AIMMS); this module is the from-scratch
+// replacement.  It supports best-bound and depth-first node selection,
+// most-fractional / first-fractional / pseudocost branching, a rounding
+// heuristic for early incumbents, and relative/absolute gap termination.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "milp/model.hpp"
+
+namespace rrp::milp {
+
+enum class NodeSelection {
+  BestBound,   ///< explore the node with the most promising relaxation
+  DepthFirst,  ///< dive; finds incumbents fast, default for rolling use
+};
+
+enum class Branching {
+  MostFractional,
+  FirstFractional,
+  PseudoCost,  ///< most-fractional until pseudocosts are initialised
+};
+
+enum class MipStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  NodeLimit,      ///< best incumbent returned, optimality not proven
+  NoIncumbent,    ///< node limit hit before any feasible point was found
+};
+
+const char* to_string(MipStatus status);
+
+struct BnbOptions {
+  NodeSelection node_selection = NodeSelection::BestBound;
+  Branching branching = Branching::MostFractional;
+  double integrality_tol = 1e-6;
+  double relative_gap = 1e-6;
+  double absolute_gap = 1e-9;
+  std::size_t max_nodes = 200000;
+  bool rounding_heuristic = true;
+  lp::SimplexOptions lp;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::NoIncumbent;
+  double objective = 0.0;     ///< incumbent objective (model sense)
+  double best_bound = 0.0;    ///< proven bound on the optimum
+  std::vector<double> x;      ///< incumbent point (empty if none)
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;
+
+  /// Relative optimality gap; 0 when proven optimal.
+  double gap() const;
+};
+
+/// Solves the MILP.  Infeasible/unbounded inputs are reported via
+/// MipResult::status.
+MipResult solve(const Model& model, const BnbOptions& options = {});
+
+}  // namespace rrp::milp

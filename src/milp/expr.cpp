@@ -1,0 +1,104 @@
+#include "milp/expr.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rrp::milp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LinExpr::LinExpr(double constant) : constant_(constant) {}
+
+LinExpr::LinExpr(Var v) { terms_.push_back(Term{v.id, 1.0}); }
+
+LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
+  terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  constant_ += rhs.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& rhs) {
+  for (const Term& t : rhs.terms_) terms_.push_back(Term{t.var, -t.coeff});
+  constant_ -= rhs.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double k) {
+  for (Term& t : terms_) t.coeff *= k;
+  constant_ *= k;
+  return *this;
+}
+
+void LinExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coeff == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+LinExpr operator+(LinExpr lhs, const LinExpr& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+LinExpr operator-(LinExpr lhs, const LinExpr& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+LinExpr operator*(double k, LinExpr expr) {
+  expr *= k;
+  return expr;
+}
+
+LinExpr operator*(LinExpr expr, double k) {
+  expr *= k;
+  return expr;
+}
+
+LinExpr operator-(LinExpr expr) {
+  expr *= -1.0;
+  return expr;
+}
+
+Constraint operator<=(LinExpr lhs, double rhs) {
+  return Constraint{std::move(lhs), -kInf, rhs};
+}
+
+Constraint operator>=(LinExpr lhs, double rhs) {
+  return Constraint{std::move(lhs), rhs, kInf};
+}
+
+Constraint operator==(LinExpr lhs, double rhs) {
+  return Constraint{std::move(lhs), rhs, rhs};
+}
+
+Constraint operator<=(LinExpr lhs, LinExpr rhs) {
+  lhs -= rhs;
+  return std::move(lhs) <= 0.0;
+}
+
+Constraint operator>=(LinExpr lhs, LinExpr rhs) {
+  lhs -= rhs;
+  return std::move(lhs) >= 0.0;
+}
+
+Constraint operator==(LinExpr lhs, LinExpr rhs) {
+  lhs -= rhs;
+  return std::move(lhs) == 0.0;
+}
+
+}  // namespace rrp::milp

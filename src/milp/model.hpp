@@ -1,0 +1,76 @@
+// Mixed integer linear programming model.
+//
+// This is the modelling surface used by the DRRP and SRRP builders in
+// rrp::core.  A model owns variables (continuous / integer / binary),
+// ranged linear constraints, and a linear objective; `to_lp()` lowers it
+// to the rrp::lp relaxation consumed by branch & bound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "milp/expr.hpp"
+
+namespace rrp::milp {
+
+enum class VarType { Continuous, Integer, Binary };
+
+enum class Objective { Minimize, Maximize };
+
+struct VarInfo {
+  VarType type = VarType::Continuous;
+  double lo = 0.0;
+  double hi = lp::kInfinity;
+  std::string name;
+};
+
+class Model {
+ public:
+  /// Adds a continuous variable in [lo, hi].
+  Var add_continuous(double lo, double hi, std::string name = {});
+
+  /// Adds a general integer variable in [lo, hi].
+  Var add_integer(double lo, double hi, std::string name = {});
+
+  /// Adds a {0, 1} variable.
+  Var add_binary(std::string name = {});
+
+  /// Adds `lo <= expr <= hi` (the expression's constant is folded into
+  /// the bounds).  Returns the row index.
+  std::size_t add_constraint(Constraint c, std::string name = {});
+
+  void set_objective(LinExpr expr, Objective sense);
+
+  std::size_t num_variables() const { return vars_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  std::size_t num_integer_variables() const;
+  const VarInfo& variable(std::size_t id) const { return vars_[id]; }
+  Objective objective_sense() const { return sense_; }
+  const LinExpr& objective() const { return objective_; }
+  double objective_constant() const { return objective_.constant(); }
+
+  /// True if variable `id` must take an integral value.
+  bool is_integral(std::size_t id) const;
+
+  /// Lowers to the LP relaxation (integrality dropped; binary bounds
+  /// become [0, 1]).  The variable indexing is preserved 1:1.
+  lp::LinearProgram to_lp() const;
+
+  /// Evaluates the objective (including constant) at a point.
+  double objective_value(const std::vector<double>& x) const;
+
+ private:
+  struct StoredConstraint {
+    LinExpr expr;
+    double lo, hi;
+    std::string name;
+  };
+
+  std::vector<VarInfo> vars_;
+  std::vector<StoredConstraint> constraints_;
+  LinExpr objective_;
+  Objective sense_ = Objective::Minimize;
+};
+
+}  // namespace rrp::milp

@@ -1,0 +1,69 @@
+#include "timeseries/acf.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rrp::ts {
+
+std::vector<double> acf(std::span<const double> x, std::size_t max_lag) {
+  RRP_EXPECTS(x.size() >= 2);
+  RRP_EXPECTS(max_lag < x.size());
+  const double m = rrp::stats::mean(x);
+  const std::size_t n = x.size();
+  double c0 = 0.0;
+  for (double v : x) c0 += (v - m) * (v - m);
+  c0 /= static_cast<double>(n);
+  RRP_EXPECTS(c0 > 0.0);
+  std::vector<double> r(max_lag + 1, 0.0);
+  r[0] = 1.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (std::size_t t = k; t < n; ++t) ck += (x[t] - m) * (x[t - k] - m);
+    ck /= static_cast<double>(n);
+    r[k] = ck / c0;
+  }
+  return r;
+}
+
+std::vector<double> pacf(std::span<const double> x, std::size_t max_lag) {
+  RRP_EXPECTS(max_lag >= 1);
+  const std::vector<double> r = acf(x, max_lag);
+  // Durbin-Levinson recursion over the autocorrelation sequence.
+  std::vector<double> out(max_lag, 0.0);
+  std::vector<double> phi(max_lag + 1, 0.0), prev(max_lag + 1, 0.0);
+  double v = 1.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double num = r[k];
+    for (std::size_t j = 1; j < k; ++j) num -= prev[j] * r[k - j];
+    const double a = num / v;
+    phi[k] = a;
+    for (std::size_t j = 1; j < k; ++j) phi[j] = prev[j] - a * prev[k - j];
+    v *= (1.0 - a * a);
+    if (v <= 0.0) v = 1e-12;  // numerically degenerate, keep going
+    out[k - 1] = a;
+    prev = phi;
+  }
+  return out;
+}
+
+double white_noise_band(std::size_t n) {
+  RRP_EXPECTS(n >= 2);
+  return 1.96 / std::sqrt(static_cast<double>(n));
+}
+
+std::vector<double> pacf_to_ar(std::span<const double> partial) {
+  for (double r : partial) RRP_EXPECTS(std::fabs(r) < 1.0);
+  const std::size_t k = partial.size();
+  std::vector<double> phi(k, 0.0), prev(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double a = partial[j];
+    phi[j] = a;
+    for (std::size_t i = 0; i < j; ++i) phi[i] = prev[i] - a * prev[j - 1 - i];
+    prev = phi;
+  }
+  return phi;
+}
+
+}  // namespace rrp::ts

@@ -1,0 +1,317 @@
+#include "timeseries/arima.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/special.hpp"
+#include "common/stats.hpp"
+#include "timeseries/acf.hpp"
+#include "timeseries/series.hpp"
+
+namespace rrp::ts {
+
+namespace {
+
+/// Multiplies two lag polynomials given as coefficient arrays with
+/// c[0] = 1 implied at index 0 of each input (inputs include index 0).
+std::vector<double> poly_multiply(std::span<const double> a,
+                                  std::span<const double> b) {
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+  return out;
+}
+
+/// Builds the polynomial 1 + sign * sum_k c_k B^{k*step}.
+std::vector<double> lag_poly(std::span<const double> coeffs, double sign,
+                             std::size_t step) {
+  std::vector<double> poly(coeffs.size() * step + 1, 0.0);
+  poly[0] = 1.0;
+  for (std::size_t k = 0; k < coeffs.size(); ++k)
+    poly[(k + 1) * step] = sign * coeffs[k];
+  return poly;
+}
+
+/// Maps unconstrained optimiser parameters to coefficients of a
+/// stationary AR polynomial via tanh + Durbin-Levinson.
+std::vector<double> constrain_ar(std::span<const double> raw) {
+  std::vector<double> partial(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    partial[i] = std::tanh(raw[i]);
+  return pacf_to_ar(partial);
+}
+
+}  // namespace
+
+std::size_t SarimaModel::num_parameters() const {
+  return order.num_coefficients() + (has_mean ? 1 : 0) + 1;  // + sigma^2
+}
+
+std::vector<double> expand_ar(std::span<const double> phi,
+                              std::span<const double> sphi, std::size_t s) {
+  // (1 - sum phi B)(1 - sum sphi B^s) = sum c_l B^l with c_0 = 1; the
+  // recursion coefficient on lag l is -c_l.
+  const auto nonseasonal = lag_poly(phi, -1.0, 1);
+  const auto seasonal = lag_poly(sphi, -1.0, std::max<std::size_t>(s, 1));
+  const auto prod = poly_multiply(nonseasonal, seasonal);
+  std::vector<double> out(prod.size() - 1);
+  for (std::size_t l = 1; l < prod.size(); ++l) out[l - 1] = -prod[l];
+  return out;
+}
+
+std::vector<double> expand_ma(std::span<const double> theta,
+                              std::span<const double> stheta, std::size_t s) {
+  const auto nonseasonal = lag_poly(theta, 1.0, 1);
+  const auto seasonal = lag_poly(stheta, 1.0, std::max<std::size_t>(s, 1));
+  const auto prod = poly_multiply(nonseasonal, seasonal);
+  std::vector<double> out(prod.size() - 1);
+  for (std::size_t l = 1; l < prod.size(); ++l) out[l - 1] = prod[l];
+  return out;
+}
+
+std::vector<double> apply_differencing(std::span<const double> x,
+                                       const SarimaOrder& order) {
+  std::vector<double> w(x.begin(), x.end());
+  if (order.d > 0) w = difference(w, 1, order.d);
+  if (order.D > 0) {
+    RRP_EXPECTS(order.s >= 2);
+    w = difference(w, order.s, order.D);
+  }
+  return w;
+}
+
+std::vector<double> css_residuals(std::span<const double> z,
+                                  std::span<const double> ar_full,
+                                  std::span<const double> ma_full) {
+  std::vector<double> e(z.size(), 0.0);
+  for (std::size_t t = 0; t < z.size(); ++t) {
+    double pred = 0.0;
+    for (std::size_t l = 1; l <= ar_full.size(); ++l) {
+      if (t < l) break;
+      pred += ar_full[l - 1] * z[t - l];
+    }
+    for (std::size_t l = 1; l <= ma_full.size(); ++l) {
+      if (t < l) break;
+      pred += ma_full[l - 1] * e[t - l];
+    }
+    e[t] = z[t] - pred;
+  }
+  return e;
+}
+
+SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
+                       const SarimaFitOptions& options) {
+  RRP_EXPECTS(!order.has_seasonal() || order.s >= 2);
+  const std::vector<double> w = apply_differencing(x, order);
+  const std::size_t max_ar_lag =
+      order.p + order.P * std::max<std::size_t>(order.s, 1);
+  const std::size_t max_ma_lag =
+      order.q + order.Q * std::max<std::size_t>(order.s, 1);
+  RRP_EXPECTS(w.size() > std::max(max_ar_lag, max_ma_lag) + 2);
+
+  const bool include_mean =
+      options.mean == SarimaFitOptions::Mean::Include ||
+      (options.mean == SarimaFitOptions::Mean::Auto &&
+       order.d + order.D == 0);
+
+  const std::size_t np = order.p, nq = order.q, nP = order.P, nQ = order.Q;
+  const std::size_t n_coef = np + nq + nP + nQ;
+  const double w_mean = rrp::stats::mean(w);
+
+  // Parameter vector layout: [phi raw | theta raw | sphi raw | stheta
+  // raw | mean (if included)].
+  struct Unpacked {
+    std::vector<double> phi, theta, sphi, stheta;
+    double mean;
+  };
+  auto unpack = [&](const std::vector<double>& u) {
+    Unpacked r;
+    std::size_t k = 0;
+    r.phi = constrain_ar({u.data() + k, np});
+    k += np;
+    // Invertible MA: (1 + sum theta B) stable iff (1 - sum(-theta) B)
+    // stationary, so constrain through the AR map and negate.
+    r.theta = constrain_ar({u.data() + k, nq});
+    for (double& v : r.theta) v = -v;
+    k += nq;
+    r.sphi = constrain_ar({u.data() + k, nP});
+    k += nP;
+    r.stheta = constrain_ar({u.data() + k, nQ});
+    for (double& v : r.stheta) v = -v;
+    k += nQ;
+    r.mean = include_mean ? u[k] : 0.0;
+    return r;
+  };
+
+  auto css_of = [&](const std::vector<double>& u) {
+    const Unpacked r = unpack(u);
+    const auto ar_full = expand_ar(r.phi, r.sphi, order.s);
+    const auto ma_full = expand_ma(r.theta, r.stheta, order.s);
+    std::vector<double> z(w.size());
+    for (std::size_t t = 0; t < w.size(); ++t) z[t] = w[t] - r.mean;
+    const auto e = css_residuals(z, ar_full, ma_full);
+    // Skip the warm-up residuals that condition on unknown pre-sample
+    // values.
+    double sse = 0.0;
+    const std::size_t start = std::max(ar_full.size(), ma_full.size());
+    for (std::size_t t = start; t < e.size(); ++t) sse += e[t] * e[t];
+    return sse;
+  };
+
+  std::vector<double> start(n_coef + (include_mean ? 1 : 0), 0.0);
+  if (include_mean) start.back() = w_mean;
+
+  NelderMeadResult opt_result;
+  if (start.empty()) {
+    opt_result.x = {};
+    opt_result.value = css_of({});
+    opt_result.converged = true;
+  } else {
+    NelderMeadOptions nm = options.optimizer;
+    // The mean lives on the data scale; everything else is O(1).
+    opt_result = nelder_mead(css_of, start, nm);
+  }
+
+  const Unpacked fitted = unpack(opt_result.x);
+  SarimaModel model;
+  model.order = order;
+  model.phi = fitted.phi;
+  model.theta = fitted.theta;
+  model.sphi = fitted.sphi;
+  model.stheta = fitted.stheta;
+  model.ar_full = expand_ar(fitted.phi, fitted.sphi, order.s);
+  model.ma_full = expand_ma(fitted.theta, fitted.stheta, order.s);
+  model.mean = fitted.mean;
+  model.has_mean = include_mean;
+  model.css = opt_result.value;
+  const std::size_t start_t =
+      std::max(model.ar_full.size(), model.ma_full.size());
+  model.n_effective = w.size() - start_t;
+  RRP_ENSURES(model.n_effective > 0);
+  const double n = static_cast<double>(model.n_effective);
+  model.sigma2 = std::max(model.css / n, 1e-300);
+  model.log_likelihood =
+      -0.5 * n * (std::log(2.0 * M_PI * model.sigma2) + 1.0);
+  const double k = static_cast<double>(model.num_parameters());
+  model.aic = -2.0 * model.log_likelihood + 2.0 * k;
+  model.bic = -2.0 * model.log_likelihood + k * std::log(n);
+  model.aicc = n - k - 1.0 > 0.0
+                   ? model.aic + 2.0 * k * (k + 1.0) / (n - k - 1.0)
+                   : std::numeric_limits<double>::infinity();
+  return model;
+}
+
+std::vector<double> forecast(const SarimaModel& model,
+                             std::span<const double> x, std::size_t h) {
+  RRP_EXPECTS(h >= 1);
+  const SarimaOrder& order = model.order;
+
+  // Record intermediate series so each differencing layer can be
+  // inverted in turn: first the d first-differences, then the D
+  // seasonal differences.
+  std::vector<std::vector<double>> layers;
+  layers.emplace_back(x.begin(), x.end());
+  for (std::size_t i = 0; i < order.d; ++i)
+    layers.push_back(difference(layers.back(), 1));
+  for (std::size_t i = 0; i < order.D; ++i)
+    layers.push_back(difference(layers.back(), order.s));
+
+  const std::vector<double>& w = layers.back();
+  std::vector<double> z(w.size());
+  for (std::size_t t = 0; t < w.size(); ++t) z[t] = w[t] - model.mean;
+  const auto e = css_residuals(z, model.ar_full, model.ma_full);
+
+  // Recursive point forecasts on the differenced scale; future
+  // innovations are zero.
+  std::vector<double> zext = z;
+  std::vector<double> eext = e;
+  for (std::size_t step = 0; step < h; ++step) {
+    const std::size_t t = zext.size();
+    double pred = 0.0;
+    for (std::size_t l = 1; l <= model.ar_full.size(); ++l) {
+      if (t < l) break;
+      pred += model.ar_full[l - 1] * zext[t - l];
+    }
+    for (std::size_t l = 1; l <= model.ma_full.size(); ++l) {
+      if (t < l) break;
+      pred += model.ma_full[l - 1] * eext[t - l];
+    }
+    zext.push_back(pred);
+    eext.push_back(0.0);
+  }
+  std::vector<double> w_hat(zext.end() - static_cast<std::ptrdiff_t>(h),
+                            zext.end());
+  for (double& v : w_hat) v += model.mean;
+
+  // Invert the differencing, deepest layer first.
+  std::vector<double> cur = std::move(w_hat);
+  for (std::size_t i = 0; i < order.D; ++i) {
+    const auto& base = layers[layers.size() - 2 - i];
+    cur = undifference(base, cur, order.s);
+  }
+  for (std::size_t i = 0; i < order.d; ++i) {
+    const auto& base = layers[order.d - 1 - i];
+    cur = undifference(base, cur, 1);
+  }
+  RRP_ENSURES(cur.size() == h);
+  return cur;
+}
+
+std::vector<double> mean_forecast(std::span<const double> x, std::size_t h) {
+  return std::vector<double>(h, rrp::stats::mean(x));
+}
+
+std::vector<double> psi_weights(const SarimaModel& model, std::size_t h) {
+  RRP_EXPECTS(h >= 1);
+  // Full autoregressive polynomial: phi(B) * Phi(B^s) * (1-B)^d *
+  // (1-B^s)^D, as a coefficient array with index = lag.
+  std::vector<double> ar_poly(model.ar_full.size() + 1, 0.0);
+  ar_poly[0] = 1.0;
+  for (std::size_t l = 1; l < ar_poly.size(); ++l)
+    ar_poly[l] = -model.ar_full[l - 1];
+  const std::vector<double> diff1 = {1.0, -1.0};
+  for (std::size_t i = 0; i < model.order.d; ++i)
+    ar_poly = poly_multiply(ar_poly, diff1);
+  if (model.order.D > 0) {
+    std::vector<double> diffs(model.order.s + 1, 0.0);
+    diffs[0] = 1.0;
+    diffs[model.order.s] = -1.0;
+    for (std::size_t i = 0; i < model.order.D; ++i)
+      ar_poly = poly_multiply(ar_poly, diffs);
+  }
+  // Recursion coefficients a_l = -c_l and MA coefficients m_l.
+  std::vector<double> psi(h, 0.0);
+  psi[0] = 1.0;
+  for (std::size_t j = 1; j < h; ++j) {
+    double v = j <= model.ma_full.size() ? model.ma_full[j - 1] : 0.0;
+    for (std::size_t l = 1; l <= j && l < ar_poly.size(); ++l)
+      v += -ar_poly[l] * psi[j - l];
+    psi[j] = v;
+  }
+  return psi;
+}
+
+ForecastInterval forecast_interval(const SarimaModel& model,
+                                   std::span<const double> x, std::size_t h,
+                                   double level) {
+  RRP_EXPECTS(level > 0.0 && level < 1.0);
+  ForecastInterval out;
+  out.level = level;
+  out.point = forecast(model, x, h);
+  const auto psi = psi_weights(model, h);
+  const double z = special::normal_quantile(0.5 + level / 2.0);
+  out.lower.resize(h);
+  out.upper.resize(h);
+  double var = 0.0;
+  for (std::size_t step = 0; step < h; ++step) {
+    var += psi[step] * psi[step] * model.sigma2;
+    const double half_width = z * std::sqrt(var);
+    out.lower[step] = out.point[step] - half_width;
+    out.upper[step] = out.point[step] + half_width;
+  }
+  return out;
+}
+
+}  // namespace rrp::ts

@@ -1,0 +1,75 @@
+#include "timeseries/decompose.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rrp::ts {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<double> Decomposition::seasonal_profile() const {
+  return {seasonal.begin(),
+          seasonal.begin() + static_cast<std::ptrdiff_t>(period)};
+}
+
+Decomposition decompose_additive(std::span<const double> x,
+                                 std::size_t period) {
+  RRP_EXPECTS(period >= 2);
+  RRP_EXPECTS(x.size() >= 2 * period);
+  const std::size_t n = x.size();
+
+  Decomposition d;
+  d.period = period;
+  d.trend.assign(n, kNaN);
+  d.seasonal.assign(n, 0.0);
+  d.remainder.assign(n, kNaN);
+
+  // Centred moving average trend.  For even periods this is the classic
+  // 2xMA: a window of period+1 points with half weights at the ends.
+  if (period % 2 == 1) {
+    const std::size_t half = period / 2;
+    for (std::size_t t = half; t + half < n; ++t) {
+      double acc = 0.0;
+      for (std::size_t j = t - half; j <= t + half; ++j) acc += x[j];
+      d.trend[t] = acc / static_cast<double>(period);
+    }
+  } else {
+    const std::size_t half = period / 2;
+    for (std::size_t t = half; t + half < n; ++t) {
+      double acc = 0.5 * x[t - half] + 0.5 * x[t + half];
+      for (std::size_t j = t - half + 1; j <= t + half - 1; ++j) acc += x[j];
+      d.trend[t] = acc / static_cast<double>(period);
+    }
+  }
+
+  // Phase means of the detrended series.
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<std::size_t> phase_n(period, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (std::isnan(d.trend[t])) continue;
+    phase_sum[t % period] += x[t] - d.trend[t];
+    ++phase_n[t % period];
+  }
+  std::vector<double> profile(period, 0.0);
+  double mean_of_means = 0.0;
+  for (std::size_t p = 0; p < period; ++p) {
+    RRP_ENSURES(phase_n[p] > 0);
+    profile[p] = phase_sum[p] / static_cast<double>(phase_n[p]);
+    mean_of_means += profile[p];
+  }
+  mean_of_means /= static_cast<double>(period);
+  for (double& v : profile) v -= mean_of_means;  // centre to zero mean
+
+  for (std::size_t t = 0; t < n; ++t) {
+    d.seasonal[t] = profile[t % period];
+    if (!std::isnan(d.trend[t]))
+      d.remainder[t] = x[t] - d.trend[t] - d.seasonal[t];
+  }
+  return d;
+}
+
+}  // namespace rrp::ts

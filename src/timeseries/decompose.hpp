@@ -1,0 +1,27 @@
+// Classical additive seasonal decomposition (paper Figure 6): the
+// series is split into trend (centred moving average), seasonal
+// (phase-averaged detrended values, centred to sum to zero) and
+// remainder, following R's `decompose()`.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rrp::ts {
+
+struct Decomposition {
+  std::vector<double> trend;     ///< NaN at the edges the MA cannot cover
+  std::vector<double> seasonal;  ///< periodic, mean zero over one period
+  std::vector<double> remainder; ///< x - trend - seasonal (NaN at edges)
+  std::size_t period = 0;
+
+  /// Seasonal profile for one period (seasonal[0..period)).
+  std::vector<double> seasonal_profile() const;
+};
+
+/// Decomposes `x` with the given seasonal period (>= 2; x must cover at
+/// least two full periods).
+Decomposition decompose_additive(std::span<const double> x,
+                                 std::size_t period);
+
+}  // namespace rrp::ts

@@ -1,0 +1,202 @@
+#include "timeseries/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/special.hpp"
+#include "common/stats.hpp"
+#include "timeseries/acf.hpp"
+
+namespace rrp::ts {
+
+TestResult shapiro_wilk(std::span<const double> x) {
+  // Royston (1995), Applied Statistics algorithm AS R94.
+  const std::size_t n = x.size();
+  RRP_EXPECTS(n >= 3 && n <= 5000);
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  RRP_EXPECTS(sorted.back() > sorted.front());  // non-degenerate sample
+
+  const double nd = static_cast<double>(n);
+
+  // Expected normal order statistics (Blom approximation) and their
+  // normalised weights.
+  std::vector<double> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = special::normal_quantile((static_cast<double>(i + 1) - 0.375) /
+                                    (nd + 0.25));
+  }
+  double msq = 0.0;
+  for (double v : m) msq += v * v;
+
+  std::vector<double> a(n);
+  const double rsn = 1.0 / std::sqrt(nd);
+  if (n == 3) {
+    a[0] = -std::sqrt(0.5);
+    a[1] = 0.0;
+    a[2] = std::sqrt(0.5);
+  } else {
+    const double c_n = m[n - 1] / std::sqrt(msq);
+    const double c_n1 = m[n - 2] / std::sqrt(msq);
+    // Polynomial corrections for the two extreme weights.
+    const double an =
+        c_n + 0.221157 * rsn - 0.147981 * std::pow(rsn, 2) -
+        2.071190 * std::pow(rsn, 3) + 4.434685 * std::pow(rsn, 4) -
+        2.706056 * std::pow(rsn, 5);
+    const double an1 =
+        c_n1 + 0.042981 * rsn - 0.293762 * std::pow(rsn, 2) -
+        1.752461 * std::pow(rsn, 3) + 5.682633 * std::pow(rsn, 4) -
+        3.582633 * std::pow(rsn, 5);
+    double phi;
+    if (n > 5) {
+      phi = (msq - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2]) /
+            (1.0 - 2.0 * an * an - 2.0 * an1 * an1);
+    } else {
+      phi = (msq - 2.0 * m[n - 1] * m[n - 1]) / (1.0 - 2.0 * an * an);
+    }
+    RRP_ENSURES(phi > 0.0);
+    for (std::size_t i = 0; i < n; ++i) a[i] = m[i] / std::sqrt(phi);
+    a[n - 1] = an;
+    a[0] = -an;
+    if (n > 5) {
+      a[n - 2] = an1;
+      a[1] = -an1;
+    }
+  }
+
+  const double mean = stats::mean(sorted);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += a[i] * sorted[i];
+    den += (sorted[i] - mean) * (sorted[i] - mean);
+  }
+  const double w = num * num / den;
+
+  TestResult out;
+  out.statistic = w;
+  if (n == 3) {
+    // Exact distribution for n = 3.
+    const double pi6 = 1.90985931710274;  // 6/pi
+    const double stqr = 1.04719755119660;  // asin(sqrt(3/4))
+    out.p_value =
+        std::clamp(pi6 * (std::asin(std::sqrt(w)) - stqr), 0.0, 1.0);
+    return out;
+  }
+  const double lw = std::log(1.0 - w);
+  double mu, sigma;
+  if (n <= 11) {
+    const double g = -2.273 + 0.459 * nd;
+    mu = 0.5440 - 0.39978 * nd + 0.025054 * nd * nd -
+         0.0006714 * nd * nd * nd;
+    sigma = std::exp(1.3822 - 0.77857 * nd + 0.062767 * nd * nd -
+                     0.0020322 * nd * nd * nd);
+    const double z = (-std::log(g - lw) - mu) / sigma;
+    out.p_value = 1.0 - special::normal_cdf(z);
+  } else {
+    const double ln = std::log(nd);
+    mu = -1.5861 - 0.31082 * ln - 0.083751 * ln * ln +
+         0.0038915 * ln * ln * ln;
+    sigma = std::exp(-0.4803 - 0.082676 * ln + 0.0030302 * ln * ln);
+    const double z = (lw - mu) / sigma;
+    out.p_value = 1.0 - special::normal_cdf(z);
+  }
+  out.p_value = std::clamp(out.p_value, 0.0, 1.0);
+  return out;
+}
+
+TestResult ljung_box(std::span<const double> x, std::size_t lags,
+                     std::size_t fitted_params) {
+  RRP_EXPECTS(lags >= 1);
+  RRP_EXPECTS(lags > fitted_params);
+  const std::size_t n = x.size();
+  RRP_EXPECTS(n > lags + 1);
+  const auto r = acf(x, lags);
+  double q = 0.0;
+  const double nd = static_cast<double>(n);
+  for (std::size_t k = 1; k <= lags; ++k) {
+    q += r[k] * r[k] / (nd - static_cast<double>(k));
+  }
+  q *= nd * (nd + 2.0);
+  TestResult out;
+  out.statistic = q;
+  out.p_value = special::chi_square_sf(
+      q, static_cast<double>(lags - fitted_params));
+  return out;
+}
+
+TestResult kpss_level(std::span<const double> x) {
+  const std::size_t n = x.size();
+  RRP_EXPECTS(n >= 12);
+  const double nd = static_cast<double>(n);
+  const double mean = stats::mean(x);
+
+  // Partial sums of demeaned observations.
+  std::vector<double> e(n), s(n);
+  double acc = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    e[t] = x[t] - mean;
+    acc += e[t];
+    s[t] = acc;
+  }
+  double eta = 0.0;
+  for (double v : s) eta += v * v;
+  eta /= nd * nd;
+
+  // Long-run variance: Bartlett kernel, Schwert bandwidth.
+  const auto bandwidth = static_cast<std::size_t>(
+      std::floor(4.0 * std::pow(nd / 100.0, 0.25)));
+  double lrv = 0.0;
+  for (double v : e) lrv += v * v;
+  lrv /= nd;
+  for (std::size_t lag = 1; lag <= bandwidth; ++lag) {
+    double gamma = 0.0;
+    for (std::size_t t = lag; t < n; ++t) gamma += e[t] * e[t - lag];
+    gamma /= nd;
+    const double weight =
+        1.0 - static_cast<double>(lag) / static_cast<double>(bandwidth + 1);
+    lrv += 2.0 * weight * gamma;
+  }
+  RRP_ENSURES(lrv > 0.0);
+
+  TestResult out;
+  out.statistic = eta / lrv;
+
+  // Level-stationarity critical values (KPSS Table 1).
+  static constexpr double kCrit[] = {0.347, 0.463, 0.574, 0.739};
+  static constexpr double kAlpha[] = {0.10, 0.05, 0.025, 0.01};
+  if (out.statistic <= kCrit[0]) {
+    out.p_value = 0.10;  // "at least 10%": stationarity not rejected
+  } else if (out.statistic >= kCrit[3]) {
+    out.p_value = 0.01;
+  } else {
+    for (int i = 0; i < 3; ++i) {
+      if (out.statistic <= kCrit[i + 1]) {
+        const double f =
+            (out.statistic - kCrit[i]) / (kCrit[i + 1] - kCrit[i]);
+        out.p_value = kAlpha[i] + f * (kAlpha[i + 1] - kAlpha[i]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool is_level_stationary(std::span<const double> x, double alpha) {
+  RRP_EXPECTS(alpha >= 0.01 && alpha <= 0.10);
+  return kpss_level(x).p_value > alpha;
+}
+
+TestResult jarque_bera(std::span<const double> x) {
+  RRP_EXPECTS(x.size() >= 8);
+  const double n = static_cast<double>(x.size());
+  const double s = stats::skewness(x);
+  const double k = stats::excess_kurtosis(x);
+  TestResult out;
+  out.statistic = n / 6.0 * (s * s + 0.25 * k * k);
+  out.p_value = special::chi_square_sf(out.statistic, 2.0);
+  return out;
+}
+
+}  // namespace rrp::ts

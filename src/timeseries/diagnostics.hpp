@@ -1,0 +1,43 @@
+// Statistical tests used by the predictability study:
+//  * Shapiro-Wilk normality test (paper Figure 5 rejects normality of
+//    the spot-price distribution) — Royston's AS R94 approximation;
+//  * Ljung-Box portmanteau test for residual whiteness;
+//  * Jarque-Bera as a cheap second normality opinion.
+#pragma once
+
+#include <span>
+
+namespace rrp::ts {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+};
+
+/// Shapiro-Wilk W test.  Requires 3 <= n <= 5000.  Small p-values
+/// reject normality.
+TestResult shapiro_wilk(std::span<const double> x);
+
+/// Ljung-Box test of no autocorrelation up to `lags`; `fitted_params`
+/// adjusts the degrees of freedom when applied to model residuals.
+TestResult ljung_box(std::span<const double> x, std::size_t lags,
+                     std::size_t fitted_params = 0);
+
+/// Jarque-Bera normality test (chi-square with 2 df).
+TestResult jarque_bera(std::span<const double> x);
+
+/// KPSS test of level stationarity (Kwiatkowski et al. 1992), used by
+/// the paper's step "we verify that our test series is statistically
+/// stationary ... and does not require further differencing".  The
+/// NULL is stationarity, so LARGE statistics / small p-values indicate
+/// a unit root.  The long-run variance uses a Bartlett kernel with the
+/// Schwert bandwidth; the p-value is interpolated from the published
+/// critical values (upper tail, clamped to [0.01, 0.10] outside the
+/// table).
+TestResult kpss_level(std::span<const double> x);
+
+/// Convenience: true when KPSS cannot reject stationarity at the given
+/// significance level (default 5%).
+bool is_level_stationary(std::span<const double> x, double alpha = 0.05);
+
+}  // namespace rrp::ts

@@ -1,0 +1,141 @@
+#include "timeseries/ets.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rrp::ts {
+
+namespace {
+
+/// One full smoothing pass; returns the SSE of one-step errors and, via
+/// out-params, the terminal state.
+double smoothing_pass(std::span<const double> x, const EtsOptions& opt,
+                      double alpha, double beta, double gamma,
+                      double* level_out, double* trend_out,
+                      std::vector<double>* seasonal_out) {
+  const std::size_t s = opt.season;
+  double level, trend = 0.0;
+  std::vector<double> seasonal;
+
+  std::size_t start;
+  if (s >= 2) {
+    // Initialise from the first period: level = its mean, seasonal =
+    // deviations from it.
+    double mean0 = 0.0;
+    for (std::size_t i = 0; i < s; ++i) mean0 += x[i];
+    mean0 /= static_cast<double>(s);
+    level = mean0;
+    seasonal.resize(s);
+    for (std::size_t i = 0; i < s; ++i) seasonal[i] = x[i] - mean0;
+    if (opt.trend) {
+      double mean1 = 0.0;
+      for (std::size_t i = s; i < 2 * s && i < x.size(); ++i) mean1 += x[i];
+      mean1 /= static_cast<double>(s);
+      trend = (mean1 - mean0) / static_cast<double>(s);
+    }
+    start = s;
+  } else {
+    level = x[0];
+    if (opt.trend) trend = x[1] - x[0];
+    start = opt.trend ? 2 : 1;
+  }
+
+  double sse = 0.0;
+  for (std::size_t t = start; t < x.size(); ++t) {
+    const double season_term = s >= 2 ? seasonal[t % s] : 0.0;
+    const double fitted = level + (opt.trend ? trend : 0.0) + season_term;
+    const double err = x[t] - fitted;
+    sse += err * err;
+    const double prev_level = level;
+    level = alpha * (x[t] - season_term) +
+            (1.0 - alpha) * (level + (opt.trend ? trend : 0.0));
+    if (opt.trend) {
+      trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+    }
+    if (s >= 2) {
+      seasonal[t % s] =
+          gamma * (x[t] - level) + (1.0 - gamma) * seasonal[t % s];
+    }
+  }
+  if (level_out != nullptr) *level_out = level;
+  if (trend_out != nullptr) *trend_out = trend;
+  if (seasonal_out != nullptr) *seasonal_out = std::move(seasonal);
+  return sse;
+}
+
+double squash(double raw) {  // unconstrained -> (0.0001, 0.9999)
+  return 0.0001 + 0.9998 / (1.0 + std::exp(-raw));
+}
+
+}  // namespace
+
+EtsModel fit_ets(std::span<const double> x, const EtsOptions& opt) {
+  if (opt.season >= 1) RRP_EXPECTS(opt.season >= 2);
+  if (opt.season >= 2) {
+    RRP_EXPECTS(x.size() >= 2 * opt.season + 1);
+  } else {
+    RRP_EXPECTS(x.size() >= 4);
+  }
+
+  // Which weights are free?
+  std::vector<int> free_slots;  // 0 = alpha, 1 = beta, 2 = gamma
+  if (opt.alpha < 0.0) free_slots.push_back(0);
+  if (opt.trend && opt.beta < 0.0) free_slots.push_back(1);
+  if (opt.season >= 2 && opt.gamma < 0.0) free_slots.push_back(2);
+
+  auto weights_of = [&](const std::vector<double>& u) {
+    double a = opt.alpha >= 0.0 ? opt.alpha : 0.3;
+    double b = opt.beta >= 0.0 ? opt.beta : 0.1;
+    double g = opt.gamma >= 0.0 ? opt.gamma : 0.1;
+    for (std::size_t k = 0; k < free_slots.size(); ++k) {
+      const double v = squash(u[k]);
+      if (free_slots[k] == 0) a = v;
+      if (free_slots[k] == 1) b = v;
+      if (free_slots[k] == 2) g = v;
+    }
+    return std::array<double, 3>{a, b, g};
+  };
+
+  std::vector<double> best_u(free_slots.size(), 0.0);
+  if (!free_slots.empty()) {
+    auto objective = [&](const std::vector<double>& u) {
+      const auto w = weights_of(u);
+      return smoothing_pass(x, opt, w[0], w[1], w[2], nullptr, nullptr,
+                            nullptr);
+    };
+    NelderMeadOptions nm = opt.optimizer;
+    const auto fit = nelder_mead(objective, best_u, nm);
+    best_u = fit.x;
+  }
+
+  EtsModel model;
+  model.options = opt;
+  const auto w = weights_of(best_u);
+  model.alpha = w[0];
+  model.beta = opt.trend ? w[1] : 0.0;
+  model.gamma = opt.season >= 2 ? w[2] : 0.0;
+  model.n = x.size();
+  model.sse = smoothing_pass(x, opt, w[0], w[1], w[2], &model.level,
+                             &model.trend, &model.seasonal);
+  return model;
+}
+
+std::vector<double> forecast(const EtsModel& model, std::size_t h) {
+  RRP_EXPECTS(h >= 1);
+  std::vector<double> out(h);
+  const std::size_t s = model.options.season;
+  for (std::size_t step = 0; step < h; ++step) {
+    double v = model.level;
+    if (model.options.trend)
+      v += static_cast<double>(step + 1) * model.trend;
+    if (s >= 2) v += model.seasonal[(model.n + step) % s];
+    out[step] = v;
+  }
+  return out;
+}
+
+}  // namespace rrp::ts

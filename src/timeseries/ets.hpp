@@ -1,0 +1,46 @@
+// Additive Holt-Winters exponential smoothing (ETS(A,A,A) family with
+// optional trend/seasonal components).
+//
+// A second, structurally different forecaster next to SARIMA: the paper
+// argues ARIMA "retains great flexibility ... and is relatively
+// lightweight compared to machine learning techniques"; Holt-Winters is
+// the even lighter classical alternative and a useful cross-check that
+// the spot series' unpredictability is a property of the data, not of
+// one model family.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "timeseries/optimize.hpp"
+
+namespace rrp::ts {
+
+struct EtsOptions {
+  bool trend = false;          ///< additive trend component
+  std::size_t season = 0;      ///< seasonal period (0 = none)
+  /// Fixed smoothing weights; NaN = optimise by SSE via Nelder-Mead.
+  double alpha = -1.0;         ///< level weight in (0,1); <0 = optimise
+  double beta = -1.0;          ///< trend weight; <0 = optimise
+  double gamma = -1.0;         ///< seasonal weight; <0 = optimise
+  NelderMeadOptions optimizer;
+};
+
+struct EtsModel {
+  EtsOptions options;
+  double alpha = 0.0, beta = 0.0, gamma = 0.0;
+  double level = 0.0;              ///< final smoothed level
+  double trend = 0.0;              ///< final trend increment
+  std::vector<double> seasonal;    ///< final seasonal state (one period)
+  double sse = 0.0;                ///< in-sample one-step SSE
+  std::size_t n = 0;
+};
+
+/// Fits the smoother on `x` (requires >= 2 full periods when seasonal,
+/// >= 4 points otherwise).
+EtsModel fit_ets(std::span<const double> x, const EtsOptions& options = {});
+
+/// h-step-ahead forecasts from the fitted terminal state.
+std::vector<double> forecast(const EtsModel& model, std::size_t h);
+
+}  // namespace rrp::ts

@@ -1,0 +1,128 @@
+#include "timeseries/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rrp::ts {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& fn,
+    std::vector<double> start, const NelderMeadOptions& opt) {
+  const std::size_t n = start.size();
+  RRP_EXPECTS(n >= 1);
+
+  NelderMeadResult result;
+  result.evaluations = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    const double v = fn(x);
+    return std::isnan(v) ? std::numeric_limits<double>::infinity() : v;
+  };
+
+  // Initial simplex: start point plus one perturbed vertex per dimension.
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> values;
+  simplex.push_back(start);
+  values.push_back(eval(start));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v = start;
+    const double step =
+        opt.initial_step * (std::fabs(v[i]) > 1e-8 ? std::fabs(v[i]) : 1.0);
+    v[i] += step;
+    simplex.push_back(v);
+    values.push_back(eval(simplex.back()));
+  }
+
+  std::vector<std::size_t> order(n + 1);
+  while (result.evaluations < opt.max_evaluations) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&values](std::size_t a,
+                                                    std::size_t b) {
+      return values[a] < values[b];
+    });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    if (std::isfinite(values[best]) &&
+        values[worst] - values[best] <
+            opt.tolerance * (1.0 + std::fabs(values[best]))) {
+      // Value spread alone can vanish with vertices straddling the
+      // minimum; also require the simplex itself to have collapsed.
+      double diameter = 0.0;
+      for (std::size_t k = 0; k <= n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+          diameter = std::max(
+              diameter, std::fabs(simplex[k][i] - simplex[best][i]) /
+                            (1.0 + std::fabs(simplex[best][i])));
+        }
+      }
+      if (diameter < opt.tolerance_x) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t k = 0; k <= n; ++k) {
+      if (k == worst) continue;
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[k][i];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto along = [&](double t) {
+      std::vector<double> x(n);
+      for (std::size_t i = 0; i < n; ++i)
+        x[i] = centroid[i] + t * (centroid[i] - simplex[worst][i]);
+      return x;
+    };
+
+    const std::vector<double> reflected = along(opt.reflection);
+    const double fr = eval(reflected);
+    if (fr < values[best]) {
+      const std::vector<double> expanded = along(opt.expansion);
+      const double fe = eval(expanded);
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        values[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = fr;
+    } else {
+      const bool outside = fr < values[worst];
+      const std::vector<double> contracted =
+          along(outside ? opt.contraction : -opt.contraction);
+      const double fc = eval(contracted);
+      if (fc < std::min(fr, values[worst])) {
+        simplex[worst] = contracted;
+        values[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t k = 0; k <= n; ++k) {
+          if (k == best) continue;
+          for (std::size_t i = 0; i < n; ++i) {
+            simplex[k][i] = simplex[best][i] +
+                            opt.shrink * (simplex[k][i] - simplex[best][i]);
+          }
+          values[k] = eval(simplex[k]);
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(values.begin(), values.end());
+  result.value = *best_it;
+  result.x = simplex[static_cast<std::size_t>(
+      std::distance(values.begin(), best_it))];
+  return result;
+}
+
+}  // namespace rrp::ts

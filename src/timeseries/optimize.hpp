@@ -1,0 +1,35 @@
+// Derivative-free minimisation (Nelder-Mead) used to fit SARIMA models
+// by conditional sum-of-squares.  Kept generic: any callable on a
+// parameter vector can be minimised.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rrp::ts {
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 20000;
+  double initial_step = 0.1;     ///< simplex edge relative to start point
+  double tolerance = 1e-10;      ///< spread of simplex values at convergence
+  double tolerance_x = 1e-7;     ///< simplex diameter at convergence
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimises `fn` starting from `start`.  The objective may return
+/// +infinity to reject a region (used for penalised constraints).
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& fn,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace rrp::ts

@@ -1,0 +1,50 @@
+#include "timeseries/regularize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rrp::ts {
+
+std::vector<double> hourly_locf(const std::vector<Tick>& ticks,
+                                long first_hour, long last_hour) {
+  RRP_EXPECTS(first_hour < last_hour);
+  RRP_EXPECTS(!ticks.empty());
+  for (std::size_t i = 1; i < ticks.size(); ++i)
+    RRP_EXPECTS(ticks[i - 1].time_hours <= ticks[i].time_hours);
+  RRP_EXPECTS(ticks.front().time_hours <= static_cast<double>(first_hour));
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(last_hour - first_hour));
+  std::size_t idx = 0;
+  double current = ticks.front().value;
+  for (long h = first_hour; h < last_hour; ++h) {
+    // Consume every tick with time <= start of hour h; the last one seen
+    // is the price in force at that decision point.
+    while (idx < ticks.size() &&
+           ticks[idx].time_hours <= static_cast<double>(h)) {
+      current = ticks[idx].value;
+      ++idx;
+    }
+    out.push_back(current);
+  }
+  return out;
+}
+
+std::vector<std::size_t> daily_update_counts(const std::vector<Tick>& ticks) {
+  if (ticks.empty()) return {};
+  for (std::size_t i = 1; i < ticks.size(); ++i)
+    RRP_EXPECTS(ticks[i - 1].time_hours <= ticks[i].time_hours);
+  RRP_EXPECTS(ticks.front().time_hours >= 0.0);
+  const auto days = static_cast<std::size_t>(
+      std::ceil((ticks.back().time_hours + 1e-9) / 24.0));
+  std::vector<std::size_t> counts(std::max<std::size_t>(days, 1), 0);
+  for (const Tick& t : ticks) {
+    auto day = static_cast<std::size_t>(t.time_hours / 24.0);
+    if (day >= counts.size()) day = counts.size() - 1;
+    ++counts[day];
+  }
+  return counts;
+}
+
+}  // namespace rrp::ts

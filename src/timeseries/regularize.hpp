@@ -1,0 +1,30 @@
+// Conversion of irregularly spaced spot-price ticks into an equally
+// spaced hourly series (paper Section IV-A2): "At the start of each
+// hour, the spot price is set to be the most recent updated price in
+// the last hour.  If no update appears in the last hour, the spot price
+// is considered unchanged."  Also provides the daily update-frequency
+// view of Figure 4.
+#pragma once
+
+#include <vector>
+
+namespace rrp::ts {
+
+/// One spot-price update at an arbitrary time (in hours since epoch).
+struct Tick {
+  double time_hours = 0.0;
+  double value = 0.0;
+};
+
+/// Converts ticks to an hourly last-observation-carried-forward series
+/// covering hour indices [first_hour, last_hour).  Ticks must be sorted
+/// by time; at least one tick at or before first_hour must exist to
+/// seed the carry-forward.
+std::vector<double> hourly_locf(const std::vector<Tick>& ticks,
+                                long first_hour, long last_hour);
+
+/// Number of updates falling into each day ([day*24, (day+1)*24)),
+/// covering days [0, ceil(max_time/24)).  Ticks must be sorted.
+std::vector<std::size_t> daily_update_counts(const std::vector<Tick>& ticks);
+
+}  // namespace rrp::ts

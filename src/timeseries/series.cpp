@@ -1,0 +1,58 @@
+#include "timeseries/series.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rrp::ts {
+
+std::vector<double> difference(std::span<const double> x, std::size_t lag) {
+  RRP_EXPECTS(lag >= 1);
+  RRP_EXPECTS(x.size() > lag);
+  std::vector<double> out(x.size() - lag);
+  for (std::size_t t = lag; t < x.size(); ++t) out[t - lag] = x[t] - x[t - lag];
+  return out;
+}
+
+std::vector<double> difference(std::span<const double> x, std::size_t lag,
+                               std::size_t times) {
+  std::vector<double> cur(x.begin(), x.end());
+  for (std::size_t i = 0; i < times; ++i) cur = difference(cur, lag);
+  return cur;
+}
+
+std::vector<double> undifference(std::span<const double> history_tail,
+                                 std::span<const double> diffed,
+                                 std::size_t lag) {
+  RRP_EXPECTS(lag >= 1);
+  RRP_EXPECTS(history_tail.size() >= lag);
+  // levels buffer: last `lag` known values followed by reconstruction.
+  std::vector<double> levels(history_tail.end() -
+                                 static_cast<std::ptrdiff_t>(lag),
+                             history_tail.end());
+  std::vector<double> out;
+  out.reserve(diffed.size());
+  for (std::size_t i = 0; i < diffed.size(); ++i) {
+    const double level = levels[levels.size() - lag] + diffed[i];
+    levels.push_back(level);
+    out.push_back(level);
+  }
+  return out;
+}
+
+std::pair<std::vector<double>, std::vector<double>> split_at(
+    std::span<const double> x, std::size_t n_train) {
+  RRP_EXPECTS(n_train <= x.size());
+  return {std::vector<double>(x.begin(),
+                              x.begin() + static_cast<std::ptrdiff_t>(n_train)),
+          std::vector<double>(x.begin() + static_cast<std::ptrdiff_t>(n_train),
+                              x.end())};
+}
+
+std::pair<std::vector<double>, double> center(std::span<const double> x) {
+  const double m = rrp::stats::mean(x);
+  std::vector<double> out(x.begin(), x.end());
+  for (double& v : out) v -= m;
+  return {std::move(out), m};
+}
+
+}  // namespace rrp::ts

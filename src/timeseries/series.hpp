@@ -1,0 +1,34 @@
+// Basic series transforms: lagged differencing (the "I" in ARIMA, plus
+// its seasonal analogue) and inversion for turning differenced-scale
+// forecasts back into level forecasts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rrp::ts {
+
+/// y_t = x_t - x_{t-lag}; output has size x.size() - lag.
+/// Requires lag >= 1 and x.size() > lag.
+std::vector<double> difference(std::span<const double> x, std::size_t lag);
+
+/// Applies `times` rounds of lag-`lag` differencing.
+std::vector<double> difference(std::span<const double> x, std::size_t lag,
+                               std::size_t times);
+
+/// Inverts one round of lag-`lag` differencing: given the last `lag`
+/// level values preceding the forecast origin and the differenced-scale
+/// continuation, reconstructs the level-scale continuation.
+std::vector<double> undifference(std::span<const double> history_tail,
+                                 std::span<const double> diffed,
+                                 std::size_t lag);
+
+/// Splits x into (head of n_train, remaining tail).
+std::pair<std::vector<double>, std::vector<double>> split_at(
+    std::span<const double> x, std::size_t n_train);
+
+/// Subtracts the mean; returns (centered series, mean).
+std::pair<std::vector<double>, double> center(std::span<const double> x);
+
+}  // namespace rrp::ts

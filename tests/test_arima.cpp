@@ -1,0 +1,347 @@
+#include "timeseries/arima.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+std::vector<double> simulate_arma(std::span<const double> phi,
+                                  std::span<const double> theta,
+                                  double mean, double sd, std::size_t n,
+                                  std::uint64_t seed) {
+  rrp::Rng rng(seed);
+  std::vector<double> x(n, mean), e(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    e[t] = rng.normal(0.0, sd);
+    double v = e[t];
+    for (std::size_t l = 0; l < phi.size(); ++l)
+      if (t > l) v += phi[l] * (x[t - 1 - l] - mean);
+    for (std::size_t l = 0; l < theta.size(); ++l)
+      if (t > l) v += theta[l] * e[t - 1 - l];
+    x[t] = mean + v;
+  }
+  return x;
+}
+
+TEST(ExpandPoly, PureNonseasonalArPassesThrough) {
+  std::vector<double> phi = {0.5, -0.2};
+  const auto full = expand_ar(phi, {}, 0);
+  ASSERT_EQ(full.size(), 2u);
+  EXPECT_DOUBLE_EQ(full[0], 0.5);
+  EXPECT_DOUBLE_EQ(full[1], -0.2);
+}
+
+TEST(ExpandPoly, SeasonalArCrossTerms) {
+  // (1 - 0.5B)(1 - 0.4B^4) = 1 - 0.5B - 0.4B^4 + 0.2B^5.
+  std::vector<double> phi = {0.5};
+  std::vector<double> sphi = {0.4};
+  const auto full = expand_ar(phi, sphi, 4);
+  ASSERT_EQ(full.size(), 5u);
+  EXPECT_DOUBLE_EQ(full[0], 0.5);
+  EXPECT_DOUBLE_EQ(full[1], 0.0);
+  EXPECT_DOUBLE_EQ(full[3], 0.4);
+  EXPECT_DOUBLE_EQ(full[4], -0.2);
+}
+
+TEST(ExpandPoly, SeasonalMaCrossTerms) {
+  // (1 + 0.3B)(1 + 0.6B^2) = 1 + 0.3B + 0.6B^2 + 0.18B^3.
+  std::vector<double> theta = {0.3};
+  std::vector<double> stheta = {0.6};
+  const auto full = expand_ma(theta, stheta, 2);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_DOUBLE_EQ(full[0], 0.3);
+  EXPECT_DOUBLE_EQ(full[1], 0.6);
+  EXPECT_NEAR(full[2], 0.18, 1e-12);
+}
+
+TEST(CssResiduals, PureArResidualsRecoverNoise) {
+  std::vector<double> phi = {0.7};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 500, 71);
+  const auto e = css_residuals(x, phi, {});
+  // Residual variance should be close to the innovation variance 1.
+  std::vector<double> tail(e.begin() + 10, e.end());
+  EXPECT_NEAR(rrp::stats::variance(tail), 1.0, 0.2);
+}
+
+TEST(FitSarima, RecoversAr1Coefficient) {
+  std::vector<double> phi = {0.7};
+  const auto x = simulate_arma(phi, {}, 5.0, 1.0, 3000, 72);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(x, order);
+  ASSERT_EQ(m.phi.size(), 1u);
+  EXPECT_NEAR(m.phi[0], 0.7, 0.07);
+  EXPECT_TRUE(m.has_mean);
+  EXPECT_NEAR(m.mean, 5.0, 0.3);
+  EXPECT_NEAR(m.sigma2, 1.0, 0.15);
+}
+
+TEST(FitSarima, RecoversAr2Coefficients) {
+  std::vector<double> phi = {0.5, 0.3};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 4000, 73);
+  SarimaOrder order;
+  order.p = 2;
+  const auto m = fit_sarima(x, order);
+  EXPECT_NEAR(m.phi[0], 0.5, 0.08);
+  EXPECT_NEAR(m.phi[1], 0.3, 0.08);
+}
+
+TEST(FitSarima, RecoversMa1Coefficient) {
+  std::vector<double> theta = {0.6};
+  const auto x = simulate_arma({}, theta, 0.0, 1.0, 4000, 74);
+  SarimaOrder order;
+  order.q = 1;
+  const auto m = fit_sarima(x, order);
+  EXPECT_NEAR(m.theta[0], 0.6, 0.1);
+}
+
+TEST(FitSarima, FittedArIsStationaryEvenOnHardData) {
+  // A near-random-walk series: the constrained parametrisation must
+  // return |phi| < 1.
+  rrp::Rng rng(75);
+  std::vector<double> x(800, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = 0.999 * x[t - 1] + rng.normal(0.0, 0.01);
+  SarimaOrder order;
+  order.p = 1;
+  SarimaFitOptions opt;
+  opt.mean = SarimaFitOptions::Mean::Exclude;
+  const auto m = fit_sarima(x, order, opt);
+  EXPECT_LT(std::fabs(m.phi[0]), 1.0);
+}
+
+TEST(FitSarima, InformationCriteriaOrdering) {
+  const std::vector<double> phi_in = {0.5};
+  const auto x = simulate_arma(phi_in, {}, 0.0, 1.0, 500, 76);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(x, order);
+  EXPECT_GT(m.aicc, m.aic);        // finite-sample correction adds
+  EXPECT_GT(m.bic, m.aic);         // log(n) > 2 for n >= 8
+  EXPECT_LT(m.log_likelihood, 0.0);
+}
+
+TEST(FitSarima, DifferencedModelExcludesMeanByDefault) {
+  rrp::Rng rng(77);
+  std::vector<double> x(300, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = x[t - 1] + rng.normal(0.1, 1.0);  // drifting random walk
+  SarimaOrder order;
+  order.p = 1;
+  order.d = 1;
+  const auto m = fit_sarima(x, order);
+  EXPECT_FALSE(m.has_mean);
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+}
+
+TEST(FitSarima, RejectsTooShortSeries) {
+  std::vector<double> x = {1.0, 2.0, 1.5};
+  SarimaOrder order;
+  order.p = 2;
+  EXPECT_THROW(fit_sarima(x, order), rrp::ContractViolation);
+}
+
+TEST(Forecast, Ar1ForecastDecaysTowardMean) {
+  std::vector<double> phi = {0.8};
+  const auto x = simulate_arma(phi, {}, 10.0, 0.5, 2000, 78);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(x, order);
+  const auto f = forecast(m, x, 50);
+  ASSERT_EQ(f.size(), 50u);
+  // Far-horizon forecasts approach the estimated process mean.
+  EXPECT_NEAR(f.back(), m.mean, 0.2);
+  // Successive forecasts contract toward the mean monotonically.
+  const double d0 = std::fabs(f[0] - m.mean);
+  const double d10 = std::fabs(f[10] - m.mean);
+  EXPECT_LE(d10, d0 + 1e-9);
+}
+
+TEST(Forecast, RandomWalkForecastIsFlat) {
+  rrp::Rng rng(79);
+  std::vector<double> x(500, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = x[t - 1] + rng.normal(0.0, 1.0);
+  SarimaOrder order;  // ARIMA(0,1,0): pure random walk
+  order.d = 1;
+  order.p = 1;        // with a near-zero AR term on the differences
+  const auto m = fit_sarima(x, order);
+  const auto f = forecast(m, x, 10);
+  for (double v : f) EXPECT_NEAR(v, x.back(), 1.5);
+}
+
+TEST(Forecast, SeasonalModelRepeatsPattern) {
+  // Strongly seasonal series with period 12 and seasonal AR.
+  rrp::Rng rng(80);
+  const std::size_t s = 12;
+  std::vector<double> x(1200);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 3.0 * std::sin(2.0 * M_PI * static_cast<double>(t % s) /
+                          static_cast<double>(s)) +
+           rng.normal(0.0, 0.2);
+  }
+  SarimaOrder order;
+  order.P = 1;
+  order.s = s;
+  const auto m = fit_sarima(x, order);
+  const auto f = forecast(m, x, s);
+  // The forecast should correlate strongly with the true seasonal shape.
+  std::vector<double> truth(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    truth[i] = 3.0 * std::sin(2.0 * M_PI *
+                              static_cast<double>((x.size() + i) % s) /
+                              static_cast<double>(s));
+  }
+  EXPECT_GT(rrp::stats::pearson_correlation(f, truth), 0.8);
+}
+
+TEST(Forecast, MeanForecastBaseline) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto f = mean_forecast(x, 4);
+  ASSERT_EQ(f.size(), 4u);
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Forecast, BeatsOrMatchesMeanBaselineInSample) {
+  // On an AR(1) with strong dependence, model forecasts must beat the
+  // mean predictor on one-step holdout MSE.
+  std::vector<double> phi = {0.9};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 2100, 81);
+  std::vector<double> train(x.begin(), x.end() - 100);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(train, order);
+
+  std::vector<double> model_pred, mean_pred, actual;
+  std::vector<double> hist = train;
+  for (std::size_t i = 0; i < 100; ++i) {
+    model_pred.push_back(forecast(m, hist, 1)[0]);
+    mean_pred.push_back(mean_forecast(hist, 1)[0]);
+    actual.push_back(x[train.size() + i]);
+    hist.push_back(actual.back());
+  }
+  EXPECT_LT(rrp::stats::mse(actual, model_pred),
+            rrp::stats::mse(actual, mean_pred));
+}
+
+}  // namespace
+
+// -- Prediction intervals ------------------------------------------------
+
+namespace {
+
+using namespace rrp::ts;
+
+TEST(PsiWeights, Ar1GeometricDecay) {
+  SarimaModel m;
+  m.order.p = 1;
+  m.phi = {0.6};
+  m.ar_full = expand_ar(m.phi, {}, 0);
+  m.sigma2 = 1.0;
+  const auto psi = psi_weights(m, 6);
+  for (std::size_t j = 0; j < 6; ++j)
+    EXPECT_NEAR(psi[j], std::pow(0.6, static_cast<double>(j)), 1e-12);
+}
+
+TEST(PsiWeights, Ma1Truncates) {
+  SarimaModel m;
+  m.order.q = 1;
+  m.theta = {0.4};
+  m.ma_full = expand_ma(m.theta, {}, 0);
+  const auto psi = psi_weights(m, 5);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  EXPECT_DOUBLE_EQ(psi[1], 0.4);
+  for (std::size_t j = 2; j < 5; ++j) EXPECT_DOUBLE_EQ(psi[j], 0.0);
+}
+
+TEST(PsiWeights, RandomWalkWeightsAreOne) {
+  SarimaModel m;
+  m.order.d = 1;
+  const auto psi = psi_weights(m, 5);
+  for (double v : psi) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(ForecastInterval, WidthsGrowWithHorizon) {
+  std::vector<double> phi = {0.7};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 2000, 211);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(x, order);
+  const auto fi = forecast_interval(m, x, 12);
+  double prev = 0.0;
+  for (std::size_t step = 0; step < 12; ++step) {
+    const double width = fi.upper[step] - fi.lower[step];
+    EXPECT_GE(width, prev - 1e-9);
+    EXPECT_GT(width, 0.0);
+    prev = width;
+  }
+}
+
+TEST(ForecastInterval, Ar1VarianceMatchesTheory) {
+  std::vector<double> phi = {0.8};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 5000, 212);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(x, order);
+  const auto fi = forecast_interval(m, x, 10, 0.95);
+  const double z = 1.959963984540054;
+  const double fitted_phi = m.phi[0];
+  for (std::size_t step = 0; step < 10; ++step) {
+    const double hd = static_cast<double>(step + 1);
+    const double var = m.sigma2 *
+                       (1.0 - std::pow(fitted_phi, 2.0 * hd)) /
+                       (1.0 - fitted_phi * fitted_phi);
+    const double width = fi.upper[step] - fi.lower[step];
+    EXPECT_NEAR(width, 2.0 * z * std::sqrt(var), 1e-6 + 0.01 * width);
+  }
+}
+
+TEST(ForecastInterval, EmpiricalCoverageNear95) {
+  // Fit once, then check how often the next 3 observations fall inside
+  // the 95% band across many simulated continuations.
+  std::vector<double> phi = {0.6};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 3000, 213);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(x, order);
+
+  rrp::Rng rng(214);
+  int inside = 0, total = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    // Simulate a 3-step continuation of the fitted process.
+    std::vector<double> cont = x;
+    const auto fi = forecast_interval(m, x, 3);
+    for (int step = 0; step < 3; ++step) {
+      double v = rng.normal(0.0, 1.0);
+      v += m.mean + m.phi[0] * (cont.back() - m.mean);
+      cont.push_back(v);
+      ++total;
+      if (v >= fi.lower[static_cast<std::size_t>(step)] &&
+          v <= fi.upper[static_cast<std::size_t>(step)])
+        ++inside;
+    }
+  }
+  const double coverage = static_cast<double>(inside) / total;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(ForecastInterval, LevelValidation) {
+  std::vector<double> phi = {0.5};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 500, 215);
+  SarimaOrder order;
+  order.p = 1;
+  const auto m = fit_sarima(x, order);
+  EXPECT_THROW(forecast_interval(m, x, 3, 0.0), rrp::ContractViolation);
+  EXPECT_THROW(forecast_interval(m, x, 3, 1.0), rrp::ContractViolation);
+}
+
+}  // namespace

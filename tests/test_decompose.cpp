@@ -1,0 +1,102 @@
+#include "timeseries/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+std::vector<double> synthetic(std::size_t n, std::size_t period,
+                              double trend_slope, double seasonal_amp,
+                              double noise_sd, std::uint64_t seed) {
+  rrp::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double season =
+        seasonal_amp *
+        std::sin(2.0 * M_PI * static_cast<double>(t % period) /
+                 static_cast<double>(period));
+    x[t] = 10.0 + trend_slope * static_cast<double>(t) + season +
+           rng.normal(0.0, noise_sd);
+  }
+  return x;
+}
+
+TEST(Decompose, SeasonalProfileSumsToZero) {
+  const auto x = synthetic(240, 24, 0.01, 1.0, 0.1, 61);
+  const auto d = decompose_additive(x, 24);
+  double sum = 0.0;
+  for (double v : d.seasonal_profile()) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Decompose, RecoversLinearTrend) {
+  const auto x = synthetic(240, 24, 0.05, 1.0, 0.0, 62);
+  const auto d = decompose_additive(x, 24);
+  // In the interior the centred MA of a linear trend is exact.
+  for (std::size_t t = 30; t < 200; ++t) {
+    ASSERT_FALSE(std::isnan(d.trend[t]));
+    EXPECT_NEAR(d.trend[t], 10.0 + 0.05 * static_cast<double>(t), 0.02)
+        << "t=" << t;
+  }
+}
+
+TEST(Decompose, RecoversSeasonalShape) {
+  const auto x = synthetic(480, 24, 0.0, 2.0, 0.05, 63);
+  const auto d = decompose_additive(x, 24);
+  const auto profile = d.seasonal_profile();
+  for (std::size_t p = 0; p < 24; ++p) {
+    const double expected =
+        2.0 * std::sin(2.0 * M_PI * static_cast<double>(p) / 24.0);
+    EXPECT_NEAR(profile[p], expected, 0.1) << "phase " << p;
+  }
+}
+
+TEST(Decompose, ComponentsSumBackToSeries) {
+  const auto x = synthetic(240, 12, 0.02, 1.5, 0.3, 64);
+  const auto d = decompose_additive(x, 12);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    if (std::isnan(d.trend[t])) continue;
+    EXPECT_NEAR(d.trend[t] + d.seasonal[t] + d.remainder[t], x[t], 1e-9);
+  }
+}
+
+TEST(Decompose, EdgesAreNaN) {
+  const auto x = synthetic(100, 24, 0.0, 1.0, 0.1, 65);
+  const auto d = decompose_additive(x, 24);
+  EXPECT_TRUE(std::isnan(d.trend.front()));
+  EXPECT_TRUE(std::isnan(d.trend.back()));
+  EXPECT_TRUE(std::isnan(d.remainder.front()));
+}
+
+TEST(Decompose, OddPeriodSupported) {
+  const auto x = synthetic(105, 7, 0.01, 1.0, 0.1, 66);
+  const auto d = decompose_additive(x, 7);
+  EXPECT_EQ(d.period, 7u);
+  EXPECT_FALSE(std::isnan(d.trend[52]));
+  double sum = 0.0;
+  for (double v : d.seasonal_profile()) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Decompose, NoiseOnlySeriesHasSmallSeasonal) {
+  rrp::Rng rng(67);
+  std::vector<double> x(480);
+  for (auto& v : x) v = rng.normal(5.0, 1.0);
+  const auto d = decompose_additive(x, 24);
+  for (double v : d.seasonal_profile()) EXPECT_LT(std::fabs(v), 0.8);
+}
+
+TEST(Decompose, RequiresTwoFullPeriods) {
+  std::vector<double> x(30, 1.0);
+  EXPECT_THROW(decompose_additive(x, 24), rrp::ContractViolation);
+  EXPECT_THROW(decompose_additive(x, 1), rrp::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include "core/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace rrp::core;
+
+TEST(Demand, PaperDistributionMoments) {
+  rrp::Rng rng(121);
+  const auto d = generate_demand(50000, DemandConfig{}, rng);
+  EXPECT_NEAR(rrp::stats::mean(d), 0.4, 0.02);
+  EXPECT_NEAR(rrp::stats::stddev(d), 0.2, 0.02);
+  for (double v : d) EXPECT_GT(v, 0.0);
+}
+
+TEST(Demand, MeanSweepUsedBySensitivityAnalysis) {
+  rrp::Rng rng(122);
+  for (double mean : {0.2, 0.4, 0.8, 1.2, 1.6}) {
+    DemandConfig cfg;
+    cfg.mean = mean;
+    const auto d = generate_demand(20000, cfg, rng);
+    EXPECT_NEAR(rrp::stats::mean(d), mean, 0.05 + 0.05 * mean);
+  }
+}
+
+TEST(Demand, Deterministic) {
+  rrp::Rng a(7), b(7);
+  const auto da = generate_demand(100, DemandConfig{}, a);
+  const auto db = generate_demand(100, DemandConfig{}, b);
+  EXPECT_EQ(da, db);
+}
+
+TEST(Demand, ConfigValidation) {
+  rrp::Rng rng(1);
+  DemandConfig bad;
+  bad.sd = 0.0;
+  EXPECT_THROW(generate_demand(10, bad, rng), rrp::ContractViolation);
+  bad = DemandConfig{};
+  bad.mean = -0.1;
+  EXPECT_THROW(generate_demand(10, bad, rng), rrp::ContractViolation);
+}
+
+TEST(Demand, ConstantPattern) {
+  const auto d = constant_demand(5, 0.7);
+  ASSERT_EQ(d.size(), 5u);
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 0.7);
+  EXPECT_THROW(constant_demand(3, -1.0), rrp::ContractViolation);
+}
+
+TEST(Demand, DiurnalPattern) {
+  const auto d = diurnal_demand(48, 1.0, 0.5);
+  ASSERT_EQ(d.size(), 48u);
+  // Period 24: the pattern repeats.
+  for (std::size_t t = 0; t < 24; ++t) EXPECT_NEAR(d[t], d[t + 24], 1e-12);
+  // Peak at t=6 (sin max), trough at t=18.
+  EXPECT_GT(d[6], d[0]);
+  EXPECT_LT(d[18], d[0]);
+  for (double v : d) EXPECT_GE(v, 0.0);
+}
+
+}  // namespace

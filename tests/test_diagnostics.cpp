@@ -1,0 +1,193 @@
+#include "timeseries/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+TEST(ShapiroWilk, AcceptsNormalSamples) {
+  rrp::Rng rng(111);
+  int rejections = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> x(200);
+    for (auto& v : x) v = rng.normal(3.0, 2.0);
+    const auto r = shapiro_wilk(x);
+    EXPECT_GT(r.statistic, 0.9);
+    EXPECT_LE(r.statistic, 1.0);
+    if (r.p_value < 0.05) ++rejections;
+  }
+  // At the 5% level we expect about one false rejection in 20.
+  EXPECT_LE(rejections, 4);
+}
+
+TEST(ShapiroWilk, RejectsExponentialSamples) {
+  rrp::Rng rng(112);
+  std::vector<double> x(300);
+  for (auto& v : x) v = rng.exponential(1.0);
+  const auto r = shapiro_wilk(x);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(ShapiroWilk, RejectsBimodalSamples) {
+  rrp::Rng rng(113);
+  std::vector<double> x(400);
+  for (auto& v : x)
+    v = rng.bernoulli(0.5) ? rng.normal(-4.0, 0.5) : rng.normal(4.0, 0.5);
+  const auto r = shapiro_wilk(x);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(ShapiroWilk, SmallSampleBranch) {
+  rrp::Rng rng(114);
+  std::vector<double> x(8);
+  for (auto& v : x) v = rng.normal();
+  const auto r = shapiro_wilk(x);
+  EXPECT_GT(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(ShapiroWilk, NEqualsThreeExactBranch) {
+  std::vector<double> x = {1.0, 2.0, 4.0};
+  const auto r = shapiro_wilk(x);
+  EXPECT_GT(r.statistic, 0.5);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(ShapiroWilk, BoundsChecked) {
+  std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(shapiro_wilk(two), rrp::ContractViolation);
+  std::vector<double> constant(10, 1.0);
+  EXPECT_THROW(shapiro_wilk(constant), rrp::ContractViolation);
+}
+
+TEST(LjungBox, WhiteNoiseNotRejected) {
+  rrp::Rng rng(115);
+  std::vector<double> x(1000);
+  for (auto& v : x) v = rng.normal();
+  const auto r = ljung_box(x, 10);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(LjungBox, Ar1StronglyRejected) {
+  rrp::Rng rng(116);
+  std::vector<double> x(1000, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = 0.8 * x[t - 1] + rng.normal();
+  const auto r = ljung_box(x, 10);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 100.0);
+}
+
+TEST(LjungBox, FittedParamsReduceDof) {
+  rrp::Rng rng(117);
+  std::vector<double> x(500);
+  for (auto& v : x) v = rng.normal();
+  const auto full = ljung_box(x, 10, 0);
+  const auto adjusted = ljung_box(x, 10, 3);
+  EXPECT_DOUBLE_EQ(full.statistic, adjusted.statistic);
+  // Fewer dof -> same Q is more extreme -> smaller p.
+  EXPECT_LE(adjusted.p_value, full.p_value + 1e-12);
+}
+
+TEST(LjungBox, ParameterValidation) {
+  std::vector<double> x(50, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<double>(i % 7);
+  EXPECT_THROW(ljung_box(x, 0), rrp::ContractViolation);
+  EXPECT_THROW(ljung_box(x, 5, 5), rrp::ContractViolation);
+}
+
+TEST(JarqueBera, NormalAccepted) {
+  rrp::Rng rng(118);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = rng.normal();
+  EXPECT_GT(jarque_bera(x).p_value, 0.01);
+}
+
+TEST(JarqueBera, SkewedRejected) {
+  rrp::Rng rng(119);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = rng.exponential(1.0);
+  EXPECT_LT(jarque_bera(x).p_value, 1e-6);
+}
+
+}  // namespace
+
+// -- KPSS stationarity ---------------------------------------------------
+
+namespace {
+
+using rrp::ts::is_level_stationary;
+using rrp::ts::kpss_level;
+
+TEST(Kpss, StationaryAr1NotRejected) {
+  rrp::Rng rng(121);
+  std::vector<double> x(1000, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = 0.5 * x[t - 1] + rng.normal();
+  const auto r = kpss_level(x);
+  EXPECT_LT(r.statistic, 0.463);  // 5% critical value
+  EXPECT_TRUE(is_level_stationary(x));
+}
+
+TEST(Kpss, WhiteNoiseNotRejected) {
+  rrp::Rng rng(122);
+  std::vector<double> x(500);
+  for (auto& v : x) v = rng.normal(3.0, 1.0);
+  EXPECT_TRUE(is_level_stationary(x));
+}
+
+TEST(Kpss, RandomWalkRejected) {
+  rrp::Rng rng(123);
+  std::vector<double> x(1000, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = x[t - 1] + rng.normal();
+  const auto r = kpss_level(x);
+  EXPECT_GT(r.statistic, 0.739);  // beyond the 1% critical value
+  EXPECT_NEAR(r.p_value, 0.01, 1e-12);
+  EXPECT_FALSE(is_level_stationary(x));
+}
+
+TEST(Kpss, DeterministicTrendRejected) {
+  rrp::Rng rng(124);
+  std::vector<double> x(600);
+  for (std::size_t t = 0; t < x.size(); ++t)
+    x[t] = 0.01 * static_cast<double>(t) + rng.normal(0.0, 0.5);
+  EXPECT_FALSE(is_level_stationary(x));  // level-KPSS rejects a trend
+}
+
+TEST(Kpss, PValueInterpolationMonotone) {
+  // Larger statistics must never give larger p-values; probe via
+  // series of increasing persistence.
+  rrp::Rng rng(125);
+  double prev_p = 1.0;
+  for (double phi : {0.0, 0.9, 0.995}) {
+    std::vector<double> x(800, 0.0);
+    for (std::size_t t = 1; t < x.size(); ++t)
+      x[t] = phi * x[t - 1] + rng.normal();
+    const auto r = kpss_level(x);
+    EXPECT_LE(r.p_value, prev_p + 1e-12) << "phi " << phi;
+    prev_p = r.p_value;
+  }
+}
+
+TEST(Kpss, InputValidation) {
+  std::vector<double> tiny(5, 1.0);
+  EXPECT_THROW(kpss_level(tiny), rrp::ContractViolation);
+  rrp::Rng rng(126);
+  std::vector<double> x(100);
+  for (auto& v : x) v = rng.normal();
+  EXPECT_THROW(is_level_stationary(x, 0.5), rrp::ContractViolation);
+}
+
+}  // namespace

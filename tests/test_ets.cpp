@@ -1,0 +1,124 @@
+#include "timeseries/ets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+TEST(Ets, ConstantSeriesForecastsConstant) {
+  std::vector<double> x(50, 3.0);
+  const auto model = fit_ets(x);
+  const auto f = forecast(model, 5);
+  for (double v : f) EXPECT_NEAR(v, 3.0, 1e-9);
+}
+
+TEST(Ets, LevelTracksRecentDataWithHighAlpha) {
+  // A step change: the fitted smoother must end near the new level.
+  std::vector<double> x(60, 1.0);
+  for (std::size_t t = 30; t < 60; ++t) x[t] = 5.0;
+  const auto model = fit_ets(x);
+  EXPECT_NEAR(model.level, 5.0, 0.5);
+  EXPECT_NEAR(forecast(model, 1)[0], 5.0, 0.5);
+}
+
+TEST(Ets, TrendComponentExtrapolatesLine) {
+  std::vector<double> x(40);
+  for (std::size_t t = 0; t < x.size(); ++t)
+    x[t] = 2.0 + 0.5 * static_cast<double>(t);
+  EtsOptions opt;
+  opt.trend = true;
+  const auto model = fit_ets(x, opt);
+  const auto f = forecast(model, 4);
+  for (std::size_t h = 0; h < 4; ++h) {
+    const double expected = 2.0 + 0.5 * static_cast<double>(40 + h);
+    EXPECT_NEAR(f[h], expected, 0.2) << "h=" << h;
+  }
+}
+
+TEST(Ets, SeasonalPatternRepeats) {
+  rrp::Rng rng(401);
+  const std::size_t s = 12;
+  std::vector<double> x(20 * s);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 10.0 +
+           3.0 * std::sin(2.0 * M_PI * static_cast<double>(t % s) /
+                          static_cast<double>(s)) +
+           rng.normal(0.0, 0.1);
+  }
+  EtsOptions opt;
+  opt.season = s;
+  const auto model = fit_ets(x, opt);
+  const auto f = forecast(model, s);
+  std::vector<double> truth(s);
+  for (std::size_t h = 0; h < s; ++h) {
+    truth[h] = 10.0 + 3.0 * std::sin(2.0 * M_PI *
+                                     static_cast<double>((x.size() + h) % s) /
+                                     static_cast<double>(s));
+  }
+  EXPECT_GT(rrp::stats::pearson_correlation(f, truth), 0.95);
+}
+
+TEST(Ets, FixedWeightsAreRespected) {
+  std::vector<double> x(30);
+  rrp::Rng rng(402);
+  for (auto& v : x) v = rng.normal(5.0, 1.0);
+  EtsOptions opt;
+  opt.alpha = 0.42;
+  const auto model = fit_ets(x, opt);
+  EXPECT_DOUBLE_EQ(model.alpha, 0.42);
+}
+
+TEST(Ets, OptimisedWeightsBeatArbitraryOnes) {
+  rrp::Rng rng(403);
+  std::vector<double> x(200, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = 0.8 * x[t - 1] + rng.normal();
+  EtsOptions fixed;
+  fixed.alpha = 0.05;  // deliberately poor
+  EtsOptions optimised;
+  const auto bad = fit_ets(x, fixed);
+  const auto good = fit_ets(x, optimised);
+  EXPECT_LE(good.sse, bad.sse + 1e-9);
+}
+
+TEST(Ets, ForecastOnAr1ComparableToNaive) {
+  // The smoother's one-step forecasts must beat the long-run mean
+  // predictor on a persistent series.
+  rrp::Rng rng(404);
+  std::vector<double> x(1100, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t)
+    x[t] = 0.9 * x[t - 1] + rng.normal();
+  std::vector<double> train(x.begin(), x.end() - 100);
+  double model_se = 0.0, mean_se = 0.0;
+  std::vector<double> hist = train;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto m = fit_ets(hist);
+    const double pred = forecast(m, 1)[0];
+    const double mean_pred = rrp::stats::mean(hist);
+    const double actual = x[train.size() + i];
+    model_se += (pred - actual) * (pred - actual);
+    mean_se += (mean_pred - actual) * (mean_pred - actual);
+    hist.push_back(actual);
+  }
+  EXPECT_LT(model_se, mean_se);
+}
+
+TEST(Ets, InputValidation) {
+  std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(fit_ets(tiny), rrp::ContractViolation);
+  std::vector<double> x(10, 1.0);
+  EtsOptions opt;
+  opt.season = 12;  // not enough data for two periods
+  EXPECT_THROW(fit_ets(x, opt), rrp::ContractViolation);
+  EXPECT_THROW(forecast(fit_ets(std::vector<double>(10, 1.0)), 0),
+               rrp::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include "core/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/demand.hpp"
+#include "core/wagner_whitin.hpp"
+
+namespace {
+
+using namespace rrp::core;
+using rrp::market::VmClass;
+
+std::vector<FleetEntry> paper_fleet(std::uint64_t seed,
+                                    std::size_t horizon = 24) {
+  rrp::Rng rng(seed);
+  std::vector<FleetEntry> entries;
+  std::size_t n = 2;
+  for (VmClass vm : rrp::market::evaluation_classes()) {
+    FleetEntry e;
+    e.vm = vm;
+    e.instances = n++;
+    rrp::Rng stream = rng.split();
+    // Total demand scales with the instance count.
+    DemandConfig cfg;
+    cfg.mean = 0.4 * static_cast<double>(e.instances);
+    cfg.sd = 0.2;
+    e.total_demand = generate_demand(horizon, cfg, stream);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+TEST(Fleet, ValidationRejectsBadInput) {
+  EXPECT_THROW(plan_fleet({}), rrp::ContractViolation);
+  auto entries = paper_fleet(1);
+  entries[1].total_demand.pop_back();  // horizon mismatch
+  EXPECT_THROW(plan_fleet(entries), rrp::ContractViolation);
+  entries = paper_fleet(2);
+  entries[0].instances = 0;
+  EXPECT_THROW(plan_fleet(entries), rrp::ContractViolation);
+}
+
+TEST(Fleet, TotalIsSumOfClassCosts) {
+  const auto plan = plan_fleet(paper_fleet(3));
+  ASSERT_EQ(plan.classes.size(), 3u);
+  double sum = 0.0;
+  for (const auto& c : plan.classes) sum += c.class_cost.total();
+  EXPECT_NEAR(plan.total_cost(), sum, 1e-9);
+}
+
+TEST(Fleet, ClassCostIsPerInstanceTimesN) {
+  // The paper's decomposition: overall = n x per-instance cost.
+  const auto plan = plan_fleet(paper_fleet(4));
+  for (const auto& c : plan.classes) {
+    EXPECT_NEAR(c.class_cost.total(),
+                c.per_instance.cost.total() *
+                    static_cast<double>(c.instances),
+                1e-9);
+  }
+}
+
+TEST(Fleet, MatchesIndependentPerInstanceSolves) {
+  const auto entries = paper_fleet(5);
+  const auto plan = plan_fleet(entries);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    DrrpInstance inst;
+    inst.vm = entries[i].vm;
+    const double n = static_cast<double>(entries[i].instances);
+    for (double d : entries[i].total_demand)
+      inst.demand.push_back(d / n);
+    inst.compute_price.assign(
+        inst.demand.size(),
+        rrp::market::info(entries[i].vm).on_demand_hourly);
+    const RentalPlan expected = solve_drrp_wagner_whitin(inst);
+    EXPECT_NEAR(plan.classes[i].per_instance.cost.total(),
+                expected.cost.total(), 1e-9);
+  }
+}
+
+TEST(Fleet, PlannedNeverWorseThanNoPlan) {
+  const auto entries = paper_fleet(6);
+  const auto planned = plan_fleet(entries);
+  const auto naive = no_plan_fleet(entries);
+  EXPECT_LE(planned.total_cost(), naive.total_cost() + 1e-9);
+  // And per class as well.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_LE(planned.classes[i].class_cost.total(),
+              naive.classes[i].class_cost.total() + 1e-9);
+  }
+}
+
+TEST(Fleet, CustomPricesRespected) {
+  auto entries = paper_fleet(7, 12);
+  entries[0].compute_price.assign(12, 0.01);  // nearly free compute
+  const auto plan = plan_fleet(entries);
+  // With compute this cheap the planner rents almost every demand slot
+  // (no holding); compute share of class 0 cost must be small.
+  const auto& c0 = plan.classes[0].class_cost;
+  EXPECT_LT(c0.compute / c0.total(), 0.25);
+}
+
+TEST(Fleet, SingleClassSingleInstanceDegeneratesToDrrp) {
+  rrp::Rng rng(8);
+  FleetEntry e;
+  e.vm = VmClass::M1Large;
+  e.instances = 1;
+  e.total_demand = generate_demand(24, DemandConfig{}, rng);
+  const auto plan = plan_fleet({e});
+
+  DrrpInstance inst;
+  inst.vm = e.vm;
+  inst.demand = e.total_demand;
+  inst.compute_price.assign(24, 0.4);
+  const RentalPlan expected = solve_drrp_wagner_whitin(inst);
+  EXPECT_NEAR(plan.total_cost(), expected.cost.total(), 1e-9);
+}
+
+}  // namespace

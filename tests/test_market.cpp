@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "market/auction.hpp"
+#include "market/cost_model.hpp"
+#include "market/instance_types.hpp"
+
+namespace {
+
+using namespace rrp::market;
+
+TEST(InstanceTypes, PaperEvaluationPricing) {
+  // Section V-A: hourly on-demand cost {0.2, 0.4, 0.8} for
+  // {c1.medium, m1.large, m1.xlarge}.
+  EXPECT_DOUBLE_EQ(info(VmClass::C1Medium).on_demand_hourly, 0.2);
+  EXPECT_DOUBLE_EQ(info(VmClass::M1Large).on_demand_hourly, 0.4);
+  EXPECT_DOUBLE_EQ(info(VmClass::M1Xlarge).on_demand_hourly, 0.8);
+}
+
+TEST(InstanceTypes, EvaluationClassesAreThePaperSet) {
+  const auto classes = evaluation_classes();
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0], VmClass::C1Medium);
+  EXPECT_EQ(classes[1], VmClass::M1Large);
+  EXPECT_EQ(classes[2], VmClass::M1Xlarge);
+}
+
+TEST(InstanceTypes, VolatilityGrowsWithClassSize) {
+  // Figure 3: "more outliers present in more powerful VM class".
+  const auto classes = all_classes();
+  for (std::size_t i = 1; i < classes.size(); ++i) {
+    EXPECT_GE(classes[i].spot_volatility, classes[i - 1].spot_volatility);
+    EXPECT_GE(classes[i].spike_probability,
+              classes[i - 1].spike_probability);
+  }
+}
+
+TEST(InstanceTypes, SpotMeanWellBelowOnDemand) {
+  for (const auto& c : all_classes()) {
+    EXPECT_LT(c.spot_mean_ratio, 0.5);
+    EXPECT_GT(c.spot_mean_ratio, 0.1);
+  }
+}
+
+TEST(InstanceTypes, NameRoundTrip) {
+  for (const auto& c : all_classes()) {
+    EXPECT_EQ(from_name(c.name), c.id);
+    EXPECT_EQ(info(c.id).name, c.name);
+  }
+  EXPECT_THROW(from_name("t2.micro"), rrp::InvalidArgument);
+}
+
+TEST(CostModel, PaperDefaults) {
+  const CostModel m = CostModel::paper_defaults();
+  EXPECT_NEAR(m.storage(0), 0.1 / 730.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.io(0), 0.2);
+  EXPECT_DOUBLE_EQ(m.transfer_in(0), 0.1);
+  EXPECT_DOUBLE_EQ(m.transfer_out(0), 0.17);
+  EXPECT_DOUBLE_EQ(m.input_output_ratio(), 0.5);
+}
+
+TEST(CostModel, DerivedCosts) {
+  const CostModel m = CostModel::paper_defaults();
+  // Generating 2 GB requires 1 GB transferred in (Phi = 0.5) at $0.1.
+  EXPECT_NEAR(m.generation_cost(2.0, 0), 0.1, 1e-12);
+  EXPECT_NEAR(m.delivery_cost(2.0, 0), 0.34, 1e-12);
+  EXPECT_NEAR(m.holding(0), 0.2 + 0.1 / 730.0, 1e-12);
+}
+
+TEST(CostModel, IoScaling) {
+  const CostModel m = CostModel::paper_defaults();
+  const CostModel scaled = m.with_io_scaled(2.0);
+  EXPECT_DOUBLE_EQ(scaled.io(0), 0.4);
+  EXPECT_DOUBLE_EQ(scaled.storage(0), m.storage(0));
+  EXPECT_THROW(m.with_io_scaled(-1.0), rrp::ContractViolation);
+}
+
+TEST(CostModel, RejectsNegativeParameters) {
+  CostModel::Parameters p = CostModel::paper_defaults().parameters();
+  p.io_per_gb_slot = -0.1;
+  EXPECT_THROW(CostModel{p}, rrp::ContractViolation);
+}
+
+TEST(Auction, WinnerPaysSpotNotBid) {
+  const auto o = settle(/*bid=*/0.5, /*spot=*/0.06, /*on_demand=*/0.2);
+  EXPECT_TRUE(o.won);
+  EXPECT_DOUBLE_EQ(o.price_paid, 0.06);  // uniform price: pay the spot
+}
+
+TEST(Auction, OutOfBidFallsBackToOnDemand) {
+  const auto o = settle(0.05, 0.06, 0.2);
+  EXPECT_FALSE(o.won);
+  EXPECT_DOUBLE_EQ(o.price_paid, 0.2);
+}
+
+TEST(Auction, BidEqualToSpotWins) {
+  EXPECT_TRUE(settle(0.06, 0.06, 0.2).won);
+}
+
+TEST(Auction, HorizonSettlementAndStats) {
+  std::vector<double> bids = {0.10, 0.05, 0.10, 0.01};
+  std::vector<double> spot = {0.06, 0.06, 0.12, 0.04};
+  const auto outcomes = settle_horizon(bids, spot, 0.2);
+  ASSERT_EQ(outcomes.size(), 4u);
+  const auto s = summarize(outcomes);
+  EXPECT_EQ(s.slots, 4u);
+  EXPECT_EQ(s.out_of_bid_events, 3u);  // slots 1, 2, 3
+  EXPECT_NEAR(s.total_paid, 0.06 + 0.2 + 0.2 + 0.2, 1e-12);
+  EXPECT_NEAR(s.out_of_bid_rate(), 0.75, 1e-12);
+}
+
+TEST(Auction, MismatchedHorizonRejected) {
+  std::vector<double> bids = {0.1};
+  std::vector<double> spot = {0.06, 0.07};
+  EXPECT_THROW(settle_horizon(bids, spot, 0.2), rrp::ContractViolation);
+}
+
+}  // namespace
+
+// -- Availability analysis (paper Section II/IV concern) ----------------
+
+namespace {
+
+using rrp::market::analyze_availability;
+
+TEST(Availability, AllUpWhenBidAboveEverything) {
+  std::vector<double> prices = {0.05, 0.06, 0.055, 0.07};
+  const auto r = analyze_availability(prices, 1.0);
+  EXPECT_DOUBLE_EQ(r.uptime_fraction, 1.0);
+  EXPECT_EQ(r.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_uptime_run, 4.0);
+  EXPECT_NEAR(r.mean_price_paid, (0.05 + 0.06 + 0.055 + 0.07) / 4, 1e-12);
+}
+
+TEST(Availability, AllDownWhenBidBelowEverything) {
+  std::vector<double> prices = {0.05, 0.06};
+  const auto r = analyze_availability(prices, 0.01);
+  EXPECT_DOUBLE_EQ(r.uptime_fraction, 0.0);
+  EXPECT_EQ(r.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_uptime_run, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_price_paid, 0.0);
+}
+
+TEST(Availability, CountsInterruptionsAndRuns) {
+  // up up down up down down -> 2 interruptions, up runs {2,1}, down
+  // runs {1,2}.
+  std::vector<double> prices = {0.05, 0.05, 0.2, 0.05, 0.2, 0.2};
+  const auto r = analyze_availability(prices, 0.1);
+  EXPECT_NEAR(r.uptime_fraction, 0.5, 1e-12);
+  EXPECT_EQ(r.interruptions, 2u);
+  EXPECT_NEAR(r.mean_uptime_run, 1.5, 1e-12);
+  EXPECT_NEAR(r.mean_downtime_run, 1.5, 1e-12);
+}
+
+TEST(Availability, BidEqualPriceCountsAsUp) {
+  std::vector<double> prices = {0.06};
+  EXPECT_DOUBLE_EQ(analyze_availability(prices, 0.06).uptime_fraction, 1.0);
+}
+
+TEST(Availability, HigherBidNeverLowersUptime) {
+  std::vector<double> prices;
+  rrp::Rng rng(55);
+  for (int i = 0; i < 500; ++i) prices.push_back(0.04 + 0.05 * rng.uniform());
+  double prev = -1.0;
+  for (double bid : {0.05, 0.06, 0.07, 0.08, 0.09}) {
+    const double up = analyze_availability(prices, bid).uptime_fraction;
+    EXPECT_GE(up, prev);
+    prev = up;
+  }
+}
+
+TEST(Availability, InputValidation) {
+  EXPECT_THROW(analyze_availability({}, 0.1), rrp::ContractViolation);
+  std::vector<double> prices = {0.05};
+  EXPECT_THROW(analyze_availability(prices, 0.0), rrp::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "milp/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace {
+
+using namespace rrp::milp;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Var v(std::size_t id) { return Var{id}; }
+
+TEST(LinExpr, ConstantAndVarConstruction) {
+  LinExpr c = 5.0;
+  EXPECT_TRUE(c.terms().empty());
+  EXPECT_DOUBLE_EQ(c.constant(), 5.0);
+  LinExpr x = v(3);
+  ASSERT_EQ(x.terms().size(), 1u);
+  EXPECT_EQ(x.terms()[0].var, 3u);
+  EXPECT_DOUBLE_EQ(x.terms()[0].coeff, 1.0);
+}
+
+TEST(LinExpr, ArithmeticComposition) {
+  LinExpr e = 2.0 * LinExpr(v(0)) + 3.0 * LinExpr(v(1)) - LinExpr(v(0)) + 4.0;
+  e.normalize();
+  ASSERT_EQ(e.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(e.terms()[0].coeff, 1.0);  // var 0: 2 - 1
+  EXPECT_DOUBLE_EQ(e.terms()[1].coeff, 3.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 4.0);
+}
+
+TEST(LinExpr, NormalizeDropsZeroCoefficients) {
+  LinExpr e = LinExpr(v(0)) - LinExpr(v(0)) + LinExpr(v(1));
+  e.normalize();
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].var, 1u);
+}
+
+TEST(LinExpr, ScalarMultiplicationBothSides) {
+  LinExpr a = 2.0 * LinExpr(v(0));
+  LinExpr b = LinExpr(v(0)) * 2.0;
+  a.normalize();
+  b.normalize();
+  EXPECT_DOUBLE_EQ(a.terms()[0].coeff, b.terms()[0].coeff);
+}
+
+TEST(LinExpr, UnaryNegation) {
+  LinExpr e = -(2.0 * LinExpr(v(0)) + 1.0);
+  e.normalize();
+  EXPECT_DOUBLE_EQ(e.terms()[0].coeff, -2.0);
+  EXPECT_DOUBLE_EQ(e.constant(), -1.0);
+}
+
+TEST(Constraint, LessEqualAgainstScalar) {
+  Constraint c = LinExpr(v(0)) + LinExpr(v(1)) <= 5.0;
+  EXPECT_EQ(c.lo, -kInf);
+  EXPECT_DOUBLE_EQ(c.hi, 5.0);
+}
+
+TEST(Constraint, GreaterEqualAgainstScalar) {
+  Constraint c = LinExpr(v(0)) >= 2.0;
+  EXPECT_DOUBLE_EQ(c.lo, 2.0);
+  EXPECT_EQ(c.hi, kInf);
+}
+
+TEST(Constraint, EqualityAgainstScalar) {
+  Constraint c = LinExpr(v(0)) == 3.0;
+  EXPECT_DOUBLE_EQ(c.lo, 3.0);
+  EXPECT_DOUBLE_EQ(c.hi, 3.0);
+}
+
+TEST(Constraint, ExprVsExprFoldsRhs) {
+  // x <= y + 1 becomes x - y - 1 <= 0.
+  Constraint c = LinExpr(v(0)) <= LinExpr(v(1)) + 1.0;
+  c.expr.normalize();
+  EXPECT_DOUBLE_EQ(c.expr.constant(), -1.0);
+  ASSERT_EQ(c.expr.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.hi, 0.0);
+}
+
+TEST(Constraint, ExprEqualityVsExpr) {
+  Constraint c = LinExpr(v(0)) + 2.0 == LinExpr(v(1));
+  c.expr.normalize();
+  EXPECT_DOUBLE_EQ(c.lo, 0.0);
+  EXPECT_DOUBLE_EQ(c.hi, 0.0);
+  EXPECT_DOUBLE_EQ(c.expr.constant(), 2.0);
+}
+
+}  // namespace

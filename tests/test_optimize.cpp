@@ -1,0 +1,97 @@
+#include "timeseries/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+TEST(NelderMead, MinimizesQuadratic1D) {
+  auto fn = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const auto r = nelder_mead(fn, {0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.value, 0.0, 1e-7);
+}
+
+TEST(NelderMead, MinimizesShiftedQuadratic3D) {
+  auto fn = [](const std::vector<double>& x) {
+    double s = 0.0;
+    const double target[3] = {1.0, -2.0, 0.5};
+    for (int i = 0; i < 3; ++i) s += (x[i] - target[i]) * (x[i] - target[i]);
+    return s;
+  };
+  const auto r = nelder_mead(fn, {0.0, 0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-3);
+  EXPECT_NEAR(r.x[2], 0.5, 1e-3);
+}
+
+TEST(NelderMead, SolvesRosenbrock) {
+  auto fn = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_evaluations = 50000;
+  const auto r = nelder_mead(fn, {-1.2, 1.0}, opt);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HandlesInfiniteRegions) {
+  // Constrained region: reject x < 0 with +inf; optimum at boundary-ish.
+  auto fn = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.5) * (x[0] - 0.5) + 1.0;
+  };
+  const auto r = nelder_mead(fn, {2.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-3);
+  EXPECT_NEAR(r.value, 1.0, 1e-6);
+}
+
+TEST(NelderMead, NanTreatedAsRejection) {
+  auto fn = [](const std::vector<double>& x) {
+    if (x[0] > 10.0) return std::nan("");
+    return (x[0] - 1.0) * (x[0] - 1.0);
+  };
+  const auto r = nelder_mead(fn, {9.5});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  int calls = 0;
+  auto fn = [&calls](const std::vector<double>& x) {
+    ++calls;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opt;
+  opt.max_evaluations = 50;
+  const auto r = nelder_mead(fn, {100.0}, opt);
+  EXPECT_LE(r.evaluations, 52u);  // initial simplex + loop granularity
+  EXPECT_LE(calls, 52);
+}
+
+TEST(NelderMead, EmptyStartRejected) {
+  auto fn = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_THROW(nelder_mead(fn, {}), rrp::ContractViolation);
+}
+
+TEST(NelderMead, ZeroStartPointStillPerturbs) {
+  // The initial step must handle coordinates at exactly zero.
+  auto fn = [](const std::vector<double>& x) {
+    return (x[0] + 4.0) * (x[0] + 4.0);
+  };
+  const auto r = nelder_mead(fn, {0.0});
+  EXPECT_NEAR(r.x[0], -4.0, 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "core/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace rrp::core;
+
+TEST(Policies, Figure12aSetMatchesPaperOrder) {
+  const auto policies = figure12a_policies();
+  ASSERT_EQ(policies.size(), 5u);
+  EXPECT_EQ(policies[0].name, "on-demand");
+  EXPECT_EQ(policies[1].name, "det-predict");
+  EXPECT_EQ(policies[2].name, "sto-predict");
+  EXPECT_EQ(policies[3].name, "det-exp-mean");
+  EXPECT_EQ(policies[4].name, "sto-exp-mean");
+}
+
+TEST(Policies, PaperLookaheads) {
+  // Section V-A: 24-hour horizon for DRRP, 6 hours for SRRP.
+  EXPECT_EQ(det_predict_policy().lookahead, 24u);
+  EXPECT_EQ(det_exp_mean_policy().lookahead, 24u);
+  EXPECT_EQ(sto_predict_policy().lookahead, 6u);
+  EXPECT_EQ(sto_exp_mean_policy().lookahead, 6u);
+}
+
+TEST(Policies, PlannerKinds) {
+  EXPECT_EQ(no_plan_policy().planner, PlannerKind::NoPlan);
+  EXPECT_EQ(on_demand_policy().planner, PlannerKind::Drrp);
+  EXPECT_EQ(sto_predict_policy().planner, PlannerKind::Srrp);
+  EXPECT_EQ(oracle_policy().bids, BidStrategy::Oracle);
+}
+
+TEST(Policies, SrrpTreesAreBushyEarlyLeanLate) {
+  const auto cfg = sto_predict_policy();
+  for (std::size_t i = 1; i < cfg.stage_widths.size(); ++i)
+    EXPECT_LE(cfg.stage_widths[i], cfg.stage_widths[i - 1]);
+  EXPECT_GE(cfg.stage_widths.front(), 2u);
+}
+
+TEST(Policies, ValidationCatchesBadConfigs) {
+  PolicyConfig cfg = sto_predict_policy();
+  cfg.stage_widths = {1, 1};  // stage 1 too narrow for an OOB state
+  EXPECT_THROW(cfg.validate(), rrp::ContractViolation);
+  cfg = det_predict_policy();
+  cfg.bids = BidStrategy::FixedValue;
+  cfg.fixed_bid = 0.0;
+  EXPECT_THROW(cfg.validate(), rrp::ContractViolation);
+  cfg = det_predict_policy();
+  cfg.lookahead = 0;
+  EXPECT_THROW(cfg.validate(), rrp::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include "lp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lp/simplex.hpp"
+
+namespace {
+
+using namespace rrp::lp;
+
+TEST(Presolve, SingletonRowBecomesBound) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, 10.0, 1.0, "x");
+  const auto y = lp.add_variable(0.0, 10.0, 1.0, "y");
+  lp.add_row({{x, 2.0}}, 4.0, 6.0);         // 2x in [4,6] -> x in [2,3]
+  lp.add_row({{x, 1.0}, {y, 1.0}}, 5.0, kInfinity);
+  const auto pre = presolve(lp);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.rows_removed, 1u);
+  EXPECT_EQ(pre.reduced.num_rows(), 1u);
+  // x survives with tightened bounds.
+  ASSERT_EQ(pre.var_map.size(), 2u);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).lo, 2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).hi, 3.0);
+}
+
+TEST(Presolve, NegativeCoefficientSingleton) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(-10.0, 10.0, 1.0);
+  lp.add_row({{x, -2.0}}, 2.0, 6.0);  // -2x in [2,6] -> x in [-3,-1]
+  const auto pre = presolve(lp);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).lo, -3.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).hi, -1.0);
+}
+
+TEST(Presolve, FixedVariableSubstituted) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(2.5, 2.5, 3.0, "x");  // fixed
+  const auto y = lp.add_variable(0.0, 10.0, 1.0, "y");
+  lp.add_row({{x, 2.0}, {y, 1.0}}, 7.0, kInfinity);  // => y >= 2
+  const auto pre = presolve(lp);
+  ASSERT_FALSE(pre.infeasible);
+  ASSERT_TRUE(pre.fixed[x].has_value());
+  EXPECT_DOUBLE_EQ(*pre.fixed[x], 2.5);
+  EXPECT_EQ(pre.vars_removed, 1u);
+  EXPECT_NEAR(pre.objective_offset, 7.5, 1e-12);
+  // Substitution shifts the row to y >= 2, which is itself a singleton
+  // and collapses into y's lower bound.
+  EXPECT_EQ(pre.reduced.num_rows(), 0u);
+  ASSERT_EQ(pre.var_map.size(), 1u);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).lo, 2.0);
+}
+
+TEST(Presolve, CascadeSingletonFixesVariable) {
+  // Singleton collapses x to a point; substitution turns the second
+  // row into a singleton on y, tightening it too.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, 10.0, 1.0);
+  const auto y = lp.add_variable(0.0, 10.0, 1.0);
+  lp.add_row({{x, 1.0}}, 4.0, 4.0);            // x = 4
+  lp.add_row({{x, 1.0}, {y, 1.0}}, 6.0, 9.0);  // => y in [2,5]
+  const auto pre = presolve(lp);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_TRUE(pre.fixed[x].has_value());
+  EXPECT_EQ(pre.reduced.num_rows(), 0u);
+  ASSERT_EQ(pre.var_map.size(), 1u);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).lo, 2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).hi, 5.0);
+}
+
+TEST(Presolve, DetectsBoundInfeasibility) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, 1.0, 1.0);
+  lp.add_row({{x, 1.0}}, 5.0, kInfinity);  // x >= 5 impossible
+  const auto pre = presolve(lp);
+  EXPECT_TRUE(pre.infeasible);
+}
+
+TEST(Presolve, DetectsEmptyRowInfeasibility) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(3.0, 3.0, 1.0);  // fixed at 3
+  lp.add_row({{x, 1.0}}, 5.0, 7.0);  // becomes empty row 0 in [2,4]
+  const auto pre = presolve(lp);
+  EXPECT_TRUE(pre.infeasible);
+}
+
+TEST(Presolve, RestoreLiftsSolutions) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(1.5, 1.5, 1.0);
+  const auto y = lp.add_variable(0.0, 10.0, 1.0);
+  const auto z = lp.add_variable(0.0, 10.0, 2.0);
+  lp.add_row({{y, 1.0}, {z, 1.0}}, 4.0, kInfinity);
+  const auto pre = presolve(lp);
+  ASSERT_EQ(pre.var_map.size(), 2u);
+  const auto x_full = pre.restore({4.0, 0.0});
+  EXPECT_DOUBLE_EQ(x_full[x], 1.5);
+  EXPECT_DOUBLE_EQ(x_full[y], 4.0);
+  EXPECT_DOUBLE_EQ(x_full[z], 0.0);
+}
+
+class PresolveEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalence, SolveMatchesDirectSolve) {
+  // Random programs rich in singletons and fixed variables: presolve +
+  // solve + restore must agree with the direct solve.
+  rrp::Rng rng(61000 + static_cast<std::uint64_t>(GetParam()));
+  LinearProgram lp;
+  const std::size_t n = 4 + static_cast<std::size_t>(GetParam()) % 6;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (rng.bernoulli(0.25)) {
+      const double v = rng.uniform(-2.0, 2.0);
+      lp.add_variable(v, v, rng.uniform(-2.0, 2.0));  // fixed
+    } else {
+      const double lo = rng.uniform(-2.0, 0.0);
+      lp.add_variable(lo, lo + rng.uniform(0.5, 3.0),
+                      rng.uniform(-2.0, 2.0));
+    }
+  }
+  const std::size_t rows = 2 + static_cast<std::size_t>(GetParam()) % 4;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Entry> entries;
+    for (std::size_t j = 0; j < n; ++j)
+      if (rng.bernoulli(r == 0 ? 0.2 : 0.5))
+        entries.push_back({j, rng.uniform(-2.0, 2.0)});
+    if (entries.empty()) entries.push_back({0, 1.0});
+    double mid = 0.0;
+    for (const auto& e : entries)
+      mid += e.coeff * 0.5 * (lp.variable(e.col).lo + lp.variable(e.col).hi);
+    lp.add_row(std::move(entries), mid - rng.uniform(0.2, 2.0),
+               mid + rng.uniform(0.2, 2.0));
+  }
+
+  const Solution direct = solve(lp);
+  const Solution via_presolve = presolve_and_solve(lp);
+  ASSERT_EQ(direct.status, via_presolve.status);
+  if (direct.status == SolveStatus::Optimal) {
+    EXPECT_NEAR(direct.objective, via_presolve.objective,
+                1e-6 * (1.0 + std::fabs(direct.objective)));
+    EXPECT_LT(lp.max_violation(via_presolve.x), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PresolveEquivalence,
+                         ::testing::Range(0, 30));
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include "core/price_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace rrp::core;
+
+TEST(PriceDistribution, ExactWhenSupportFits) {
+  std::vector<double> prices = {0.05, 0.06, 0.06, 0.07};
+  const auto d = EmpiricalPriceDistribution::from_history(prices, 16);
+  ASSERT_EQ(d.support_size(), 3u);
+  EXPECT_DOUBLE_EQ(d.values()[0], 0.05);
+  EXPECT_DOUBLE_EQ(d.probabilities()[1], 0.5);
+  EXPECT_NEAR(d.mean(), 0.06, 1e-12);
+}
+
+TEST(PriceDistribution, ClusteringPreservesMeanAndMass) {
+  rrp::Rng rng(141);
+  std::vector<double> prices(5000);
+  double true_mean = 0.0;
+  for (auto& p : prices) {
+    p = 0.05 + 0.02 * rng.uniform();
+    true_mean += p;
+  }
+  true_mean /= static_cast<double>(prices.size());
+  const auto d = EmpiricalPriceDistribution::from_history(prices, 8);
+  EXPECT_LE(d.support_size(), 8u);
+  double mass = 0.0;
+  for (double p : d.probabilities()) mass += p;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  EXPECT_NEAR(d.mean(), true_mean, 1e-3);
+}
+
+TEST(PriceDistribution, ClusteredSupportIsSorted) {
+  rrp::Rng rng(142);
+  std::vector<double> prices(1000);
+  for (auto& p : prices) p = 0.04 + 0.05 * rng.uniform();
+  const auto d = EmpiricalPriceDistribution::from_history(prices, 6);
+  for (std::size_t i = 1; i < d.support_size(); ++i)
+    EXPECT_GT(d.values()[i], d.values()[i - 1]);
+}
+
+TEST(PriceDistribution, OutOfBidProbability) {
+  std::vector<double> values = {0.05, 0.06, 0.08};
+  std::vector<double> probs = {0.5, 0.3, 0.2};
+  const EmpiricalPriceDistribution d(values, probs);
+  EXPECT_NEAR(d.out_of_bid_probability(0.07), 0.2, 1e-12);
+  EXPECT_NEAR(d.out_of_bid_probability(0.04), 1.0, 1e-12);
+  EXPECT_NEAR(d.out_of_bid_probability(0.10), 0.0, 1e-12);
+}
+
+TEST(PriceDistribution, BidTruncationImplementsEquation10) {
+  // Paper eq. (10): keep s <= bid; the rest becomes Pr(Cp = lambda).
+  std::vector<double> values = {0.05, 0.06, 0.08};
+  std::vector<double> probs = {0.5, 0.3, 0.2};
+  const EmpiricalPriceDistribution d(values, probs);
+  const auto pts = d.truncate_at_bid(0.065, /*lambda=*/0.2);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].price, 0.05);
+  EXPECT_FALSE(pts[0].out_of_bid);
+  EXPECT_DOUBLE_EQ(pts[1].price, 0.06);
+  EXPECT_TRUE(pts[2].out_of_bid);
+  EXPECT_DOUBLE_EQ(pts[2].price, 0.2);
+  EXPECT_NEAR(pts[2].prob, 0.2, 1e-12);
+  double mass = 0.0;
+  for (const auto& p : pts) mass += p.prob;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(PriceDistribution, HighBidHasNoOutOfBidState) {
+  std::vector<double> values = {0.05, 0.06};
+  std::vector<double> probs = {0.6, 0.4};
+  const EmpiricalPriceDistribution d(values, probs);
+  const auto pts = d.truncate_at_bid(0.1, 0.2);
+  ASSERT_EQ(pts.size(), 2u);
+  for (const auto& p : pts) EXPECT_FALSE(p.out_of_bid);
+}
+
+TEST(PriceDistribution, LowBidIsAllOutOfBid) {
+  std::vector<double> values = {0.05, 0.06};
+  std::vector<double> probs = {0.6, 0.4};
+  const EmpiricalPriceDistribution d(values, probs);
+  const auto pts = d.truncate_at_bid(0.01, 0.2);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(pts[0].out_of_bid);
+  EXPECT_NEAR(pts[0].prob, 1.0, 1e-12);
+}
+
+TEST(PriceDistribution, ConstructionValidation) {
+  EXPECT_THROW(EmpiricalPriceDistribution({}, {}), rrp::ContractViolation);
+  EXPECT_THROW(EmpiricalPriceDistribution({0.06, 0.05}, {0.5, 0.5}),
+               rrp::ContractViolation);  // not sorted
+  EXPECT_THROW(EmpiricalPriceDistribution({0.05}, {0.9}),
+               rrp::ContractViolation);  // mass != 1
+}
+
+TEST(ReduceSupport, NoOpWhenWithinBudget) {
+  std::vector<PricePoint> pts = {{0.05, 0.5, false}, {0.06, 0.5, false}};
+  const auto out = reduce_support(pts, 4);
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(ReduceSupport, ClustersToBudgetPreservingOutOfBid) {
+  std::vector<PricePoint> pts;
+  for (int i = 0; i < 10; ++i)
+    pts.push_back(PricePoint{0.05 + 0.001 * i, 0.08, false});
+  pts.push_back(PricePoint{0.2, 0.2, true});
+  const auto out = reduce_support(pts, 4);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out.back().out_of_bid);
+  EXPECT_NEAR(out.back().prob, 0.2, 1e-12);
+  double mass = 0.0;
+  for (const auto& p : out) mass += p.prob;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  // Mean preserved by probability-weighted clustering.
+  EXPECT_NEAR(mean_of(out), mean_of(pts), 1e-9);
+}
+
+TEST(ReduceSupport, ExpectedValueCollapseAtWidthOne) {
+  std::vector<PricePoint> pts = {{0.05, 0.6, false},
+                                 {0.08, 0.2, false},
+                                 {0.2, 0.2, true}};
+  const auto out = reduce_support(pts, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].out_of_bid);
+  EXPECT_NEAR(out[0].prob, 1.0, 1e-12);
+  EXPECT_NEAR(out[0].price, 0.05 * 0.6 + 0.08 * 0.2 + 0.2 * 0.2, 1e-12);
+}
+
+TEST(ReduceSupport, PureOutOfBidSurvivesCollapse) {
+  std::vector<PricePoint> pts = {{0.2, 1.0, true}};
+  const auto out = reduce_support(pts, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].out_of_bid);
+}
+
+TEST(MeanOf, WeightedMean) {
+  std::vector<PricePoint> pts = {{1.0, 0.25, false}, {3.0, 0.75, false}};
+  EXPECT_NEAR(mean_of(pts), 2.5, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "timeseries/regularize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+TEST(Regularize, CarriesLastObservationForward) {
+  std::vector<Tick> ticks = {{0.0, 1.0}, {2.5, 2.0}, {5.1, 3.0}};
+  const auto h = hourly_locf(ticks, 0, 8);
+  ASSERT_EQ(h.size(), 8u);
+  // Hour 0: tick at 0.0 applies. Hours 1-2: still 1.0 (2.5 > 2).
+  EXPECT_DOUBLE_EQ(h[0], 1.0);
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+  EXPECT_DOUBLE_EQ(h[2], 1.0);
+  // Hour 3 onward: the 2.5 tick is the latest <= 3.
+  EXPECT_DOUBLE_EQ(h[3], 2.0);
+  EXPECT_DOUBLE_EQ(h[5], 2.0);
+  // Hour 6 onward: the 5.1 tick applies.
+  EXPECT_DOUBLE_EQ(h[6], 3.0);
+  EXPECT_DOUBLE_EQ(h[7], 3.0);
+}
+
+TEST(Regularize, MultipleUpdatesWithinOneHourKeepLatest) {
+  std::vector<Tick> ticks = {{0.0, 1.0}, {0.2, 5.0}, {0.9, 7.0}};
+  const auto h = hourly_locf(ticks, 0, 2);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);  // at hour 0 only the t=0 tick has happened
+  EXPECT_DOUBLE_EQ(h[1], 7.0);  // latest update during the previous hour
+}
+
+TEST(Regularize, TickExactlyOnBoundaryCounts) {
+  std::vector<Tick> ticks = {{0.0, 1.0}, {3.0, 9.0}};
+  const auto h = hourly_locf(ticks, 0, 4);
+  EXPECT_DOUBLE_EQ(h[2], 1.0);
+  EXPECT_DOUBLE_EQ(h[3], 9.0);
+}
+
+TEST(Regularize, RequiresSeedTick) {
+  std::vector<Tick> ticks = {{5.0, 1.0}};
+  EXPECT_THROW(hourly_locf(ticks, 0, 4), rrp::ContractViolation);
+}
+
+TEST(Regularize, RejectsUnsortedTicks) {
+  std::vector<Tick> ticks = {{2.0, 1.0}, {1.0, 2.0}};
+  EXPECT_THROW(hourly_locf(ticks, 2, 4), rrp::ContractViolation);
+}
+
+TEST(Regularize, WindowedExtraction) {
+  std::vector<Tick> ticks = {{0.0, 1.0}, {30.0, 2.0}};
+  const auto h = hourly_locf(ticks, 24, 48);
+  ASSERT_EQ(h.size(), 24u);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);   // hour 24
+  EXPECT_DOUBLE_EQ(h[6], 2.0);   // hour 30
+  EXPECT_DOUBLE_EQ(h[23], 2.0);  // hour 47
+}
+
+TEST(Regularize, DailyUpdateCounts) {
+  std::vector<Tick> ticks = {
+      {1.0, 0.0}, {5.0, 0.0}, {23.9, 0.0},  // day 0: 3
+      {24.0, 0.0},                          // day 1: 1
+      {49.0, 0.0}, {50.0, 0.0}};            // day 2: 2
+  const auto counts = daily_update_counts(ticks);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(Regularize, DailyUpdateCountsEmpty) {
+  EXPECT_TRUE(daily_update_counts({}).empty());
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace {
+
+using rrp::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[i]);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(99), b(99);
+  Rng childa = a.split();
+  Rng childb = b.split();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(childa(), childb());
+  // Parent and child produce different sequences.
+  Rng parent(99);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsEmptyInterval) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(2.0, 2.0), rrp::ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(6);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(8);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.normal(2.0, 3.0);
+  EXPECT_NEAR(rrp::stats::mean(xs), 2.0, 0.05);
+  EXPECT_NEAR(rrp::stats::stddev(xs), 3.0, 0.05);
+}
+
+TEST(Rng, TruncatedNormalRespectsFloor) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.truncated_normal(0.4, 0.2, 0.0), 0.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalMatchesPaperDemandRegime) {
+  // The paper samples demand from N(0.4, 0.2) "always positive"; with
+  // this mild truncation the mean shifts only slightly upward.
+  Rng rng(10);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.truncated_normal(0.4, 0.2, 0.0);
+  EXPECT_NEAR(rrp::stats::mean(xs), 0.4, 0.02);
+  EXPECT_GT(rrp::stats::mean(xs), 0.4);  // truncation biases up
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.exponential(2.0);
+  EXPECT_NEAR(rrp::stats::mean(xs), 0.5, 0.02);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(12);
+  double total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(total / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(13);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(80.0));
+  EXPECT_NEAR(total / n, 80.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(14);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalMatchesWeights) {
+  Rng rng(16);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / 50000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 50000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 50000.0, 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsAllZeroWeights) {
+  Rng rng(17);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(w), rrp::ContractViolation);
+}
+
+TEST(Rng, CategoricalRejectsNegativeWeights) {
+  Rng rng(18);
+  std::vector<double> w = {0.5, -0.1};
+  EXPECT_THROW(rng.categorical(w), rrp::ContractViolation);
+}
+
+}  // namespace

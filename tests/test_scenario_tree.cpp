@@ -1,0 +1,114 @@
+#include "core/scenario_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace rrp::core;
+
+std::vector<PricePoint> support(std::initializer_list<std::pair<double, double>>
+                                    price_probs) {
+  std::vector<PricePoint> out;
+  for (const auto& [price, prob] : price_probs)
+    out.push_back(PricePoint{price, prob, false});
+  return out;
+}
+
+TEST(ScenarioTree, SingleStageStructure) {
+  std::vector<std::vector<PricePoint>> supports = {
+      support({{0.05, 0.7}, {0.2, 0.3}})};
+  const auto tree = ScenarioTree::build(supports);
+  EXPECT_EQ(tree.num_stages(), 1u);
+  EXPECT_EQ(tree.num_vertices(), 3u);  // root + 2
+  EXPECT_EQ(tree.children(0).size(), 2u);
+  EXPECT_EQ(tree.leaves().size(), 2u);
+  EXPECT_NEAR(tree.stage_probability_mass(1), 1.0, 1e-12);
+}
+
+TEST(ScenarioTree, TwoStageCartesianGrowth) {
+  std::vector<std::vector<PricePoint>> supports = {
+      support({{0.05, 0.5}, {0.06, 0.5}}),
+      support({{0.05, 0.3}, {0.06, 0.3}, {0.07, 0.4}})};
+  const auto tree = ScenarioTree::build(supports);
+  EXPECT_EQ(tree.stage_vertices(1).size(), 2u);
+  EXPECT_EQ(tree.stage_vertices(2).size(), 6u);
+  EXPECT_EQ(tree.leaves().size(), 6u);
+  EXPECT_NEAR(tree.stage_probability_mass(2), 1.0, 1e-12);
+}
+
+TEST(ScenarioTree, PathProbabilitiesMultiply) {
+  std::vector<std::vector<PricePoint>> supports = {
+      support({{0.05, 0.4}, {0.06, 0.6}}),
+      support({{0.05, 0.5}, {0.07, 0.5}})};
+  const auto tree = ScenarioTree::build(supports);
+  // First stage-2 vertex: child of first stage-1 vertex with prob 0.5.
+  const std::size_t v = tree.stage_vertices(2)[0];
+  EXPECT_NEAR(tree.vertex(v).path_prob, 0.4 * 0.5, 1e-12);
+  EXPECT_NEAR(tree.vertex(v).branch_prob, 0.5, 1e-12);
+}
+
+TEST(ScenarioTree, ParentChildConsistency) {
+  std::vector<std::vector<PricePoint>> supports = {
+      support({{0.05, 1.0}}), support({{0.06, 0.5}, {0.07, 0.5}}),
+      support({{0.05, 1.0}})};
+  const auto tree = ScenarioTree::build(supports);
+  for (std::size_t v = 1; v < tree.num_vertices(); ++v) {
+    const auto& vert = tree.vertex(v);
+    EXPECT_EQ(tree.vertex(vert.parent).stage + 1, vert.stage);
+    bool found = false;
+    for (std::size_t c : tree.children(vert.parent))
+      if (c == v) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ScenarioTree, PathFromRootOrdering) {
+  std::vector<std::vector<PricePoint>> supports = {
+      support({{0.05, 1.0}}), support({{0.06, 1.0}}),
+      support({{0.07, 1.0}})};
+  const auto tree = ScenarioTree::build(supports);
+  const std::size_t leaf = tree.leaves()[0];
+  const auto path = tree.path_from_root(leaf);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(tree.vertex(path[0]).stage, 1u);
+  EXPECT_EQ(tree.vertex(path[2]).stage, 3u);
+  EXPECT_EQ(path[2], leaf);
+  EXPECT_NEAR(tree.vertex(path[0]).price, 0.05, 1e-12);
+  EXPECT_NEAR(tree.vertex(path[2]).price, 0.07, 1e-12);
+}
+
+TEST(ScenarioTree, BalancedDepthAllLeavesAtFinalStage) {
+  std::vector<std::vector<PricePoint>> supports = {
+      support({{0.05, 0.5}, {0.06, 0.5}}),
+      support({{0.05, 0.5}, {0.06, 0.5}}),
+      support({{0.05, 1.0}})};
+  const auto tree = ScenarioTree::build(supports);
+  for (std::size_t leaf : tree.leaves())
+    EXPECT_EQ(tree.vertex(leaf).stage, 3u);
+}
+
+TEST(ScenarioTree, OutOfBidFlagPropagates) {
+  std::vector<PricePoint> stage1 = {{0.05, 0.8, false}, {0.2, 0.2, true}};
+  std::vector<std::vector<PricePoint>> supports = {stage1};
+  const auto tree = ScenarioTree::build(supports);
+  const auto& s1 = tree.stage_vertices(1);
+  EXPECT_FALSE(tree.vertex(s1[0]).out_of_bid);
+  EXPECT_TRUE(tree.vertex(s1[1]).out_of_bid);
+}
+
+TEST(ScenarioTree, ValidationRejectsBadSupports) {
+  std::vector<std::vector<PricePoint>> empty_stage = {{}};
+  EXPECT_THROW(ScenarioTree::build(empty_stage), rrp::ContractViolation);
+  std::vector<std::vector<PricePoint>> bad_mass = {
+      support({{0.05, 0.5}, {0.06, 0.4}})};
+  EXPECT_THROW(ScenarioTree::build(bad_mass), rrp::ContractViolation);
+  std::vector<std::vector<PricePoint>> zero_price = {
+      support({{0.0, 1.0}})};
+  EXPECT_THROW(ScenarioTree::build(zero_price), rrp::ContractViolation);
+}
+
+}  // namespace

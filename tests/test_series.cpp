@@ -1,0 +1,93 @@
+#include "timeseries/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+TEST(Series, FirstDifference) {
+  std::vector<double> x = {1.0, 3.0, 6.0, 10.0};
+  const auto d = difference(x, 1);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+TEST(Series, SeasonalDifference) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 5.0, 7.0, 9.0};
+  const auto d = difference(x, 3);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[2], 6.0);
+}
+
+TEST(Series, RepeatedDifferencing) {
+  std::vector<double> x = {1.0, 4.0, 9.0, 16.0, 25.0};  // squares
+  const auto d2 = difference(x, 1, 2);
+  ASSERT_EQ(d2.size(), 3u);
+  for (double v : d2) EXPECT_DOUBLE_EQ(v, 2.0);  // constant 2nd difference
+}
+
+TEST(Series, DifferenceRequiresEnoughData) {
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_THROW(difference(x, 2), rrp::ContractViolation);
+  EXPECT_THROW(difference(x, 0), rrp::ContractViolation);
+}
+
+TEST(Series, UndifferenceInvertsDifference) {
+  rrp::Rng rng(41);
+  std::vector<double> x(50);
+  for (auto& v : x) v = rng.uniform(-10.0, 10.0);
+  for (std::size_t lag : {std::size_t{1}, std::size_t{4}, std::size_t{7}}) {
+    const auto d = difference(x, lag);
+    // Treat the first `x.size() - 5` points as history, reconstruct the
+    // last 5 from their differenced values.
+    const std::size_t split = x.size() - 5;
+    std::vector<double> history(x.begin(),
+                                x.begin() + static_cast<long>(split));
+    std::vector<double> tail_d(d.end() - 5, d.end());
+    const auto rebuilt = undifference(history, tail_d, lag);
+    ASSERT_EQ(rebuilt.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_NEAR(rebuilt[i], x[split + i], 1e-10) << "lag " << lag;
+  }
+}
+
+TEST(Series, UndifferenceNeedsEnoughHistory) {
+  std::vector<double> short_hist = {1.0};
+  std::vector<double> d = {0.5};
+  EXPECT_THROW(undifference(short_hist, d, 2), rrp::ContractViolation);
+}
+
+TEST(Series, SplitAtPartitions) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  const auto [head, tail] = split_at(x, 3);
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_EQ(tail.size(), 2u);
+  EXPECT_DOUBLE_EQ(tail[0], 4.0);
+}
+
+TEST(Series, SplitAtBoundaries) {
+  std::vector<double> x = {1, 2};
+  EXPECT_TRUE(split_at(x, 0).first.empty());
+  EXPECT_TRUE(split_at(x, 2).second.empty());
+  EXPECT_THROW(split_at(x, 3), rrp::ContractViolation);
+}
+
+TEST(Series, CenterRemovesMean) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto [c, m] = center(x);
+  EXPECT_DOUBLE_EQ(m, 2.0);
+  EXPECT_DOUBLE_EQ(c[0], -1.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace rrp::lp;
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6) with objective 36 (Dantzig's classic).
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, kInfinity, 3.0, "x");
+  const auto y = lp.add_variable(0.0, kInfinity, 5.0, "y");
+  lp.set_sense(Sense::Maximize);
+  lp.add_row({{x, 1.0}}, -kInfinity, 4.0);
+  lp.add_row({{y, 2.0}}, -kInfinity, 12.0);
+  lp.add_row({{x, 3.0}, {y, 2.0}}, -kInfinity, 18.0);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, SolvesMinimizationWithEqualities) {
+  // min x + 2y s.t. x + y = 10, x - y <= 4, x,y >= 0 -> (7,3)? No:
+  // min pushes y as low as allowed: x - y <= 4 with x + y = 10 gives
+  // x <= 7, y >= 3; objective x + 2y = (10 - y) + 2y = 10 + y -> y = 3.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, kInfinity, 1.0);
+  const auto y = lp.add_variable(0.0, kInfinity, 2.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, 10.0, 10.0);
+  lp.add_row({{x, 1.0}, {y, -1.0}}, -kInfinity, 4.0);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 13.0, 1e-8);
+  EXPECT_NEAR(sol.x[x], 7.0, 1e-8);
+  EXPECT_NEAR(sol.x[y], 3.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, 1.0, 1.0);
+  lp.add_row({{x, 1.0}}, 5.0, kInfinity);  // x >= 5 with x <= 1
+  EXPECT_EQ(solve(lp).status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, kInfinity, -1.0);  // min -x
+  lp.add_row({{x, 1.0}}, 0.0, kInfinity);
+  EXPECT_EQ(solve(lp).status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedAboveIsNotUnbounded) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, 9.0, -1.0);
+  lp.add_row({{x, 1.0}}, 0.0, kInfinity);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 9.0, 1e-9);
+}
+
+TEST(Simplex, HandlesFreeVariables) {
+  // min x + y with x free, y >= 0, x + y >= 3, x >= -5 (via row).
+  LinearProgram lp;
+  const auto x = lp.add_variable(-kInfinity, kInfinity, 1.0);
+  const auto y = lp.add_variable(0.0, kInfinity, 1.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, 3.0, kInfinity);
+  lp.add_row({{x, 1.0}}, -5.0, kInfinity);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-8);
+}
+
+TEST(Simplex, HandlesNegativeLowerBounds) {
+  // min x s.t. x >= -7 via variable bound.
+  LinearProgram lp;
+  const auto x = lp.add_variable(-7.0, 3.0, 1.0);
+  lp.add_row({{x, 1.0}}, -kInfinity, kInfinity);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], -7.0, 1e-9);
+}
+
+TEST(Simplex, RangedRowsActOnBothSides) {
+  // min x + y s.t. 2 <= x + y <= 5, x,y in [0, 10].
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, 10.0, 1.0);
+  const auto y = lp.add_variable(0.0, 10.0, 1.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, 2.0, 5.0);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariablesAreRespected) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(2.5, 2.5, 1.0);  // fixed
+  const auto y = lp.add_variable(0.0, kInfinity, 1.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, 4.0, kInfinity);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 2.5, 1e-9);
+  EXPECT_NEAR(sol.x[y], 1.5, 1e-9);
+}
+
+TEST(Simplex, NoRowsPureBoundProblem) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(1.0, 4.0, 2.0);
+  const auto y = lp.add_variable(-3.0, 5.0, -1.0);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 1.0, 1e-12);
+  EXPECT_NEAR(sol.x[y], 5.0, 1e-12);
+  EXPECT_NEAR(sol.objective, -3.0, 1e-12);
+}
+
+TEST(Simplex, NoRowsUnboundedDetected) {
+  LinearProgram lp;
+  lp.add_variable(0.0, kInfinity, -1.0);
+  EXPECT_EQ(solve(lp).status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Beale's classic cycling example (min form); Bland fallback must
+  // terminate it.
+  LinearProgram lp;
+  const auto x1 = lp.add_variable(0.0, kInfinity, -0.75);
+  const auto x2 = lp.add_variable(0.0, kInfinity, 150.0);
+  const auto x3 = lp.add_variable(0.0, kInfinity, -0.02);
+  const auto x4 = lp.add_variable(0.0, kInfinity, 6.0);
+  lp.add_row({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, -kInfinity,
+             0.0);
+  lp.add_row({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, -kInfinity,
+             0.0);
+  lp.add_row({{x3, 1.0}}, -kInfinity, 1.0);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-8);
+}
+
+TEST(Simplex, BlandPricingGivesSameOptimum) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, kInfinity, 3.0);
+  const auto y = lp.add_variable(0.0, kInfinity, 5.0);
+  lp.set_sense(Sense::Maximize);
+  lp.add_row({{x, 1.0}}, -kInfinity, 4.0);
+  lp.add_row({{y, 2.0}}, -kInfinity, 12.0);
+  lp.add_row({{x, 3.0}, {y, 2.0}}, -kInfinity, 18.0);
+  SimplexOptions opt;
+  opt.pricing = Pricing::Bland;
+  const Solution sol = solve(lp, opt);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-8);
+}
+
+TEST(Simplex, DualsSatisfyStrongDualityOnStandardProblem) {
+  // max c'x = min b'y; check b'y == c'x at optimum.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, kInfinity, 3.0);
+  const auto y = lp.add_variable(0.0, kInfinity, 5.0);
+  lp.set_sense(Sense::Maximize);
+  lp.add_row({{x, 1.0}}, -kInfinity, 4.0);
+  lp.add_row({{y, 2.0}}, -kInfinity, 12.0);
+  lp.add_row({{x, 3.0}, {y, 2.0}}, -kInfinity, 18.0);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  // Internal duals are for the minimised (negated) problem over rows
+  // a'x - s = 0; strong duality: sum_r hi_r * (-y_r) == -objective.
+  double dual_obj = 0.0;
+  const double rhs[3] = {4.0, 12.0, 18.0};
+  for (int r = 0; r < 3; ++r) dual_obj += rhs[r] * sol.duals[r];
+  EXPECT_NEAR(std::fabs(dual_obj), 36.0, 1e-6);
+}
+
+TEST(Simplex, TinyEqualityOnlySystem) {
+  // x = 3 via equality row.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, kInfinity, 1.0);
+  lp.add_row({{x, 1.0}}, 3.0, 3.0);
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, RedundantRowsDoNotBreakPhase1) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0.0, kInfinity, 1.0);
+  const auto y = lp.add_variable(0.0, kInfinity, 1.0);
+  lp.add_row({{x, 1.0}, {y, 1.0}}, 4.0, 4.0);
+  lp.add_row({{x, 2.0}, {y, 2.0}}, 8.0, 8.0);  // same constraint doubled
+  const Solution sol = solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 4.0, 1e-8);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "common/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace {
+
+namespace sp = rrp::special;
+
+TEST(Special, NormalPdfAtZero) {
+  EXPECT_NEAR(sp::normal_pdf(0.0), 0.3989422804014327, 1e-14);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(sp::normal_cdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(sp::normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(sp::normal_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(sp::normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(Special, NormalQuantileRoundTrips) {
+  for (double p : {0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999}) {
+    EXPECT_NEAR(sp::normal_cdf(sp::normal_quantile(p)), p, 1e-12)
+        << "p=" << p;
+  }
+}
+
+TEST(Special, NormalQuantileKnownValues) {
+  EXPECT_NEAR(sp::normal_quantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(sp::normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(sp::normal_quantile(0.05), -1.6448536269514722, 1e-10);
+}
+
+TEST(Special, NormalQuantileRejectsBoundary) {
+  EXPECT_THROW(sp::normal_quantile(0.0), rrp::ContractViolation);
+  EXPECT_THROW(sp::normal_quantile(1.0), rrp::ContractViolation);
+}
+
+TEST(Special, GammaPBoundaries) {
+  EXPECT_DOUBLE_EQ(sp::gamma_p(1.0, 0.0), 0.0);
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(sp::gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(sp::gamma_p(1.0, 10.0), 1.0 - std::exp(-10.0), 1e-12);
+}
+
+TEST(Special, GammaPMonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.5) {
+    const double v = sp::gamma_p(3.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-4);
+}
+
+TEST(Special, ChiSquareCdfKnownValues) {
+  // chi^2 with k=1: cdf(x) = erf(sqrt(x/2)).
+  EXPECT_NEAR(sp::chi_square_cdf(3.841458820694124, 1.0), 0.95, 1e-9);
+  // chi^2 with k=2 is exponential(1/2): cdf(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(sp::chi_square_cdf(5.991464547107979, 2.0), 0.95, 1e-9);
+  EXPECT_NEAR(sp::chi_square_cdf(18.307038053275143, 10.0), 0.95, 1e-9);
+}
+
+TEST(Special, ChiSquareSfComplements) {
+  for (double x : {0.5, 2.0, 7.5}) {
+    EXPECT_NEAR(sp::chi_square_cdf(x, 4.0) + sp::chi_square_sf(x, 4.0), 1.0,
+                1e-12);
+  }
+}
+
+TEST(Special, ChiSquareCdfAtZeroAndNegative) {
+  EXPECT_DOUBLE_EQ(sp::chi_square_cdf(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(sp::chi_square_cdf(-1.0, 3.0), 0.0);
+}
+
+}  // namespace

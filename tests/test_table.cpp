@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace {
+
+using rrp::Table;
+
+TEST(Table, PrintsTitleHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"beta", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowArity) {
+  Table t("Demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), rrp::ContractViolation);
+}
+
+TEST(Table, HeaderAfterRowsRejected) {
+  Table t("Demo");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"x", "y"}), rrp::ContractViolation);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, PctFormatsFractions) {
+  EXPECT_EQ(Table::pct(0.5, 1), "50.0%");
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+TEST(Sparkline, EmptyAndFlatInputs) {
+  EXPECT_TRUE(rrp::sparkline({}, 10).empty());
+  const auto flat = rrp::sparkline({1.0, 1.0, 1.0}, 10);
+  EXPECT_EQ(flat.size(), 10u);
+}
+
+TEST(Sparkline, MonotoneSeriesUsesIncreasingLevels) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 64; ++i) ramp.push_back(static_cast<double>(i));
+  const auto s = rrp::sparkline(ramp, 8);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_NE(s.front(), s.back());
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using rrp::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i)
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(2);
+  int called = 0;
+  pool.parallel_for(1, [&called](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++called;
+  });
+  EXPECT_EQ(called, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("bad index");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<double> out(500);
+  pool.parallel_for(500, [&out](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 499.0 * 500.0);
+}
+
+TEST(ThreadPool, SizeReflectsRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&rrp::global_pool(), &rrp::global_pool());
+  EXPECT_GE(rrp::global_pool().size(), 1u);
+}
+
+}  // namespace

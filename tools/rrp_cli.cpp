@@ -1,0 +1,324 @@
+// rrp — command-line front end to the resource rental planning library.
+//
+//   rrp trace       generate a synthetic spot-price trace (CSV)
+//   rrp analyze     run the predictability study on a trace
+//   rrp plan        plan a DRRP schedule for one class
+//   rrp simulate    run a rental policy against the spot market
+//   rrp availability  profile a fixed bid against a trace
+//
+// Run `rrp <command> --help` for per-command flags.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/demand.hpp"
+#include "core/rolling_horizon.hpp"
+#include "core/wagner_whitin.hpp"
+#include "market/auction.hpp"
+#include "market/trace_generator.hpp"
+#include "timeseries/acf.hpp"
+#include "timeseries/auto_arima.hpp"
+#include "timeseries/diagnostics.hpp"
+
+namespace {
+
+using namespace rrp;
+
+/// Tiny flag parser: --key value pairs after the subcommand.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << key << "\n";
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (key == "help") {
+        help_ = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --" << key << "\n";
+        std::exit(2);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  bool help() const { return help_; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+market::SpotTrace load_or_generate(const Args& args, market::VmClass vm) {
+  if (args.has("trace"))
+    return market::SpotTrace::load_csv(args.get("trace", ""), vm);
+  return market::generate_trace(vm, args.get_u64("seed", 2012));
+}
+
+int cmd_trace(const Args& args) {
+  if (args.help()) {
+    std::cout << "rrp trace --out FILE [--class c1.medium] [--seed N] "
+                 "[--days N]\n";
+    return 0;
+  }
+  const market::VmClass vm = market::from_name(args.get("class",
+                                                        "c1.medium"));
+  market::TraceGeneratorConfig cfg = market::default_config(vm);
+  cfg.days = args.get_double("days", cfg.days);
+  Rng rng(args.get_u64("seed", 2012));
+  const auto trace = market::generate_trace(vm, cfg, rng);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::cerr << "rrp trace: --out is required\n";
+    return 2;
+  }
+  trace.save_csv(out);
+  std::cout << "wrote " << trace.ticks().size() << " updates ("
+            << Table::num(trace.duration_hours() / 24.0, 1) << " days) to "
+            << out << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.help()) {
+    std::cout << "rrp analyze [--trace FILE] [--class c1.medium] "
+                 "[--seed N]\n";
+    return 0;
+  }
+  const market::VmClass vm = market::from_name(args.get("class",
+                                                        "c1.medium"));
+  const auto trace = load_or_generate(args, vm);
+  const auto prices = trace.prices();
+  const auto box = stats::box_summary(prices);
+
+  Table summary("Trace summary (" + std::string(market::info(vm).name) +
+                ")");
+  summary.set_header({"metric", "value"});
+  summary.add_row({"updates", std::to_string(prices.size())});
+  summary.add_row({"days",
+                   Table::num(trace.duration_hours() / 24.0, 1)});
+  summary.add_row({"mean price", Table::num(stats::mean(prices), 4)});
+  summary.add_row({"median", Table::num(box.median, 4)});
+  summary.add_row({"outliers", Table::pct(box.outlier_fraction, 2)});
+  summary.add_row(
+      {"vs on-demand",
+       Table::pct(stats::mean(prices) / market::info(vm).on_demand_hourly)});
+  summary.print(std::cout);
+
+  const auto hourly = trace.hourly();
+  const std::size_t window = std::min<std::size_t>(hourly.size(), 24 * 61);
+  std::vector<double> recent(hourly.end() - static_cast<long>(window),
+                             hourly.end());
+  const auto sw = ts::shapiro_wilk(
+      std::span(recent).subspan(0, std::min<std::size_t>(recent.size(),
+                                                         5000)));
+  const auto kpss = ts::kpss_level(recent);
+  const auto r = ts::acf(recent, 3);
+  Table tests("Predictability");
+  tests.set_header({"check", "value", "reading"});
+  tests.add_row({"Shapiro-Wilk p", Table::num(sw.p_value, 5),
+                 sw.p_value < 0.05 ? "not normal" : "normal-ish"});
+  tests.add_row({"KPSS statistic", Table::num(kpss.statistic, 3),
+                 ts::is_level_stationary(recent) ? "stationary"
+                                                 : "non-stationary"});
+  tests.add_row({"lag-1 ACF", Table::num(r[1], 3),
+                 std::abs(r[1]) > 0.9 ? "highly persistent"
+                                      : "weakly autocorrelated"});
+  tests.print(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  if (args.help()) {
+    std::cout << "rrp plan [--class m1.large] [--hours 24] [--price P] "
+                 "[--demand-mean 0.4] [--demand-sd 0.2] [--storage E] "
+                 "[--seed N]\n";
+    return 0;
+  }
+  const market::VmClass vm = market::from_name(args.get("class",
+                                                        "m1.large"));
+  const auto hours = static_cast<std::size_t>(args.get_u64("hours", 24));
+  core::DrrpInstance inst;
+  inst.vm = vm;
+  core::DemandConfig demand;
+  demand.mean = args.get_double("demand-mean", 0.4);
+  demand.sd = args.get_double("demand-sd", 0.2);
+  Rng rng(args.get_u64("seed", 42));
+  inst.demand = core::generate_demand(hours, demand, rng);
+  inst.compute_price.assign(
+      hours,
+      args.get_double("price", market::info(vm).on_demand_hourly));
+  inst.initial_storage = args.get_double("storage", 0.0);
+
+  const auto plan = core::solve_drrp_wagner_whitin(inst);
+  const auto naive = core::no_plan_schedule(inst);
+
+  Table table("Plan for " + std::string(market::info(vm).name) + ", " +
+              std::to_string(hours) + "h");
+  table.set_header({"hour", "demand", "rent", "generate", "inventory"});
+  for (std::size_t t = 0; t < hours; ++t) {
+    table.add_row({std::to_string(t), Table::num(inst.demand[t], 3),
+                   plan.chi[t] ? "yes" : "-", Table::num(plan.alpha[t], 3),
+                   Table::num(plan.beta[t], 3)});
+  }
+  table.print(std::cout);
+  std::cout << "cost " << Table::num(plan.cost.total(), 3) << " vs no-plan "
+            << Table::num(naive.cost.total(), 3) << " (saving "
+            << Table::pct(1.0 - plan.cost.total() / naive.cost.total())
+            << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.help()) {
+    std::cout << "rrp simulate [--class c1.medium] [--hours 48] "
+                 "[--policy sto-exp-mean|det-exp-mean|sto-predict|"
+                 "det-predict|on-demand|no-plan] [--replan N] [--seed N] "
+                 "[--trace FILE]\n";
+    return 0;
+  }
+  const market::VmClass vm = market::from_name(args.get("class",
+                                                        "c1.medium"));
+  const auto hours = static_cast<std::size_t>(args.get_u64("hours", 48));
+  const auto trace = load_or_generate(args, vm);
+  const auto hourly = trace.hourly();
+  const std::size_t history = std::min<std::size_t>(
+      hourly.size() > hours ? hourly.size() - hours : 0, 24 * 60);
+  if (history < 48) {
+    std::cerr << "trace too short for " << hours << "h of evaluation\n";
+    return 2;
+  }
+  core::SimulationInputs in;
+  in.vm = vm;
+  in.history.assign(hourly.end() - static_cast<long>(history + hours),
+                    hourly.end() - static_cast<long>(hours));
+  in.actual_spot.assign(hourly.end() - static_cast<long>(hours),
+                        hourly.end());
+  Rng rng(args.get_u64("seed", 42));
+  in.demand = core::generate_demand(hours, core::DemandConfig{}, rng);
+
+  const std::string name = args.get("policy", "sto-exp-mean");
+  core::PolicyConfig policy;
+  if (name == "sto-exp-mean") policy = core::sto_exp_mean_policy();
+  else if (name == "det-exp-mean") policy = core::det_exp_mean_policy();
+  else if (name == "sto-predict") policy = core::sto_predict_policy();
+  else if (name == "det-predict") policy = core::det_predict_policy();
+  else if (name == "on-demand") policy = core::on_demand_policy();
+  else if (name == "no-plan") policy = core::no_plan_policy();
+  else {
+    std::cerr << "unknown policy: " << name << "\n";
+    return 2;
+  }
+  if (args.has("replan"))
+    policy.replan_every = static_cast<std::size_t>(args.get_u64("replan",
+                                                                1));
+
+  const auto result = core::simulate_policy(in, policy);
+  const double ideal = core::ideal_case_cost(in);
+  Table table("Simulation: " + name + " on " +
+              std::string(market::info(vm).name));
+  table.set_header({"metric", "value"});
+  table.add_row({"realised cost", Table::num(result.total_cost(), 3)});
+  table.add_row({"ideal-case cost", Table::num(ideal, 3)});
+  table.add_row({"overpay", Table::pct(core::overpay_fraction(
+                                result.total_cost(), ideal))});
+  table.add_row({"rentals", std::to_string(result.rentals)});
+  table.add_row({"out-of-bid events",
+                 std::to_string(result.out_of_bid_events)});
+  table.add_row({"compute", Table::num(result.cost.compute, 3)});
+  table.add_row({"I/O+storage", Table::num(result.cost.holding, 3)});
+  table.add_row({"transfer", Table::num(result.cost.transfer(), 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_availability(const Args& args) {
+  if (args.help()) {
+    std::cout << "rrp availability --bid B [--class c1.medium] "
+                 "[--trace FILE] [--seed N]\n";
+    return 0;
+  }
+  const market::VmClass vm = market::from_name(args.get("class",
+                                                        "c1.medium"));
+  if (!args.has("bid")) {
+    std::cerr << "rrp availability: --bid is required\n";
+    return 2;
+  }
+  const double bid = args.get_double("bid", 0.0);
+  const auto trace = load_or_generate(args, vm);
+  const auto hourly = trace.hourly();
+  const auto report = market::analyze_availability(hourly, bid);
+  Table table("Availability of bid " + Table::num(bid, 4) + " (" +
+              std::string(market::info(vm).name) + ")");
+  table.set_header({"metric", "value"});
+  table.add_row({"uptime", Table::pct(report.uptime_fraction)});
+  table.add_row({"interruptions", std::to_string(report.interruptions)});
+  table.add_row({"mean up-run (h)", Table::num(report.mean_uptime_run, 1)});
+  table.add_row(
+      {"mean down-run (h)", Table::num(report.mean_downtime_run, 1)});
+  table.add_row(
+      {"mean price paid", Table::num(report.mean_price_paid, 4)});
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "rrp — resource rental planning for elastic cloud applications\n"
+      "\n"
+      "usage: rrp <command> [flags]   (rrp <command> --help for flags)\n"
+      "\n"
+      "  trace         generate a synthetic spot-price trace CSV\n"
+      "  analyze       summarise a trace and its predictability\n"
+      "  plan          optimal DRRP schedule for one VM class\n"
+      "  simulate      run a rental policy against the spot market\n"
+      "  availability  profile a fixed bid against a trace\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "availability") return cmd_availability(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "rrp " << cmd << ": " << e.what() << "\n";
+    return 1;
+  }
+}
