@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bid_level.dir/ablation_bid_level.cpp.o"
+  "CMakeFiles/ablation_bid_level.dir/ablation_bid_level.cpp.o.d"
+  "ablation_bid_level"
+  "ablation_bid_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bid_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_formulation.dir/ablation_formulation.cpp.o"
+  "CMakeFiles/ablation_formulation.dir/ablation_formulation.cpp.o.d"
+  "ablation_formulation"
+  "ablation_formulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replan_cadence.dir/ablation_replan_cadence.cpp.o"
+  "CMakeFiles/ablation_replan_cadence.dir/ablation_replan_cadence.cpp.o.d"
+  "ablation_replan_cadence"
+  "ablation_replan_cadence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replan_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_replan_cadence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_width.dir/ablation_tree_width.cpp.o"
+  "CMakeFiles/ablation_tree_width.dir/ablation_tree_width.cpp.o.d"
+  "ablation_tree_width"
+  "ablation_tree_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

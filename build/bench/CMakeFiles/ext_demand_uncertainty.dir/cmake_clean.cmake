@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_demand_uncertainty.dir/ext_demand_uncertainty.cpp.o"
+  "CMakeFiles/ext_demand_uncertainty.dir/ext_demand_uncertainty.cpp.o.d"
+  "ext_demand_uncertainty"
+  "ext_demand_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_demand_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

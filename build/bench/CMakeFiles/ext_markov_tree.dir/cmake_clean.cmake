@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_markov_tree.dir/ext_markov_tree.cpp.o"
+  "CMakeFiles/ext_markov_tree.dir/ext_markov_tree.cpp.o.d"
+  "ext_markov_tree"
+  "ext_markov_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_markov_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_srrp_overpay.dir/fig12a_srrp_overpay.cpp.o"
+  "CMakeFiles/fig12a_srrp_overpay.dir/fig12a_srrp_overpay.cpp.o.d"
+  "fig12a_srrp_overpay"
+  "fig12a_srrp_overpay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_srrp_overpay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_bid_precision.dir/fig12b_bid_precision.cpp.o"
+  "CMakeFiles/fig12b_bid_precision.dir/fig12b_bid_precision.cpp.o.d"
+  "fig12b_bid_precision"
+  "fig12b_bid_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_bid_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_outliers.dir/fig3_outliers.cpp.o"
+  "CMakeFiles/fig3_outliers.dir/fig3_outliers.cpp.o.d"
+  "fig3_outliers"
+  "fig3_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_update_frequency.dir/fig4_update_frequency.cpp.o"
+  "CMakeFiles/fig4_update_frequency.dir/fig4_update_frequency.cpp.o.d"
+  "fig4_update_frequency"
+  "fig4_update_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_update_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_acf_pacf.dir/fig7_acf_pacf.cpp.o"
+  "CMakeFiles/fig7_acf_pacf.dir/fig7_acf_pacf.cpp.o.d"
+  "fig7_acf_pacf"
+  "fig7_acf_pacf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_acf_pacf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_prediction.dir/fig8_prediction.cpp.o"
+  "CMakeFiles/fig8_prediction.dir/fig8_prediction.cpp.o.d"
+  "fig8_prediction"
+  "fig8_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_market_analysis.dir/spot_market_analysis.cpp.o"
+  "CMakeFiles/spot_market_analysis.dir/spot_market_analysis.cpp.o.d"
+  "spot_market_analysis"
+  "spot_market_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_market_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stochastic_planning.dir/stochastic_planning.cpp.o"
+  "CMakeFiles/stochastic_planning.dir/stochastic_planning.cpp.o.d"
+  "stochastic_planning"
+  "stochastic_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stochastic_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrp_common.dir/common/csv.cpp.o"
+  "CMakeFiles/rrp_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/rrp_common.dir/common/matrix.cpp.o"
+  "CMakeFiles/rrp_common.dir/common/matrix.cpp.o.d"
+  "CMakeFiles/rrp_common.dir/common/rng.cpp.o"
+  "CMakeFiles/rrp_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/rrp_common.dir/common/special.cpp.o"
+  "CMakeFiles/rrp_common.dir/common/special.cpp.o.d"
+  "CMakeFiles/rrp_common.dir/common/stats.cpp.o"
+  "CMakeFiles/rrp_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/rrp_common.dir/common/table.cpp.o"
+  "CMakeFiles/rrp_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/rrp_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/rrp_common.dir/common/thread_pool.cpp.o.d"
+  "librrp_common.a"
+  "librrp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

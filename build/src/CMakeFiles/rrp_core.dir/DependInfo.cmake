@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/demand.cpp" "src/CMakeFiles/rrp_core.dir/core/demand.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/demand.cpp.o.d"
+  "/root/repo/src/core/drrp.cpp" "src/CMakeFiles/rrp_core.dir/core/drrp.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/drrp.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/CMakeFiles/rrp_core.dir/core/evaluation.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/evaluation.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/CMakeFiles/rrp_core.dir/core/fleet.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/fleet.cpp.o.d"
+  "/root/repo/src/core/markov_prices.cpp" "src/CMakeFiles/rrp_core.dir/core/markov_prices.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/markov_prices.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/CMakeFiles/rrp_core.dir/core/policies.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/policies.cpp.o.d"
+  "/root/repo/src/core/price_distribution.cpp" "src/CMakeFiles/rrp_core.dir/core/price_distribution.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/price_distribution.cpp.o.d"
+  "/root/repo/src/core/rolling_horizon.cpp" "src/CMakeFiles/rrp_core.dir/core/rolling_horizon.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/rolling_horizon.cpp.o.d"
+  "/root/repo/src/core/scenario_tree.cpp" "src/CMakeFiles/rrp_core.dir/core/scenario_tree.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/scenario_tree.cpp.o.d"
+  "/root/repo/src/core/srrp.cpp" "src/CMakeFiles/rrp_core.dir/core/srrp.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/srrp.cpp.o.d"
+  "/root/repo/src/core/srrp_dp.cpp" "src/CMakeFiles/rrp_core.dir/core/srrp_dp.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/srrp_dp.cpp.o.d"
+  "/root/repo/src/core/wagner_whitin.cpp" "src/CMakeFiles/rrp_core.dir/core/wagner_whitin.cpp.o" "gcc" "src/CMakeFiles/rrp_core.dir/core/wagner_whitin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrp_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrp_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrp_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

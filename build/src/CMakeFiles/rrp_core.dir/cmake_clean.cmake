@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrp_core.dir/core/demand.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/demand.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/drrp.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/drrp.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/evaluation.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/evaluation.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/fleet.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/fleet.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/markov_prices.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/markov_prices.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/policies.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/policies.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/price_distribution.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/price_distribution.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/rolling_horizon.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/rolling_horizon.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/scenario_tree.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/scenario_tree.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/srrp.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/srrp.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/srrp_dp.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/srrp_dp.cpp.o.d"
+  "CMakeFiles/rrp_core.dir/core/wagner_whitin.cpp.o"
+  "CMakeFiles/rrp_core.dir/core/wagner_whitin.cpp.o.d"
+  "librrp_core.a"
+  "librrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrp_lp.dir/lp/model.cpp.o"
+  "CMakeFiles/rrp_lp.dir/lp/model.cpp.o.d"
+  "CMakeFiles/rrp_lp.dir/lp/presolve.cpp.o"
+  "CMakeFiles/rrp_lp.dir/lp/presolve.cpp.o.d"
+  "CMakeFiles/rrp_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/rrp_lp.dir/lp/simplex.cpp.o.d"
+  "librrp_lp.a"
+  "librrp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrp_lp.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/auction.cpp" "src/CMakeFiles/rrp_market.dir/market/auction.cpp.o" "gcc" "src/CMakeFiles/rrp_market.dir/market/auction.cpp.o.d"
+  "/root/repo/src/market/cost_model.cpp" "src/CMakeFiles/rrp_market.dir/market/cost_model.cpp.o" "gcc" "src/CMakeFiles/rrp_market.dir/market/cost_model.cpp.o.d"
+  "/root/repo/src/market/instance_types.cpp" "src/CMakeFiles/rrp_market.dir/market/instance_types.cpp.o" "gcc" "src/CMakeFiles/rrp_market.dir/market/instance_types.cpp.o.d"
+  "/root/repo/src/market/spot_trace.cpp" "src/CMakeFiles/rrp_market.dir/market/spot_trace.cpp.o" "gcc" "src/CMakeFiles/rrp_market.dir/market/spot_trace.cpp.o.d"
+  "/root/repo/src/market/trace_generator.cpp" "src/CMakeFiles/rrp_market.dir/market/trace_generator.cpp.o" "gcc" "src/CMakeFiles/rrp_market.dir/market/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrp_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrp_market.dir/market/auction.cpp.o"
+  "CMakeFiles/rrp_market.dir/market/auction.cpp.o.d"
+  "CMakeFiles/rrp_market.dir/market/cost_model.cpp.o"
+  "CMakeFiles/rrp_market.dir/market/cost_model.cpp.o.d"
+  "CMakeFiles/rrp_market.dir/market/instance_types.cpp.o"
+  "CMakeFiles/rrp_market.dir/market/instance_types.cpp.o.d"
+  "CMakeFiles/rrp_market.dir/market/spot_trace.cpp.o"
+  "CMakeFiles/rrp_market.dir/market/spot_trace.cpp.o.d"
+  "CMakeFiles/rrp_market.dir/market/trace_generator.cpp.o"
+  "CMakeFiles/rrp_market.dir/market/trace_generator.cpp.o.d"
+  "librrp_market.a"
+  "librrp_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrp_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

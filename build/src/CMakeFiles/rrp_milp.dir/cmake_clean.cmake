@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrp_milp.dir/milp/branch_and_bound.cpp.o"
+  "CMakeFiles/rrp_milp.dir/milp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/rrp_milp.dir/milp/expr.cpp.o"
+  "CMakeFiles/rrp_milp.dir/milp/expr.cpp.o.d"
+  "CMakeFiles/rrp_milp.dir/milp/model.cpp.o"
+  "CMakeFiles/rrp_milp.dir/milp/model.cpp.o.d"
+  "librrp_milp.a"
+  "librrp_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrp_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

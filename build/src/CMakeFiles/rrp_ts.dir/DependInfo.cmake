@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/acf.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/acf.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/acf.cpp.o.d"
+  "/root/repo/src/timeseries/arima.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/arima.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/arima.cpp.o.d"
+  "/root/repo/src/timeseries/auto_arima.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/auto_arima.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/auto_arima.cpp.o.d"
+  "/root/repo/src/timeseries/decompose.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/decompose.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/decompose.cpp.o.d"
+  "/root/repo/src/timeseries/diagnostics.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/diagnostics.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/diagnostics.cpp.o.d"
+  "/root/repo/src/timeseries/ets.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/ets.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/ets.cpp.o.d"
+  "/root/repo/src/timeseries/optimize.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/optimize.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/optimize.cpp.o.d"
+  "/root/repo/src/timeseries/regularize.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/regularize.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/regularize.cpp.o.d"
+  "/root/repo/src/timeseries/series.cpp" "src/CMakeFiles/rrp_ts.dir/timeseries/series.cpp.o" "gcc" "src/CMakeFiles/rrp_ts.dir/timeseries/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

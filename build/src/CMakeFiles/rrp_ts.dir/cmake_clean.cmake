@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrp_ts.dir/timeseries/acf.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/acf.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/arima.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/arima.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/auto_arima.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/auto_arima.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/decompose.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/decompose.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/diagnostics.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/diagnostics.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/ets.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/ets.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/optimize.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/optimize.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/regularize.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/regularize.cpp.o.d"
+  "CMakeFiles/rrp_ts.dir/timeseries/series.cpp.o"
+  "CMakeFiles/rrp_ts.dir/timeseries/series.cpp.o.d"
+  "librrp_ts.a"
+  "librrp_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrp_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acf.dir/test_acf.cpp.o"
+  "CMakeFiles/test_acf.dir/test_acf.cpp.o.d"
+  "test_acf"
+  "test_acf.pdb"
+  "test_acf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

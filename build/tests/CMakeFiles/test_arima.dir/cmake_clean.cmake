@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arima.dir/test_arima.cpp.o"
+  "CMakeFiles/test_arima.dir/test_arima.cpp.o.d"
+  "test_arima"
+  "test_arima.pdb"
+  "test_arima[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

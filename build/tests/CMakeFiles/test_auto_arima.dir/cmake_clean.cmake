@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_arima.dir/test_auto_arima.cpp.o"
+  "CMakeFiles/test_auto_arima.dir/test_auto_arima.cpp.o.d"
+  "test_auto_arima"
+  "test_auto_arima.pdb"
+  "test_auto_arima[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_arima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

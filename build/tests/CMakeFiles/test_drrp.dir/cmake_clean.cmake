@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drrp.dir/test_drrp.cpp.o"
+  "CMakeFiles/test_drrp.dir/test_drrp.cpp.o.d"
+  "test_drrp"
+  "test_drrp.pdb"
+  "test_drrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ets.dir/test_ets.cpp.o"
+  "CMakeFiles/test_ets.dir/test_ets.cpp.o.d"
+  "test_ets"
+  "test_ets.pdb"
+  "test_ets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joint_uncertainty.dir/test_joint_uncertainty.cpp.o"
+  "CMakeFiles/test_joint_uncertainty.dir/test_joint_uncertainty.cpp.o.d"
+  "test_joint_uncertainty"
+  "test_joint_uncertainty.pdb"
+  "test_joint_uncertainty[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joint_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

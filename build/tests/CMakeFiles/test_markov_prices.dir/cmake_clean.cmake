@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov_prices.dir/test_markov_prices.cpp.o"
+  "CMakeFiles/test_markov_prices.dir/test_markov_prices.cpp.o.d"
+  "test_markov_prices"
+  "test_markov_prices.pdb"
+  "test_markov_prices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

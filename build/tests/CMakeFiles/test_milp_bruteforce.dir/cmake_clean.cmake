@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_bruteforce.dir/test_milp_bruteforce.cpp.o"
+  "CMakeFiles/test_milp_bruteforce.dir/test_milp_bruteforce.cpp.o.d"
+  "test_milp_bruteforce"
+  "test_milp_bruteforce.pdb"
+  "test_milp_bruteforce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

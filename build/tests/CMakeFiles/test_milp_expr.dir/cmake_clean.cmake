@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_expr.dir/test_milp_expr.cpp.o"
+  "CMakeFiles/test_milp_expr.dir/test_milp_expr.cpp.o.d"
+  "test_milp_expr"
+  "test_milp_expr.pdb"
+  "test_milp_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

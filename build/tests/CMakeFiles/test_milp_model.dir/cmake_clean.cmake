@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_model.dir/test_milp_model.cpp.o"
+  "CMakeFiles/test_milp_model.dir/test_milp_model.cpp.o.d"
+  "test_milp_model"
+  "test_milp_model.pdb"
+  "test_milp_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_price_distribution.dir/test_price_distribution.cpp.o"
+  "CMakeFiles/test_price_distribution.dir/test_price_distribution.cpp.o.d"
+  "test_price_distribution"
+  "test_price_distribution.pdb"
+  "test_price_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_price_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regularize.dir/test_regularize.cpp.o"
+  "CMakeFiles/test_regularize.dir/test_regularize.cpp.o.d"
+  "test_regularize"
+  "test_regularize.pdb"
+  "test_regularize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regularize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rolling_horizon.dir/test_rolling_horizon.cpp.o"
+  "CMakeFiles/test_rolling_horizon.dir/test_rolling_horizon.cpp.o.d"
+  "test_rolling_horizon"
+  "test_rolling_horizon.pdb"
+  "test_rolling_horizon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rolling_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_tree.dir/test_scenario_tree.cpp.o"
+  "CMakeFiles/test_scenario_tree.dir/test_scenario_tree.cpp.o.d"
+  "test_scenario_tree"
+  "test_scenario_tree.pdb"
+  "test_scenario_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

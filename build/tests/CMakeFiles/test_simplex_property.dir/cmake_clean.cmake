@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simplex_property.dir/test_simplex_property.cpp.o"
+  "CMakeFiles/test_simplex_property.dir/test_simplex_property.cpp.o.d"
+  "test_simplex_property"
+  "test_simplex_property.pdb"
+  "test_simplex_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simplex_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_consistency.dir/test_solver_consistency.cpp.o"
+  "CMakeFiles/test_solver_consistency.dir/test_solver_consistency.cpp.o.d"
+  "test_solver_consistency"
+  "test_solver_consistency.pdb"
+  "test_solver_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

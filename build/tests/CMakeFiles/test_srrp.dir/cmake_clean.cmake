@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srrp.dir/test_srrp.cpp.o"
+  "CMakeFiles/test_srrp.dir/test_srrp.cpp.o.d"
+  "test_srrp"
+  "test_srrp.pdb"
+  "test_srrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

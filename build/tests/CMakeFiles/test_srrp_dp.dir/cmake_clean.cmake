@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srrp_dp.dir/test_srrp_dp.cpp.o"
+  "CMakeFiles/test_srrp_dp.dir/test_srrp_dp.cpp.o.d"
+  "test_srrp_dp"
+  "test_srrp_dp.pdb"
+  "test_srrp_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srrp_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

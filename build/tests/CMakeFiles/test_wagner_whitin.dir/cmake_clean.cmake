@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wagner_whitin.dir/test_wagner_whitin.cpp.o"
+  "CMakeFiles/test_wagner_whitin.dir/test_wagner_whitin.cpp.o.d"
+  "test_wagner_whitin"
+  "test_wagner_whitin.pdb"
+  "test_wagner_whitin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wagner_whitin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wagner_whitin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrp.dir/rrp_cli.cpp.o"
+  "CMakeFiles/rrp.dir/rrp_cli.cpp.o.d"
+  "rrp"
+  "rrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/rrp")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build/tools/rrp" "plan" "--hours" "6" "--seed" "3")
+set_tests_properties(cli_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/rrp" "analyze" "--seed" "3")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/rrp" "simulate" "--hours" "12" "--policy" "det-exp-mean" "--seed" "3")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate_srrp "/root/repo/build/tools/rrp" "simulate" "--hours" "12" "--policy" "sto-exp-mean" "--replan" "3" "--seed" "3")
+set_tests_properties(cli_simulate_srrp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_availability "/root/repo/build/tools/rrp" "availability" "--bid" "0.062")
+set_tests_properties(cli_availability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "/root/repo/build/tools/rrp" "trace" "--out" "/root/repo/build/tools/t.csv" "--days" "40" "--seed" "3")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_file "/root/repo/build/tools/rrp" "analyze" "--trace" "/root/repo/build/tools/t.csv")
+set_tests_properties(cli_analyze_file PROPERTIES  DEPENDS "cli_trace_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_policy "/root/repo/build/tools/rrp" "simulate" "--policy" "nonsense")
+set_tests_properties(cli_bad_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
