@@ -17,13 +17,23 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Thrown when a precondition/postcondition check fails.
+/// Thrown when a precondition/postcondition/invariant check fails.
 class ContractViolation : public Error {
  public:
   ContractViolation(const char* kind, const char* cond, const char* file,
-                    int line)
+                    int line, const std::string& detail = {})
       : Error(std::string(kind) + " failed: " + cond + " at " + file + ":" +
-              std::to_string(line)) {}
+              std::to_string(line) +
+              (detail.empty() ? std::string() : " (" + detail + ")")),
+        file_(file),
+        line_(line) {}
+
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  const char* file_;
+  int line_;
 };
 
 /// Thrown when an input value is outside the documented domain.

@@ -1,0 +1,27 @@
+#include "common/invariant.hpp"
+
+#include <atomic>
+
+namespace rrp {
+
+namespace {
+std::atomic<std::uint64_t> g_checks{0};
+}  // namespace
+
+std::uint64_t invariant_checks_executed() noexcept {
+  return g_checks.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void count_invariant_check() noexcept {
+  g_checks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void invariant_fail(const char* kind, const char* cond, const char* file,
+                    int line, const std::string& detail) {
+  throw ContractViolation(kind, cond, file, line, detail);
+}
+
+}  // namespace detail
+}  // namespace rrp

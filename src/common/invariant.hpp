@@ -1,0 +1,115 @@
+// Compile-out-able runtime invariant checks for the solver core.
+//
+// Three tiers of machine-checked contracts exist in rrp:
+//
+//   tier 0  RRP_EXPECTS / RRP_ENSURES (common/error.hpp)
+//           Cheap argument/return contracts on public entry points.
+//           Always on, in every build type.
+//
+//   tier 1  RRP_INVARIANT / RRP_INVARIANT_MSG (this header)
+//           Cheap (at most O(n)) structural invariants inside the
+//           solvers: basis consistency, bound monotonicity, probability
+//           mass, inventory balance.  Compiled in only when the CMake
+//           option RRP_CHECK_INVARIANTS is ON (which defines
+//           RRP_ENABLE_INVARIANTS); otherwise every macro expands to a
+//           no-op that does not evaluate its arguments.
+//
+//   tier 2  RRP_DCHECK / RRP_DCHECK_MSG (this header)
+//           Expensive diagnostics (e.g. verifying B^-1 * B ~= I, full
+//           primal feasibility re-checks).  Same gate as tier 1; kept
+//           as a separate macro so a future split (e.g. sampling) does
+//           not need to re-touch call sites.
+//
+// Violations throw rrp::ContractViolation carrying file/line so tests
+// can assert on them; library code never calls std::abort.  Checked
+// builds also count evaluated checks (rrp::invariant_checks_executed)
+// so tests can prove a code path actually exercised its invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+#if defined(RRP_INVARIANTS_FORCE_OFF)
+#define RRP_INVARIANTS_ENABLED 0
+#elif defined(RRP_ENABLE_INVARIANTS)
+#define RRP_INVARIANTS_ENABLED 1
+#else
+#define RRP_INVARIANTS_ENABLED 0
+#endif
+
+namespace rrp {
+
+/// Number of invariant/dcheck conditions evaluated so far in this
+/// process (0 in builds with RRP_CHECK_INVARIANTS=OFF).  Monotone,
+/// thread-safe; useful for asserting that a solve exercised checks.
+std::uint64_t invariant_checks_executed() noexcept;
+
+namespace detail {
+
+void count_invariant_check() noexcept;
+
+[[noreturn]] void invariant_fail(const char* kind, const char* cond,
+                                 const char* file, int line,
+                                 const std::string& detail);
+
+}  // namespace detail
+}  // namespace rrp
+
+#if RRP_INVARIANTS_ENABLED
+
+#define RRP_INVARIANT(cond)                                                 \
+  do {                                                                      \
+    ::rrp::detail::count_invariant_check();                                 \
+    if (!(cond))                                                            \
+      ::rrp::detail::invariant_fail("invariant", #cond, __FILE__, __LINE__, \
+                                    {});                                    \
+  } while (false)
+
+#define RRP_INVARIANT_MSG(cond, msg)                                     \
+  do {                                                                      \
+    ::rrp::detail::count_invariant_check();                                 \
+    if (!(cond))                                                            \
+      ::rrp::detail::invariant_fail("invariant", #cond, __FILE__, __LINE__, \
+                                    (msg));                                 \
+  } while (false)
+
+#define RRP_DCHECK(cond)                                                    \
+  do {                                                                      \
+    ::rrp::detail::count_invariant_check();                                 \
+    if (!(cond))                                                            \
+      ::rrp::detail::invariant_fail("dcheck", #cond, __FILE__, __LINE__,    \
+                                    {});                                    \
+  } while (false)
+
+#define RRP_DCHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    ::rrp::detail::count_invariant_check();                                 \
+    if (!(cond))                                                            \
+      ::rrp::detail::invariant_fail("dcheck", #cond, __FILE__, __LINE__,    \
+                                    (msg));                                 \
+  } while (false)
+
+#else  // !RRP_INVARIANTS_ENABLED
+
+// No-op expansions: the condition is parsed (so it cannot bit-rot) but
+// never evaluated, and the expansion folds away entirely.
+#define RRP_INVARIANT(cond) \
+  do {                      \
+    (void)sizeof(!(cond));  \
+  } while (false)
+#define RRP_INVARIANT_MSG(cond, msg) \
+  do {                                  \
+    (void)sizeof(!(cond));              \
+  } while (false)
+#define RRP_DCHECK(cond)   \
+  do {                     \
+    (void)sizeof(!(cond)); \
+  } while (false)
+#define RRP_DCHECK_MSG(cond, msg) \
+  do {                               \
+    (void)sizeof(!(cond));           \
+  } while (false)
+
+#endif  // RRP_INVARIANTS_ENABLED

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/invariant.hpp"
 
 namespace rrp::core {
 
@@ -35,13 +37,21 @@ milp::Model build_drrp(const DrrpInstance& inst, DrrpVariables* vars) {
                                                    inst.demand[t];
   const double loose_bound = remaining[0] + inst.initial_storage + 1.0;
 
+  // Names are composed with += rather than `"alpha" + suffix` to dodge
+  // a GCC 12 -Wrestrict false positive (PR105651) under -Werror.
+  auto indexed = [](const char* base, std::size_t t) {
+    std::string name(base);
+    name += '[';
+    name += std::to_string(t);
+    name += ']';
+    return name;
+  };
   for (std::size_t t = 0; t < T; ++t) {
-    const std::string suffix = "[" + std::to_string(t) + "]";
     v.alpha.push_back(
-        model.add_continuous(0.0, lp::kInfinity, "alpha" + suffix));
+        model.add_continuous(0.0, lp::kInfinity, indexed("alpha", t)));
     v.beta.push_back(
-        model.add_continuous(0.0, lp::kInfinity, "beta" + suffix));
-    v.chi.push_back(model.add_binary("chi" + suffix));
+        model.add_continuous(0.0, lp::kInfinity, indexed("beta", t)));
+    v.chi.push_back(model.add_binary(indexed("chi", t)));
   }
 
   // Objective (1): transfer-in of inputs + holding of inventory +
@@ -200,6 +210,37 @@ CostBreakdown breakdown_from_solution(const DrrpInstance& inst,
 
 namespace {
 
+#if RRP_INVARIANTS_ENABLED
+/// Inventory-balance verification of a returned plan: generation plus
+/// carried-over inventory covers each slot's demand exactly, inventory
+/// never goes negative, and the forcing constraint (alpha > 0 implies a
+/// rented machine) holds.
+void verify_plan_balance(const DrrpInstance& inst, const RentalPlan& plan) {
+  if (plan.alpha.empty()) return;
+  RRP_INVARIANT(plan.alpha.size() == inst.horizon());
+  RRP_INVARIANT(plan.beta.size() == inst.horizon());
+  RRP_INVARIANT(plan.chi.size() == inst.horizon());
+  double carry = inst.initial_storage;
+  for (std::size_t t = 0; t < inst.horizon(); ++t) {
+    RRP_INVARIANT_MSG(plan.alpha[t] >= -1e-9,
+                      "negative generation at slot " + std::to_string(t));
+    RRP_INVARIANT_MSG(plan.beta[t] >= -1e-9,
+                      "negative inventory at slot " + std::to_string(t));
+    RRP_INVARIANT(plan.chi[t] == 0 || plan.chi[t] == 1);
+    const double scale = 1.0 + std::fabs(carry) + inst.demand[t];
+    RRP_INVARIANT_MSG(plan.chi[t] == 1 || plan.alpha[t] <= 1e-6 * scale,
+                      "generation without a rented machine at slot " +
+                          std::to_string(t));
+    carry += plan.alpha[t] - inst.demand[t];
+    RRP_INVARIANT_MSG(std::fabs(plan.beta[t] - carry) <= 1e-5 * scale,
+                      "inventory balance off by " +
+                          std::to_string(plan.beta[t] - carry) + " at slot " +
+                          std::to_string(t));
+    carry = plan.beta[t];
+  }
+}
+#endif
+
 RentalPlan solve_drrp_aggregated(const DrrpInstance& inst,
                                  const milp::BnbOptions& options) {
   DrrpVariables vars;
@@ -221,6 +262,9 @@ RentalPlan solve_drrp_aggregated(const DrrpInstance& inst,
     plan.chi[t] = result.x[vars.chi[t].id] > 0.5 ? 1 : 0;
   }
   plan.cost = breakdown_from_solution(inst, plan.alpha, plan.beta, plan.chi);
+#if RRP_INVARIANTS_ENABLED
+  verify_plan_balance(inst, plan);
+#endif
   return plan;
 }
 
@@ -252,6 +296,9 @@ RentalPlan solve_drrp_fl(const DrrpInstance& inst,
     plan.beta[t] = store;
   }
   plan.cost = breakdown_from_solution(inst, plan.alpha, plan.beta, plan.chi);
+#if RRP_INVARIANTS_ENABLED
+  verify_plan_balance(inst, plan);
+#endif
   return plan;
 }
 
@@ -288,6 +335,9 @@ RentalPlan no_plan_schedule(const DrrpInstance& inst) {
     plan.chi[t] = plan.alpha[t] > 0.0 ? 1 : 0;
   }
   plan.cost = breakdown_from_solution(inst, plan.alpha, plan.beta, plan.chi);
+#if RRP_INVARIANTS_ENABLED
+  verify_plan_balance(inst, plan);
+#endif
   return plan;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/invariant.hpp"
 
 namespace rrp::core {
 
@@ -52,6 +54,9 @@ ScenarioTree ScenarioTree::build(
   tree.children_.assign(tree.vertices_.size(), {});
   for (std::size_t v = 1; v < tree.vertices_.size(); ++v)
     tree.children_[tree.vertices_[v].parent].push_back(v);
+#if RRP_INVARIANTS_ENABLED
+  tree.validate();
+#endif
   return tree;
 }
 
@@ -104,6 +109,9 @@ ScenarioTree ScenarioTree::build_conditional(
   tree.children_.assign(tree.vertices_.size(), {});
   for (std::size_t v = 1; v < tree.vertices_.size(); ++v)
     tree.children_[tree.vertices_[v].parent].push_back(v);
+#if RRP_INVARIANTS_ENABLED
+  tree.validate();
+#endif
   return tree;
 }
 
@@ -137,6 +145,60 @@ double ScenarioTree::stage_probability_mass(std::size_t stage) const {
   double mass = 0.0;
   for (std::size_t v : stage_vertices(stage)) mass += vertices_[v].path_prob;
   return mass;
+}
+
+void ScenarioTree::validate() const {
+  auto fail = [](const char* cond, const std::string& detail) {
+    ::rrp::detail::invariant_fail("invariant", cond, __FILE__, __LINE__,
+                                  detail);
+  };
+  if (vertices_.empty() || children_.size() != vertices_.size())
+    fail("tree arrays are consistent", "vertex/children size mismatch");
+
+  for (std::size_t v = 1; v < vertices_.size(); ++v) {
+    const ScenarioVertex& vert = vertices_[v];
+    if (vert.parent >= vertices_.size() || vert.parent == v)
+      fail("vertex parent is a valid earlier vertex",
+           "vertex " + std::to_string(v));
+    const ScenarioVertex& par = vertices_[vert.parent];
+    if (vert.stage != par.stage + 1)
+      fail("child stage == parent stage + 1",
+           "vertex " + std::to_string(v) + " at stage " +
+               std::to_string(vert.stage) + " under stage " +
+               std::to_string(par.stage));
+    if (!(vert.branch_prob > 0.0) || vert.branch_prob > 1.0 + 1e-9)
+      fail("branch probability in (0, 1]", "vertex " + std::to_string(v));
+    if (std::fabs(vert.path_prob - par.path_prob * vert.branch_prob) >
+        1e-12 + 1e-9 * par.path_prob)
+      fail("path_prob == parent.path_prob * branch_prob",
+           "vertex " + std::to_string(v));
+    const auto& sibs = children_[vert.parent];
+    if (std::find(sibs.begin(), sibs.end(), v) == sibs.end())
+      fail("child is listed under its parent", "vertex " + std::to_string(v));
+  }
+  // Branch probabilities of every expanded vertex sum to 1.
+  for (std::size_t v = 0; v < vertices_.size(); ++v) {
+    if (children_[v].empty()) continue;
+    double total = 0.0;
+    for (std::size_t c : children_[v]) {
+      if (vertices_[c].parent != v)
+        fail("children point back to their parent",
+             "vertex " + std::to_string(c));
+      total += vertices_[c].branch_prob;
+    }
+    if (std::fabs(total - 1.0) > 1e-6)
+      fail("branch probabilities sum to 1",
+           "vertex " + std::to_string(v) + " sums to " +
+               std::to_string(total));
+  }
+  // Every fully-expanded stage carries unit probability mass.
+  for (std::size_t stage = 0; stage <= num_stages_; ++stage) {
+    const double mass = stage_probability_mass(stage);
+    if (std::fabs(mass - 1.0) > 1e-6)
+      fail("stage probability mass is 1", "stage " + std::to_string(stage) +
+                                              " has mass " +
+                                              std::to_string(mass));
+  }
 }
 
 }  // namespace rrp::core

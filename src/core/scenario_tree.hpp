@@ -68,6 +68,15 @@ class ScenarioTree {
   /// validation and tests).
   double stage_probability_mass(std::size_t stage) const;
 
+  /// Full structural validation: parent/child pointers agree, stages
+  /// layer correctly (child stage = parent stage + 1), every non-leaf's
+  /// branch probabilities sum to 1, path probabilities multiply down the
+  /// tree, and each stage's probability mass is ~1.  Throws
+  /// rrp::ContractViolation on the first inconsistency.  Runs
+  /// automatically after build()/build_conditional() in
+  /// RRP_CHECK_INVARIANTS builds; callable directly from tests.
+  void validate() const;
+
  private:
   std::vector<ScenarioVertex> vertices_;
   std::vector<std::vector<std::size_t>> children_;

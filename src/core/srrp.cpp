@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/invariant.hpp"
 
 namespace rrp::core {
+
+namespace {
+
+// Composed with += rather than `"alpha" + suffix` to dodge a GCC 12
+// -Wrestrict false positive (PR105651) under -Werror.
+std::string vertex_name(const char* base, std::size_t u) {
+  std::string name(base);
+  name += "[v";
+  name += std::to_string(u);
+  name += ']';
+  return name;
+}
+
+}  // namespace
 
 void SrrpInstance::validate() const {
   RRP_EXPECTS(!demand.empty());
@@ -82,10 +98,11 @@ milp::Model build_srrp(const SrrpInstance& inst, SrrpVariables* vars) {
     loose_bound = std::max(loose_bound, remaining[c] + inst.initial_storage + 1.0);
 
   for (std::size_t u = 1; u < V; ++u) {
-    const std::string suffix = "[v" + std::to_string(u) + "]";
-    v.alpha[u] = model.add_continuous(0.0, lp::kInfinity, "alpha" + suffix);
-    v.beta[u] = model.add_continuous(0.0, lp::kInfinity, "beta" + suffix);
-    v.chi[u] = model.add_binary("chi" + suffix);
+    v.alpha[u] =
+        model.add_continuous(0.0, lp::kInfinity, vertex_name("alpha", u));
+    v.beta[u] =
+        model.add_continuous(0.0, lp::kInfinity, vertex_name("beta", u));
+    v.chi[u] = model.add_binary(vertex_name("chi", u));
   }
 
   // Objective (13): probability-weighted per-vertex costs.  tau(v) = t
@@ -168,10 +185,11 @@ milp::Model build_srrp_facility_location(const SrrpInstance& inst,
 
   // --- Aggregated core: exact objective and balance semantics. ---
   for (std::size_t u = 1; u < V; ++u) {
-    const std::string suffix = "[v" + std::to_string(u) + "]";
-    v.alpha[u] = model.add_continuous(0.0, lp::kInfinity, "alpha" + suffix);
-    v.beta[u] = model.add_continuous(0.0, lp::kInfinity, "beta" + suffix);
-    v.chi[u] = model.add_binary("chi" + suffix);
+    v.alpha[u] =
+        model.add_continuous(0.0, lp::kInfinity, vertex_name("alpha", u));
+    v.beta[u] =
+        model.add_continuous(0.0, lp::kInfinity, vertex_name("beta", u));
+    v.chi[u] = model.add_binary(vertex_name("chi", u));
   }
   milp::LinExpr objective;
   for (std::size_t u = 1; u < V; ++u) {
@@ -281,6 +299,43 @@ milp::Model build_srrp_facility_location(const SrrpInstance& inst,
 
 namespace {
 
+#if RRP_INVARIANTS_ENABLED
+/// Inventory-balance verification of a returned policy along every tree
+/// edge: each vertex's inventory equals its parent's inventory (or the
+/// initial storage for stage-1 vertices) plus generation minus demand,
+/// and generation forces a rented machine.
+void verify_policy_balance(const SrrpInstance& inst,
+                           const SrrpPolicy& policy) {
+  if (policy.alpha.empty()) return;
+  const ScenarioTree& tree = inst.tree;
+  const std::size_t V = tree.num_vertices();
+  RRP_INVARIANT(policy.alpha.size() == V);
+  RRP_INVARIANT(policy.beta.size() == V);
+  RRP_INVARIANT(policy.chi.size() == V);
+  for (std::size_t u = 1; u < V; ++u) {
+    const ScenarioVertex& vert = tree.vertex(u);
+    const double inflow = vert.parent == tree.root()
+                              ? inst.initial_storage
+                              : policy.beta[vert.parent];
+    const double demand = inst.demand_at_vertex(u);
+    const double expected = inflow + policy.alpha[u] - demand;
+    const double scale = 1.0 + std::fabs(inflow) + demand;
+    RRP_INVARIANT_MSG(policy.alpha[u] >= -1e-9,
+                      "negative generation at vertex " + std::to_string(u));
+    RRP_INVARIANT_MSG(policy.beta[u] >= -1e-9,
+                      "negative inventory at vertex " + std::to_string(u));
+    RRP_INVARIANT(policy.chi[u] == 0 || policy.chi[u] == 1);
+    RRP_INVARIANT_MSG(policy.chi[u] == 1 || policy.alpha[u] <= 1e-6 * scale,
+                      "generation without a rented machine at vertex " +
+                          std::to_string(u));
+    RRP_INVARIANT_MSG(std::fabs(policy.beta[u] - expected) <= 1e-5 * scale,
+                      "tree inventory balance off by " +
+                          std::to_string(policy.beta[u] - expected) +
+                          " at vertex " + std::to_string(u));
+  }
+}
+#endif
+
 SrrpPolicy solve_srrp_aggregated(const SrrpInstance& inst,
                                  const milp::BnbOptions& options) {
   SrrpVariables vars;
@@ -302,6 +357,9 @@ SrrpPolicy solve_srrp_aggregated(const SrrpInstance& inst,
     policy.chi[u] = result.x[vars.chi[u].id] > 0.5 ? 1 : 0;
   }
   policy.expected_cost = result.objective;
+#if RRP_INVARIANTS_ENABLED
+  verify_policy_balance(inst, policy);
+#endif
   return policy;
 }
 
@@ -326,6 +384,9 @@ SrrpPolicy solve_srrp_fl(const SrrpInstance& inst,
     policy.chi[u] = result.x[vars.chi[u].id] > 0.5 ? 1 : 0;
   }
   policy.expected_cost = result.objective;
+#if RRP_INVARIANTS_ENABLED
+  verify_policy_balance(inst, policy);
+#endif
   return policy;
 }
 

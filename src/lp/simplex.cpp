@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "common/invariant.hpp"
 #include "common/matrix.hpp"
 
 namespace rrp::lp {
@@ -32,8 +34,14 @@ class Worker {
   double reduced_cost(std::size_t j, const std::vector<double>& cost,
                       const std::vector<double>& y) const;
   std::vector<double> ftran(std::size_t j) const;  ///< Binv * A_j
-  double nonbasic_value(std::size_t j) const;
   double current_objective(const std::vector<double>& cost) const;
+
+  /// RRP_CHECK_INVARIANTS hooks (no-ops otherwise).  `check_basis`
+  /// verifies structural basis/status consistency plus (as a dcheck)
+  /// Binv * B ~= I; `check_optimality` verifies primal feasibility and
+  /// bounded reduced costs of the final point.
+  void check_basis() const;
+  void check_optimality(const std::vector<double>& cost) const;
 
   const LinearProgram& lp_;
   const SimplexOptions& opt_;
@@ -136,8 +144,6 @@ std::vector<double> Worker::ftran(std::size_t j) const {
   return w;
 }
 
-double Worker::nonbasic_value(std::size_t j) const { return value_[j]; }
-
 std::vector<double> Worker::compute_duals(
     const std::vector<double>& cost) const {
   // y = c_B^T * Binv.
@@ -165,6 +171,11 @@ void Worker::refactorize() {
   binv_ = b.inverse();
   pivots_since_refactor_ = 0;
   recompute_basic_values();
+#if RRP_INVARIANTS_ENABLED
+  // Cheap structural check on every refactorization; the expensive
+  // Binv*B dcheck runs only at phase boundaries (see run()).
+  verify_basis(m_, total_, basis_);
+#endif
 }
 
 void Worker::recompute_basic_values() {
@@ -179,6 +190,74 @@ void Worker::recompute_basic_values() {
     for (std::size_t k = 0; k < m_; ++k) acc += binv_(i, k) * rhs[k];
     xb_[i] = acc;
   }
+}
+
+void Worker::check_basis() const {
+#if RRP_INVARIANTS_ENABLED
+  verify_basis(m_, total_, basis_);
+  std::size_t basic_count = 0;
+  for (std::size_t j = 0; j < total_; ++j)
+    if (status_[j] == VarStatus::Basic) ++basic_count;
+  RRP_INVARIANT_MSG(basic_count == m_,
+                    std::to_string(basic_count) + " variables marked basic");
+  for (std::size_t i = 0; i < m_; ++i)
+    RRP_INVARIANT(status_[basis_[i]] == VarStatus::Basic);
+  // Expensive factorization dcheck: Binv * B ~= I column by column.
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    const std::vector<double> w = ftran(basis_[pos]);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double expect = i == pos ? 1.0 : 0.0;
+      RRP_DCHECK_MSG(std::fabs(w[i] - expect) <= 1e-5,
+                     "Binv*B deviates at (" + std::to_string(i) + "," +
+                         std::to_string(pos) + ")");
+    }
+  }
+#endif
+}
+
+void Worker::check_optimality(const std::vector<double>& cost) const {
+#if RRP_INVARIANTS_ENABLED
+  // Primal feasibility: every basic value within its bounds.
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t bi = basis_[i];
+    const double ptol = 1e-5 * (1.0 + std::fabs(xb_[i]));
+    RRP_INVARIANT_MSG(xb_[i] >= lb_[bi] - ptol && xb_[i] <= ub_[bi] + ptol,
+                      "basic variable " + std::to_string(bi) +
+                          " out of bounds: " + std::to_string(xb_[i]));
+  }
+  // Dual: reduced costs bounded — no nonbasic variable may price out as
+  // an improving direction beyond tolerance at a claimed optimum.
+  double cscale = 0.0;
+  for (double c : cost) cscale = std::max(cscale, std::fabs(c));
+  const double dtol = 1e-4 * (1.0 + cscale);
+  const std::vector<double> y = compute_duals(cost);
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::Basic) continue;
+    if (lb_[j] == ub_[j]) continue;  // fixed: any reduced cost is fine
+    const double d = reduced_cost(j, cost, y);
+    RRP_INVARIANT_MSG(std::isfinite(d),
+                      "reduced cost of " + std::to_string(j) + " not finite");
+    switch (status_[j]) {
+      case VarStatus::AtLower:
+        RRP_INVARIANT_MSG(d >= -dtol, "improving reduced cost " +
+                                          std::to_string(d) + " at lower");
+        break;
+      case VarStatus::AtUpper:
+        RRP_INVARIANT_MSG(d <= dtol, "improving reduced cost " +
+                                         std::to_string(d) + " at upper");
+        break;
+      case VarStatus::FreeAtZero:
+        RRP_INVARIANT_MSG(std::fabs(d) <= dtol,
+                          "free variable with nonzero reduced cost " +
+                              std::to_string(d));
+        break;
+      case VarStatus::Basic:
+        break;
+    }
+  }
+#else
+  (void)cost;
+#endif
 }
 
 double Worker::current_objective(const std::vector<double>& cost) const {
@@ -371,6 +450,7 @@ Solution Worker::run() {
     return sol;
   }
   refactorize();
+  check_basis();
   const double infeasibility = current_objective(phase1_cost);
   if (infeasibility > 1e-6) {
     sol.status = SolveStatus::Infeasible;
@@ -397,6 +477,8 @@ Solution Worker::run() {
   }
 
   refactorize();
+  check_basis();
+  check_optimality(cost);
   sol.status = SolveStatus::Optimal;
   sol.iterations = iterations_;
   sol.x.assign(n_, 0.0);
@@ -414,6 +496,32 @@ Solution Worker::run() {
 }
 
 }  // namespace
+
+void verify_basis(std::size_t num_rows, std::size_t num_columns,
+                  std::span<const std::size_t> basis) {
+  if (basis.size() != num_rows) {
+    ::rrp::detail::invariant_fail(
+        "invariant", "basis.size() == num_rows", __FILE__, __LINE__,
+        "basis has " + std::to_string(basis.size()) + " entries for " +
+            std::to_string(num_rows) + " rows");
+  }
+  std::vector<char> seen(num_columns, 0);
+  for (std::size_t pos = 0; pos < basis.size(); ++pos) {
+    const std::size_t j = basis[pos];
+    if (j >= num_columns) {
+      ::rrp::detail::invariant_fail(
+          "invariant", "basis[pos] < num_columns", __FILE__, __LINE__,
+          "position " + std::to_string(pos) + " holds out-of-range column " +
+              std::to_string(j));
+    }
+    if (seen[j]) {
+      ::rrp::detail::invariant_fail(
+          "invariant", "basis entries are distinct", __FILE__, __LINE__,
+          "column " + std::to_string(j) + " is basic in two positions");
+    }
+    seen[j] = 1;
+  }
+}
 
 Solution solve(const LinearProgram& lp, const SimplexOptions& options) {
   if (lp.num_rows() == 0) {

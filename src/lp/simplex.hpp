@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "lp/model.hpp"
 
@@ -38,5 +39,15 @@ struct SimplexOptions {
 /// reported through Solution::status); throws rrp::NumericalError only
 /// if the basis algebra degenerates beyond repair.
 Solution solve(const LinearProgram& lp, const SimplexOptions& options = {});
+
+/// Verifies that `basis` is a structurally consistent simplex basis for
+/// a system with `num_rows` rows and `num_columns` columns (structural +
+/// slack + artificial): exactly one entry per row, every index in range,
+/// no variable basic in two positions.  Throws rrp::ContractViolation on
+/// the first inconsistency.  Used by the solver's internal invariant
+/// checks (RRP_CHECK_INVARIANTS builds) and exposed so tests can feed it
+/// a deliberately corrupted basis.
+void verify_basis(std::size_t num_rows, std::size_t num_columns,
+                  std::span<const std::size_t> basis);
 
 }  // namespace rrp::lp

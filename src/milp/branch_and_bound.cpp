@@ -5,6 +5,9 @@
 #include <deque>
 #include <limits>
 #include <queue>
+#include <string>
+
+#include "common/invariant.hpp"
 
 namespace rrp::milp {
 
@@ -68,6 +71,21 @@ class Solver {
         pseudo_(model.num_variables()) {
     for (std::size_t j = 0; j < model.num_variables(); ++j)
       if (model.is_integral(j)) int_vars_.push_back(j);
+#if RRP_INVARIANTS_ENABLED
+    // Feasibility tolerance for incumbent checks: snapping each integer
+    // variable moves it by at most integrality_tol, so a row can drift
+    // by at most its L1 coefficient norm times that.
+    double max_row_l1 = 0.0;
+    for (std::size_t r = 0; r < relaxation_.num_rows(); ++r) {
+      double l1 = 0.0;
+      for (const lp::Entry& e : relaxation_.row(r).entries)
+        l1 += std::fabs(e.coeff);
+      max_row_l1 = std::max(max_row_l1, l1);
+    }
+    incumbent_feas_tol_ =
+        1e-6 + 10.0 * opt_.integrality_tol * (1.0 + max_row_l1);
+    pristine_lp_ = relaxation_;
+#endif
   }
 
   MipResult run();
@@ -96,6 +114,12 @@ class Solver {
   std::vector<double> incumbent_x_;
   std::size_t nodes_ = 0;
   std::size_t lp_iterations_ = 0;
+#if RRP_INVARIANTS_ENABLED
+  double incumbent_feas_tol_ = 1e-6;
+  /// Unmodified relaxation (solve_relaxation mutates relaxation_'s
+  /// variable bounds); incumbents are checked against this copy.
+  lp::LinearProgram pristine_lp_;
+#endif
 };
 
 lp::Solution Solver::solve_relaxation(const Node& node) {
@@ -145,6 +169,16 @@ void Solver::offer_incumbent(const std::vector<double>& x,
     // Snap integer variables exactly.
     for (std::size_t j : int_vars_)
       incumbent_x_[j] = std::round(incumbent_x_[j]);
+#if RRP_INVARIANTS_ENABLED
+    // Incumbent feasibility: the snapped point must satisfy the original
+    // model (rows and bounds) and be exactly integral where required.
+    for (std::size_t j : int_vars_)
+      RRP_INVARIANT(incumbent_x_[j] == std::round(incumbent_x_[j]));
+    const double viol = pristine_lp_.max_violation(incumbent_x_);
+    RRP_INVARIANT_MSG(viol <= incumbent_feas_tol_,
+                      "incumbent violates the model by " +
+                          std::to_string(viol));
+#endif
   }
 }
 
@@ -240,6 +274,16 @@ MipResult Solver::run() {
     if (sol.status != lp::SolveStatus::Optimal) continue;  // iter limit
 
     const double node_obj = sense_mult_ * model_.objective_value(sol.x);
+    // Bound monotonicity: a child's relaxation can only tighten (grow,
+    // in minimisation space) relative to the bound inherited from its
+    // parent; a violation means the LP layer returned an inconsistent
+    // optimum or node bookkeeping got corrupted.
+    RRP_INVARIANT_MSG(
+        node_obj >=
+            node.bound - 1e-5 * (1.0 + std::fabs(node_obj) +
+                                 std::fabs(node.bound)),
+        "child relaxation " + std::to_string(node_obj) +
+            " beats parent bound " + std::to_string(node.bound));
     explored_bound_floor = std::max(explored_bound_floor, node.bound);
     if (have_incumbent_ && node_obj >= incumbent_obj_ - prune_margin)
       continue;

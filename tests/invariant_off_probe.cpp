@@ -1,0 +1,27 @@
+// Compiled with RRP_INVARIANTS_FORCE_OFF (see tests/CMakeLists.txt) to
+// prove that the invariant macros are true no-ops in unchecked builds:
+// the condition must never be evaluated and nothing may throw, even
+// though the condition would fail.
+#include "common/invariant.hpp"
+
+#if RRP_INVARIANTS_ENABLED
+#error "invariant_off_probe.cpp must be compiled with invariants off"
+#endif
+
+namespace rrp_test {
+
+/// Returns true if any disabled invariant macro evaluated its condition.
+bool invariant_off_probe_evaluated() {
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return false;  // would throw if the macro were active
+  };
+  RRP_INVARIANT(touch());
+  RRP_INVARIANT_MSG(touch(), "never built");
+  RRP_DCHECK(touch());
+  RRP_DCHECK_MSG(touch(), "never built");
+  return evaluated;
+}
+
+}  // namespace rrp_test

@@ -54,7 +54,9 @@ TEST(Drrp, ForcingConstraintRespected) {
   const RentalPlan plan = solve_drrp(inst);
   ASSERT_TRUE(plan.feasible());
   for (std::size_t t = 0; t < 24; ++t) {
-    if (!plan.chi[t]) EXPECT_NEAR(plan.alpha[t], 0.0, 1e-7);
+    if (!plan.chi[t]) {
+      EXPECT_NEAR(plan.alpha[t], 0.0, 1e-7);
+    }
   }
 }
 

@@ -75,7 +75,9 @@ TEST(MarkovPrices, ConditionalTruncationKeepsMassAndOob) {
   for (const auto& p : pts) {
     total += p.prob;
     has_oob |= p.out_of_bid;
-    if (!p.out_of_bid) EXPECT_LE(p.price, bid + 1e-12);
+    if (!p.out_of_bid) {
+      EXPECT_LE(p.price, bid + 1e-12);
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
   EXPECT_TRUE(has_oob);

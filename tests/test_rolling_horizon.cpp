@@ -70,7 +70,9 @@ TEST(RollingHorizon, OnDemandPolicyAlwaysPaysLambda) {
   const auto in = make_inputs(VmClass::C1Medium, 24, 4);
   const auto result = simulate_policy(in, on_demand_policy());
   for (const auto& slot : result.slots) {
-    if (slot.rented) EXPECT_DOUBLE_EQ(slot.price_paid, 0.2);
+    if (slot.rented) {
+      EXPECT_DOUBLE_EQ(slot.price_paid, 0.2);
+    }
   }
   EXPECT_EQ(result.out_of_bid_events, 0u);
 }
@@ -158,7 +160,9 @@ TEST(RollingHorizon, LowFixedBidForcesOutOfBidEvents) {
   // Whenever the planner rents, the lowball bid loses and pays lambda.
   EXPECT_EQ(result.out_of_bid_events, result.rentals);
   for (const auto& slot : result.slots) {
-    if (slot.rented) EXPECT_DOUBLE_EQ(slot.price_paid, 0.2);
+    if (slot.rented) {
+      EXPECT_DOUBLE_EQ(slot.price_paid, 0.2);
+    }
   }
 }
 

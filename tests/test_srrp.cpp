@@ -86,7 +86,9 @@ TEST(Srrp, ForcingConstraintHoldsPerVertex) {
   const SrrpPolicy policy = solve_srrp(inst);
   ASSERT_TRUE(policy.feasible());
   for (std::size_t v = 1; v < inst.tree.num_vertices(); ++v) {
-    if (!policy.chi[v]) EXPECT_NEAR(policy.alpha[v], 0.0, 1e-7);
+    if (!policy.chi[v]) {
+      EXPECT_NEAR(policy.alpha[v], 0.0, 1e-7);
+    }
   }
 }
 

@@ -32,7 +32,8 @@ SrrpInstance random_tree_instance(std::uint64_t seed, std::size_t stages,
     }
     // Sort ascending by price (ScenarioTree does not require it but the
     // distribution convention keeps things tidy); prices must differ.
-    for (std::size_t b = 1; b < pts.size(); ++b) pts[b].price += 1e-4 * b;
+    for (std::size_t b = 1; b < pts.size(); ++b)
+      pts[b].price += 1e-4 * static_cast<double>(b);
     supports.push_back(std::move(pts));
   }
   inst.tree = ScenarioTree::build(supports);
@@ -72,7 +73,9 @@ TEST(TreeDp, PlanSatisfiesTreeBalanceAndForcing) {
     double store = inst.initial_storage;
     for (std::size_t v : inst.tree.path_from_root(leaf)) {
       const std::size_t slot = inst.tree.vertex(v).stage - 1;
-      if (!dp.chi[v]) EXPECT_NEAR(dp.alpha[v], 0.0, 1e-9);
+      if (!dp.chi[v]) {
+        EXPECT_NEAR(dp.alpha[v], 0.0, 1e-9);
+      }
       store += dp.alpha[v] - inst.demand[slot];
       EXPECT_GT(store, -1e-7);
       store = std::max(store, 0.0);

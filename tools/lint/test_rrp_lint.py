@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Unit tests for rrp_lint: each rule must fire on a seeded violation and
+stay quiet on clean input, so CI can trust a clean run."""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import rrp_lint  # noqa: E402
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+)
+
+
+class FakeTree:
+    """A throwaway source tree (no git) for seeding violations."""
+
+    def __init__(self):
+        self._dir = tempfile.TemporaryDirectory(prefix="rrp_lint_test_")
+        self.root = self._dir.name
+
+    def write(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def cleanup(self):
+        self._dir.cleanup()
+
+
+class RuleTests(unittest.TestCase):
+    def setUp(self):
+        self.tree = FakeTree()
+        self.addCleanup(self.tree.cleanup)
+
+    def rules_fired(self):
+        return {v.rule for v in rrp_lint.lint(self.tree.root)}
+
+    def test_clean_tree_passes(self):
+        self.tree.write(
+            "src/lp/ok.cpp",
+            '#include "lp/ok.hpp"\n'
+            "double f(double x) { return x * 2.0; }\n",
+        )
+        self.tree.write(
+            "src/lp/ok.hpp", "#pragma once\ndouble f(double x);\n"
+        )
+        self.assertEqual(rrp_lint.lint(self.tree.root), [])
+
+    def test_abort_in_library_fires(self):
+        self.tree.write(
+            "src/core/bad.cpp",
+            "#include <cstdlib>\nvoid f() { std::abort(); }\n",
+        )
+        self.assertIn("no-abort-assert", self.rules_fired())
+
+    def test_raw_assert_in_library_fires(self):
+        self.tree.write(
+            "src/core/bad.cpp",
+            "#include <cassert>\nvoid f(int x) { assert(x > 0); }\n",
+        )
+        self.assertIn("no-abort-assert", self.rules_fired())
+
+    def test_static_assert_is_allowed(self):
+        self.tree.write(
+            "src/core/ok.cpp",
+            "static_assert(sizeof(double) == 8, \"ieee754\");\n",
+        )
+        self.assertEqual(rrp_lint.lint(self.tree.root), [])
+
+    def test_abort_in_comment_is_allowed(self):
+        self.tree.write(
+            "src/core/ok.cpp",
+            "// library code never calls std::abort().\n"
+            "/* nor assert(x) */\n"
+            'const char* s = "abort(";\n',
+        )
+        self.assertEqual(rrp_lint.lint(self.tree.root), [])
+
+    def test_abort_outside_library_is_allowed(self):
+        self.tree.write(
+            "tests/test_x.cpp", "void f() { std::abort(); }\n"
+        )
+        self.assertNotIn("no-abort-assert", self.rules_fired())
+
+    def test_float_in_solver_numerics_fires(self):
+        self.tree.write(
+            "src/milp/bad.cpp", "float relax(float x) { return x; }\n"
+        )
+        self.assertIn("no-float-numerics", self.rules_fired())
+
+    def test_float_outside_numeric_dirs_is_allowed(self):
+        self.tree.write(
+            "src/common/ok.cpp", "float narrow(float x) { return x; }\n"
+        )
+        self.assertNotIn("no-float-numerics", self.rules_fired())
+
+    def test_naked_new_fires(self):
+        self.tree.write(
+            "src/core/bad.cpp", "int* f() { return new int(3); }\n"
+        )
+        self.assertIn("no-naked-new", self.rules_fired())
+
+    def test_missing_pragma_once_fires(self):
+        self.tree.write("src/core/bad.hpp", "int f();\n")
+        self.assertIn("pragma-once", self.rules_fired())
+
+    def test_ifndef_guard_fires(self):
+        self.tree.write(
+            "src/core/bad.hpp",
+            "#ifndef RRP_BAD_HPP\n#define RRP_BAD_HPP\n#pragma once\n"
+            "#endif\n",
+        )
+        self.assertIn("pragma-once", self.rules_fired())
+
+    def test_committed_build_artifact_fires(self):
+        self.tree.write("build/CMakeCache.txt", "CMAKE_BUILD_TYPE=Release\n")
+        self.tree.write("src/obj.o", "\x7fELF")
+        rules = self.rules_fired()
+        self.assertIn("no-build-artifacts", rules)
+        violations = [
+            v
+            for v in rrp_lint.lint(self.tree.root)
+            if v.rule == "no-build-artifacts"
+        ]
+        self.assertEqual(len(violations), 2)
+
+
+class CliTests(unittest.TestCase):
+    def test_missing_root_is_an_error_not_clean(self):
+        with contextlib.redirect_stderr(io.StringIO()) as err:
+            rc = rrp_lint.main(["/nonexistent/lint/root"])
+        self.assertEqual(rc, 2)
+        self.assertIn("no such directory", err.getvalue())
+
+
+class RepoTests(unittest.TestCase):
+    def test_repository_is_clean(self):
+        violations = rrp_lint.lint(REPO_ROOT)
+        self.assertEqual(
+            violations, [], "\n".join(str(v) for v in violations)
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
