@@ -3,6 +3,7 @@
 // scaling with the horizon, SARIMA fitting, and scenario-tree SRRP.
 #include <benchmark/benchmark.h>
 
+#include "common/deadline.hpp"
 #include "common/rng.hpp"
 #include "core/demand.hpp"
 #include "core/drrp.hpp"
@@ -90,6 +91,21 @@ void BM_DrrpFacilityLocation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DrrpFacilityLocation)->Arg(12)->Arg(24)->Arg(48);
+
+// Deadline-polling overhead (ISSUE 2 acceptance: <2% vs. no deadline).
+// Same MILP solve as BM_DrrpFacilityLocation but with a generous armed
+// deadline, so every node and pivot pays the poll against the real
+// monotonic clock without ever expiring.
+void BM_DrrpFacilityLocationDeadline(benchmark::State& state) {
+  const auto inst = drrp_instance(static_cast<std::size_t>(state.range(0)));
+  milp::BnbOptions opt;
+  for (auto _ : state) {
+    opt.deadline = common::Deadline::after(3600.0);
+    benchmark::DoNotOptimize(
+        core::solve_drrp(inst, opt, core::DrrpFormulation::FacilityLocation));
+  }
+}
+BENCHMARK(BM_DrrpFacilityLocationDeadline)->Arg(12)->Arg(24)->Arg(48);
 
 void BM_DrrpWagnerWhitin(benchmark::State& state) {
   const auto inst = drrp_instance(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,43 @@
+#include "common/deadline.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rrp::common {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  double now_seconds() const override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(t).count();
+  }
+};
+
+}  // namespace
+
+const Clock& real_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+Deadline Deadline::after(double seconds) {
+  return after(seconds, real_clock());
+}
+
+Deadline Deadline::after(double seconds, const Clock& clock) {
+  RRP_EXPECTS(!std::isnan(seconds));
+  if (std::isinf(seconds) && seconds > 0.0) return unlimited();
+  return Deadline(&clock, clock.now_seconds() + seconds);
+}
+
+double Deadline::remaining_seconds() const {
+  if (clock_ == nullptr) return std::numeric_limits<double>::infinity();
+  return expires_at_ - clock_->now_seconds();
+}
+
+}  // namespace rrp::common

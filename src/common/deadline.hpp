@@ -1,0 +1,92 @@
+// Wall-clock budgets for anytime solving.
+//
+// A Deadline is a cheap, copyable handle that solver loops poll once per
+// iteration/node; when it expires the solver returns its best incumbent
+// and proven bound instead of running on (the "anytime contract").  Time
+// flows through an injectable Clock so tests drive expiry with a
+// FakeClock and stay fully deterministic; this file is the only place in
+// the library allowed to touch std::chrono directly (enforced by the
+// `no-raw-clock` rrp_lint rule).
+#pragma once
+
+#include <cstdint>
+
+namespace rrp::common {
+
+/// Monotonic time source measured in seconds.  Implementations must be
+/// non-decreasing; absolute origin is unspecified.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now_seconds() const = 0;
+};
+
+/// The process-wide monotonic clock (std::chrono::steady_clock).
+const Clock& real_clock();
+
+/// Deterministic clock for tests.  `set`/`advance` move time manually;
+/// `set_auto_advance` makes every read advance time by a fixed step, so
+/// "the deadline expires after exactly N solver iterations" is a
+/// reproducible scenario rather than a race against the host machine.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double now_seconds() const override {
+    ++reads_;
+    const double t = now_;
+    now_ += step_;
+    return t;
+  }
+
+  void set(double seconds) { now_ = seconds; }
+  void advance(double seconds) { now_ += seconds; }
+  void set_auto_advance(double seconds_per_read) { step_ = seconds_per_read; }
+
+  /// Number of now_seconds() calls so far (deadline polls observed).
+  std::uint64_t reads() const { return reads_; }
+
+ private:
+  mutable double now_ = 0.0;
+  double step_ = 0.0;
+  mutable std::uint64_t reads_ = 0;
+};
+
+/// A point in time after which a solve must wind down.  Default-constructed
+/// deadlines are unlimited and cost a single pointer compare per poll, so
+/// threading one through hot loops is free when no budget is set.
+class Deadline {
+ public:
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  static Deadline unlimited() { return Deadline{}; }
+
+  /// Expires `seconds` from now on the process monotonic clock.  A
+  /// non-finite budget yields an unlimited deadline; zero or negative
+  /// budgets are already expired.  NaN budgets are rejected.
+  static Deadline after(double seconds);
+
+  /// Same, but against an injected clock (tests).  The clock must
+  /// outlive the deadline.
+  static Deadline after(double seconds, const Clock& clock);
+
+  bool is_unlimited() const { return clock_ == nullptr; }
+
+  bool expired() const {
+    return clock_ != nullptr && clock_->now_seconds() >= expires_at_;
+  }
+
+  /// Seconds until expiry (negative once past it); +infinity when
+  /// unlimited.
+  double remaining_seconds() const;
+
+ private:
+  Deadline(const Clock* clock, double expires_at)
+      : clock_(clock), expires_at_(expires_at) {}
+
+  const Clock* clock_ = nullptr;  // null = unlimited
+  double expires_at_ = 0.0;
+};
+
+}  // namespace rrp::common

@@ -1,0 +1,75 @@
+#include "common/fault_injection.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rrp::testing {
+
+const char* to_string(SolverFaultKind kind) {
+  switch (kind) {
+    case SolverFaultKind::Timeout:
+      return "solver-timeout";
+    case SolverFaultKind::NumericalFailure:
+      return "numerical-failure";
+  }
+  return "unknown";
+}
+
+const char* to_string(PriceFaultKind kind) {
+  switch (kind) {
+    case PriceFaultKind::Gap:
+      return "price-gap";
+    case PriceFaultKind::Nan:
+      return "price-nan";
+    case PriceFaultKind::Spike:
+      return "price-spike";
+    case PriceFaultKind::Delayed:
+      return "price-delayed";
+  }
+  return "unknown";
+}
+
+void FaultInjector::inject_solver_timeout(std::size_t slot) {
+  solver_faults_[slot] = SolverFaultKind::Timeout;
+}
+
+void FaultInjector::inject_solver_numerical_failure(std::size_t slot) {
+  solver_faults_[slot] = SolverFaultKind::NumericalFailure;
+}
+
+void FaultInjector::inject_price_gap(std::size_t slot) {
+  price_faults_[slot] = PriceFault{PriceFaultKind::Gap, 1.0};
+}
+
+void FaultInjector::inject_price_nan(std::size_t slot) {
+  price_faults_[slot] = PriceFault{PriceFaultKind::Nan, 1.0};
+}
+
+void FaultInjector::inject_price_spike(std::size_t slot) {
+  inject_price_spike(slot, rng_.uniform(20.0, 100.0));
+}
+
+void FaultInjector::inject_price_spike(std::size_t slot, double factor) {
+  RRP_EXPECTS(std::isfinite(factor) && factor > 0.0);
+  price_faults_[slot] = PriceFault{PriceFaultKind::Spike, factor};
+}
+
+void FaultInjector::inject_price_delay(std::size_t slot) {
+  price_faults_[slot] = PriceFault{PriceFaultKind::Delayed, 1.0};
+}
+
+std::optional<SolverFaultKind> FaultInjector::solver_fault(
+    std::size_t slot) const {
+  const auto it = solver_faults_.find(slot);
+  if (it == solver_faults_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PriceFault> FaultInjector::price_fault(std::size_t slot) const {
+  const auto it = price_faults_.find(slot);
+  if (it == price_faults_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rrp::testing

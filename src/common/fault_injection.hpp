@@ -1,0 +1,104 @@
+// Deterministic fault injection for chaos testing.
+//
+// A FaultInjector is a seeded schedule of failures that the solve
+// pipeline consults at well-defined points: the rolling-horizon loop asks
+// for solver faults (timeouts, synthetic numerical failures) and price
+// feed faults (gaps, NaN ticks, outlier spikes, delayed updates) per
+// slot, and rrp::lp::solve consumes "armed" LP failures so the branch &
+// bound recovery ladder can be exercised attempt by attempt.  Everything
+// is derived from the seed and the configured slots — two injectors with
+// the same seed and schedule produce byte-identical fault streams, which
+// is what lets the chaos suite assert exact degradation telemetry.
+//
+// Production code paths never require an injector; every hook is a
+// nullable pointer that defaults to "no faults".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace rrp::testing {
+
+/// Fault observed by the rolling-horizon loop when it attempts a re-plan.
+enum class SolverFaultKind {
+  Timeout,           ///< the solve's deadline expires before any progress
+  NumericalFailure,  ///< the solve escalates rrp::NumericalError
+};
+
+/// Fault applied to the observed price tick for a slot.  Settlement always
+/// uses the true market price — these model a broken telemetry feed, not a
+/// broken market.
+enum class PriceFaultKind {
+  Gap,      ///< no tick arrives for the slot
+  Nan,      ///< the tick arrives as NaN
+  Spike,    ///< the tick is multiplied by an outlier factor
+  Delayed,  ///< the previous tick is re-delivered late instead
+};
+
+const char* to_string(SolverFaultKind kind);
+const char* to_string(PriceFaultKind kind);
+
+struct PriceFault {
+  PriceFaultKind kind = PriceFaultKind::Gap;
+  /// Multiplier applied to the true tick for Spike faults; unused
+  /// otherwise.
+  double spike_factor = 1.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
+
+  // The armed-LP-failure counter is consumed concurrently with reads of
+  // the schedule; keep the injector pinned to one place.
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // -- schedule configuration (one solver + one price fault per slot;
+  //    re-injecting a slot overwrites the earlier entry) ----------------
+  void inject_solver_timeout(std::size_t slot);
+  void inject_solver_numerical_failure(std::size_t slot);
+  void inject_price_gap(std::size_t slot);
+  void inject_price_nan(std::size_t slot);
+  /// Spike with a seeded outlier factor drawn uniformly from [20, 100] —
+  /// far beyond any plausible market move, so the feed sanitiser must
+  /// reject it.
+  void inject_price_spike(std::size_t slot);
+  void inject_price_spike(std::size_t slot, double factor);
+  void inject_price_delay(std::size_t slot);
+
+  // -- LP-level failures -----------------------------------------------
+  /// Arms the next `count` calls into rrp::lp::solve (via
+  /// SimplexOptions::fault_injector) to throw rrp::NumericalError.  Lets
+  /// tests fail exactly the first k attempts of the branch & bound
+  /// recovery ladder.
+  void arm_lp_failures(std::size_t count) { armed_lp_failures_ = count; }
+
+  /// Consumes one armed LP failure; true if the caller must fail.
+  bool consume_lp_fault() const {
+    if (armed_lp_failures_ == 0) return false;
+    --armed_lp_failures_;
+    return true;
+  }
+
+  std::size_t armed_lp_failures() const { return armed_lp_failures_; }
+
+  // -- queries -----------------------------------------------------------
+  std::optional<SolverFaultKind> solver_fault(std::size_t slot) const;
+  std::optional<PriceFault> price_fault(std::size_t slot) const;
+
+  std::size_t num_solver_faults() const { return solver_faults_.size(); }
+  std::size_t num_price_faults() const { return price_faults_.size(); }
+
+ private:
+  std::map<std::size_t, SolverFaultKind> solver_faults_;
+  std::map<std::size_t, PriceFault> price_faults_;
+  Rng rng_;
+  mutable std::size_t armed_lp_failures_ = 0;
+};
+
+}  // namespace rrp::testing

@@ -66,7 +66,8 @@ struct RentalPlan {
 
   bool feasible() const {
     return status == milp::MipStatus::Optimal ||
-           status == milp::MipStatus::NodeLimit;
+           status == milp::MipStatus::NodeLimit ||
+           status == milp::MipStatus::TimeLimit;
   }
 };
 

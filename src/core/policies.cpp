@@ -6,6 +6,8 @@ namespace rrp::core {
 
 void PolicyConfig::validate() const {
   RRP_EXPECTS(lookahead >= 1);
+  // Rejects negatives and NaN; +infinity is an explicit "no limit".
+  RRP_EXPECTS(replan_time_limit >= 0.0);
   RRP_EXPECTS(replan_every >= 1);
   RRP_EXPECTS(replan_every <= lookahead);
   RRP_EXPECTS(distribution_support >= 2);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "milp/branch_and_bound.hpp"
 
 namespace rrp::core {
@@ -70,6 +71,14 @@ struct PolicyConfig {
   /// Hours of history used for the base distribution / SARIMA fit.
   std::size_t fit_window = 24 * 60;
   milp::BnbOptions solver;
+  /// Wall-clock budget (seconds) for each re-plan solve; 0 disables.
+  /// On expiry the MILP backend returns its best incumbent (anytime
+  /// contract); when no plan is usable the rolling-horizon recovery
+  /// ladder degrades the slot instead of aborting the simulation.
+  double replan_time_limit = 0.0;
+  /// Clock behind the per-re-plan deadlines; tests inject a FakeClock
+  /// here for deterministic expiry.  nullptr = process monotonic clock.
+  const common::Clock* clock = nullptr;
 
   void validate() const;
 };

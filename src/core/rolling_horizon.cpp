@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -16,14 +17,67 @@
 
 namespace rrp::core {
 
+namespace {
+
+void reject(const std::string& what) { throw InvalidArgument(what); }
+
+void check_prices(const std::vector<double>& prices, const char* field) {
+  for (std::size_t t = 0; t < prices.size(); ++t) {
+    const double p = prices[t];
+    const std::string at =
+        std::string("SimulationInputs: ") + field + "[" + std::to_string(t) +
+        "]";
+    if (std::isnan(p)) reject(at + " is NaN");
+    if (p <= 0.0 || !std::isfinite(p))
+      reject(at + " must be a positive finite price, got " +
+             std::to_string(p));
+  }
+}
+
+}  // namespace
+
 void SimulationInputs::validate() const {
-  RRP_EXPECTS(!demand.empty());
-  RRP_EXPECTS(actual_spot.size() == demand.size());
-  RRP_EXPECTS(!history.empty());
-  for (double d : demand) RRP_EXPECTS(d >= 0.0);
-  for (double p : actual_spot) RRP_EXPECTS(p > 0.0);
-  for (double p : history) RRP_EXPECTS(p > 0.0);
-  RRP_EXPECTS(initial_storage >= 0.0);
+  if (demand.empty()) reject("SimulationInputs: demand is empty");
+  if (actual_spot.size() != demand.size())
+    reject("SimulationInputs: actual_spot has " +
+           std::to_string(actual_spot.size()) + " slots but demand has " +
+           std::to_string(demand.size()));
+  if (history.empty()) reject("SimulationInputs: price history is empty");
+  for (std::size_t t = 0; t < demand.size(); ++t) {
+    const double d = demand[t];
+    const std::string at =
+        "SimulationInputs: demand[" + std::to_string(t) + "]";
+    if (std::isnan(d)) reject(at + " is NaN");
+    if (d < 0.0 || !std::isfinite(d))
+      reject(at + " must be non-negative and finite, got " +
+             std::to_string(d));
+  }
+  check_prices(actual_spot, "actual_spot");
+  check_prices(history, "history");
+  if (std::isnan(initial_storage))
+    reject("SimulationInputs: initial_storage is NaN");
+  if (initial_storage < 0.0 || !std::isfinite(initial_storage))
+    reject("SimulationInputs: initial_storage must be non-negative and "
+           "finite, got " +
+           std::to_string(initial_storage));
+}
+
+const char* to_string(FallbackReason reason) {
+  switch (reason) {
+    case FallbackReason::SolverTimeout: return "solver-timeout";
+    case FallbackReason::NumericalFailure: return "numerical-failure";
+    case FallbackReason::PlanRejected: return "plan-rejected";
+  }
+  return "unknown";
+}
+
+const char* to_string(FallbackAction action) {
+  switch (action) {
+    case FallbackAction::ReusedPlanTail: return "reused-plan-tail";
+    case FallbackAction::HeuristicPlan: return "heuristic-plan";
+    case FallbackAction::OnDemand: return "on-demand";
+  }
+  return "unknown";
 }
 
 namespace {
@@ -33,9 +87,11 @@ constexpr double kPriceFloor = 1e-4;
 /// Execution engine for one (inputs, policy) pair.
 class PolicyRunner {
  public:
-  PolicyRunner(const SimulationInputs& inputs, const PolicyConfig& policy)
+  PolicyRunner(const SimulationInputs& inputs, const PolicyConfig& policy,
+               const testing::FaultInjector* injector)
       : in_(inputs),
         cfg_(policy),
+        injector_(injector),
         lambda_(market::info(inputs.vm).on_demand_hourly) {
     in_.validate();
     cfg_.validate();
@@ -71,23 +127,58 @@ class PolicyRunner {
   SimulationResult run();
 
  private:
+  /// What kind of plan currently drives execution.  None both before the
+  /// first plan and after a full degradation to on-demand.
+  enum class PlanMode { None, Schedule, Tree };
+
   /// Per-slot bid/price estimates for the next `w` slots.
   std::vector<double> price_estimates(std::size_t t, std::size_t w);
 
-  SlotRecord execute_drrp_like(std::size_t t, std::size_t w, double store);
-  SlotRecord execute_srrp(std::size_t t, std::size_t w, double store);
+  DrrpInstance drrp_instance(std::size_t t, std::size_t w, double store,
+                             const std::vector<double>& estimates) const;
+
+  /// Attempts a fresh plan for slot t.  Solver faults from the injector
+  /// fire here; on any failure (injected or real) control moves to
+  /// degrade() and the slot is still served.
+  void replan(std::size_t t, std::size_t w, double store);
+
+  /// The recovery ladder: reuse the cached plan's tail, else plan with
+  /// the Wagner-Whitin heuristic, else serve the slot on demand.
+  void degrade(std::size_t t, std::size_t w, double store,
+               const std::vector<double>& estimates, FallbackReason reason);
+
+  void commit_schedule(std::size_t t, RentalPlan plan,
+                       const std::vector<double>& estimates);
+  void commit_tree(std::size_t t, SrrpPolicy policy, ScenarioTree tree,
+                   const std::vector<double>& bids);
+
+  SlotRecord execute_schedule(std::size_t t);
+  SlotRecord execute_tree(std::size_t t);
   SlotRecord execute_no_plan(std::size_t t, double store);
 
-  /// True when slot t should trigger a fresh plan (cadence reached or
-  /// the cached plan exhausted).
+  /// True when the cached plan has a decision for slot t.
+  bool plan_covers(std::size_t t) const;
+
+  /// True when slot t should trigger a fresh plan (no plan yet, cadence
+  /// reached, or the cached plan exhausted).
   bool needs_replan(std::size_t t) const;
 
   /// Settles acquisition of one instance-slot given the decision to
   /// rent; fills rented/won/bid/price_paid.
   void settle_rental(SlotRecord& rec, std::size_t t, double bid);
 
+  /// Appends slot t's price tick to the observed series, routing it
+  /// through the injector (feed faults) and the sanitiser.  Settlement
+  /// is unaffected: only the policy's observations degrade.
+  void observe_tick(std::size_t t);
+
+  /// Replaces unusable ticks (non-finite, non-positive, or implausibly
+  /// far above on-demand) with the last good observation.
+  double sanitize_tick(double tick, double last) const;
+
   SimulationInputs in_;
   PolicyConfig cfg_;
+  const testing::FaultInjector* injector_;
   double lambda_;
   std::vector<double> fit_series_;
   std::vector<double> observed_;
@@ -95,10 +186,11 @@ class PolicyRunner {
   EmpiricalPriceDistribution base_dist_{{1.0}, {1.0}};
   std::optional<ts::SarimaModel> sarima_;
   std::optional<MarkovPriceModel> markov_;
+  SimulationResult result_;
 
   // --- Cached plan state (replan_every > 1, paper Section V-D). ---
+  PlanMode mode_ = PlanMode::None;
   std::size_t plan_origin_ = 0;      ///< slot the cached plan was made at
-  bool have_plan_ = false;
   RentalPlan cached_plan_;           ///< DRRP schedule from plan_origin_
   std::vector<double> cached_bids_;  ///< plan-time price estimates
   SrrpPolicy cached_policy_;         ///< SRRP recourse policy
@@ -142,6 +234,19 @@ std::vector<double> PolicyRunner::price_estimates(std::size_t t,
   throw InvalidArgument("unknown bid strategy");
 }
 
+DrrpInstance PolicyRunner::drrp_instance(
+    std::size_t t, std::size_t w, double store,
+    const std::vector<double>& estimates) const {
+  DrrpInstance inst;
+  inst.vm = in_.vm;
+  inst.demand.assign(in_.demand.begin() + static_cast<long>(t),
+                     in_.demand.begin() + static_cast<long>(t + w));
+  inst.compute_price = estimates;
+  inst.costs = in_.costs;
+  inst.initial_storage = store;
+  return inst;
+}
+
 void PolicyRunner::settle_rental(SlotRecord& rec, std::size_t t,
                                  double bid) {
   rec.rented = true;
@@ -171,35 +276,172 @@ SlotRecord PolicyRunner::execute_no_plan(std::size_t t, double store) {
   return rec;
 }
 
-bool PolicyRunner::needs_replan(std::size_t t) const {
-  if (!have_plan_) return true;
+bool PolicyRunner::plan_covers(std::size_t t) const {
+  if (mode_ == PlanMode::None) return false;
   const std::size_t age = t - plan_origin_;
-  if (age >= cfg_.replan_every) return true;
-  // The cached plan must still cover this slot.
-  if (cfg_.planner == PlannerKind::Drrp)
-    return age >= cached_plan_.alpha.size();
-  return age >= cached_tree_.num_stages();
+  if (mode_ == PlanMode::Schedule) return age < cached_plan_.alpha.size();
+  return age < cached_tree_.num_stages();
 }
 
-SlotRecord PolicyRunner::execute_drrp_like(std::size_t t, std::size_t w,
-                                           double store) {
-  if (needs_replan(t)) {
-    const std::vector<double> estimates = price_estimates(t, w);
-    DrrpInstance inst;
-    inst.vm = in_.vm;
-    inst.demand.assign(in_.demand.begin() + static_cast<long>(t),
-                       in_.demand.begin() + static_cast<long>(t + w));
-    inst.compute_price = estimates;
-    inst.costs = in_.costs;
-    inst.initial_storage = store;
-    cached_plan_ = cfg_.backend == PlannerBackend::DynamicProgramming
-                       ? solve_drrp_wagner_whitin(inst)
-                       : solve_drrp(inst, cfg_.solver);
-    RRP_ENSURES(cached_plan_.feasible());
-    cached_bids_ = estimates;
-    plan_origin_ = t;
-    have_plan_ = true;
+bool PolicyRunner::needs_replan(std::size_t t) const {
+  if (mode_ == PlanMode::None) return true;
+  if (t - plan_origin_ >= cfg_.replan_every) return true;
+  // The cached plan must still cover this slot.
+  return !plan_covers(t);
+}
+
+void PolicyRunner::commit_schedule(std::size_t t, RentalPlan plan,
+                                   const std::vector<double>& estimates) {
+  cached_plan_ = std::move(plan);
+  cached_bids_ = estimates;
+  plan_origin_ = t;
+  mode_ = PlanMode::Schedule;
+}
+
+void PolicyRunner::commit_tree(std::size_t t, SrrpPolicy policy,
+                               ScenarioTree tree,
+                               const std::vector<double>& bids) {
+  cached_policy_ = std::move(policy);
+  cached_tree_ = std::move(tree);
+  cached_bids_ = bids;
+  tree_cursor_ = cached_tree_.root();
+  plan_origin_ = t;
+  mode_ = PlanMode::Tree;
+}
+
+void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
+  milp::BnbOptions solver = cfg_.solver;
+  if (cfg_.replan_time_limit > 0.0) {
+    const common::Clock& clock =
+        cfg_.clock != nullptr ? *cfg_.clock : common::real_clock();
+    solver.deadline = common::Deadline::after(cfg_.replan_time_limit, clock);
   }
+
+  std::vector<double> estimates;
+  std::optional<FallbackReason> failure;
+  std::optional<testing::SolverFaultKind> injected;
+  if (injector_ != nullptr) injected = injector_->solver_fault(t);
+  if (injected.has_value() &&
+      *injected == testing::SolverFaultKind::Timeout) {
+    // Modelled as the budget burning down before the solve gets
+    // anywhere; injecting above the solver keeps the fault uniform
+    // across the DP backend (which has no internal clock) and the MILP.
+    failure = FallbackReason::SolverTimeout;
+  } else {
+    try {
+      estimates = price_estimates(t, w);
+      if (injected.has_value() &&
+          *injected == testing::SolverFaultKind::NumericalFailure)
+        throw NumericalError("injected numerical failure at slot " +
+                             std::to_string(t));
+      if (cfg_.planner == PlannerKind::Drrp) {
+        DrrpInstance inst = drrp_instance(t, w, store, estimates);
+        RentalPlan plan =
+            cfg_.backend == PlannerBackend::DynamicProgramming
+                ? solve_drrp_wagner_whitin(inst)
+                : solve_drrp(inst, solver);
+        if (plan.feasible()) {
+          commit_schedule(t, std::move(plan), estimates);
+          return;
+        }
+        failure = solver.deadline.expired() ? FallbackReason::SolverTimeout
+                                            : FallbackReason::PlanRejected;
+      } else {
+        std::vector<std::size_t> widths(w, 1);
+        for (std::size_t i = 0; i < w && i < cfg_.stage_widths.size(); ++i)
+          widths[i] = cfg_.stage_widths[i];
+
+        SrrpInstance inst;
+        inst.vm = in_.vm;
+        inst.demand.assign(in_.demand.begin() + static_cast<long>(t),
+                           in_.demand.begin() + static_cast<long>(t + w));
+        if (markov_.has_value()) {
+          // Conditional tree rooted at the price currently in force.
+          inst.tree = markov_->build_tree(observed_.back(), estimates,
+                                          lambda_, widths);
+        } else {
+          inst.tree = ScenarioTree::build(
+              make_stage_supports(base_dist_, estimates, lambda_, widths));
+        }
+        inst.costs = in_.costs;
+        inst.initial_storage = store;
+        SrrpPolicy policy =
+            cfg_.backend == PlannerBackend::DynamicProgramming
+                ? solve_srrp_tree_dp(inst)
+                : solve_srrp(inst, solver);
+        if (policy.feasible()) {
+          commit_tree(t, std::move(policy), std::move(inst.tree), estimates);
+          return;
+        }
+        failure = solver.deadline.expired() ? FallbackReason::SolverTimeout
+                                            : FallbackReason::PlanRejected;
+      }
+    } catch (const NumericalError&) {
+      failure = FallbackReason::NumericalFailure;
+    }
+  }
+  // The heuristic rung needs estimates even when the failure happened
+  // before/inside price estimation; the historical mean is always
+  // available and always valid.
+  if (estimates.size() != w)
+    estimates.assign(w, std::max(history_mean_, kPriceFloor));
+  degrade(t, w, store, estimates, *failure);
+}
+
+void PolicyRunner::degrade(std::size_t t, std::size_t w, double store,
+                           const std::vector<double>& estimates,
+                           FallbackReason reason) {
+  switch (reason) {
+    case FallbackReason::SolverTimeout:
+      ++result_.replan_timeouts;
+      break;
+    case FallbackReason::NumericalFailure:
+      ++result_.replan_numerical_failures;
+      break;
+    case FallbackReason::PlanRejected:
+      ++result_.replans_rejected;
+      break;
+  }
+  FallbackEvent ev;
+  ev.slot = t;
+  ev.reason = reason;
+
+  // Rung 1: the previous plan's tail still serves this slot (exactly the
+  // cadence > 1 execution path, so the inventory trajectory stays
+  // plan-consistent).
+  if (plan_covers(t)) {
+    ev.action = FallbackAction::ReusedPlanTail;
+    ++result_.fallback_reused_tail;
+    result_.fallbacks.push_back(ev);
+    return;
+  }
+
+  // Rung 2: Wagner-Whitin on the current estimates — exact for the
+  // uncapacitated lot-sizing shape and runs in microseconds, so it
+  // cannot itself time out.
+  try {
+    RentalPlan plan =
+        solve_drrp_wagner_whitin(drrp_instance(t, w, store, estimates));
+    if (plan.feasible()) {
+      commit_schedule(t, std::move(plan), estimates);
+      ev.action = FallbackAction::HeuristicPlan;
+      ++result_.fallback_heuristic;
+      result_.fallbacks.push_back(ev);
+      return;
+    }
+  } catch (const Error&) {
+    // Fall through to the last rung.
+  }
+
+  // Rung 3: serve this slot's net demand on demand; planning is retried
+  // at the next slot.
+  mode_ = PlanMode::None;
+  ev.action = FallbackAction::OnDemand;
+  ++result_.fallback_on_demand;
+  result_.fallbacks.push_back(ev);
+}
+
+SlotRecord PolicyRunner::execute_schedule(std::size_t t) {
   // Execute the cached schedule at this slot's offset.  The schedule's
   // inventory path is followed exactly (alpha is generated even when
   // the auction is lost, on the fallback on-demand instance), so the
@@ -212,39 +454,7 @@ SlotRecord PolicyRunner::execute_drrp_like(std::size_t t, std::size_t w,
   return rec;
 }
 
-SlotRecord PolicyRunner::execute_srrp(std::size_t t, std::size_t w,
-                                      double store) {
-  if (needs_replan(t)) {
-    const std::vector<double> bids = price_estimates(t, w);
-    std::vector<std::size_t> widths(w, 1);
-    for (std::size_t i = 0; i < w && i < cfg_.stage_widths.size(); ++i)
-      widths[i] = cfg_.stage_widths[i];
-
-    SrrpInstance inst;
-    inst.vm = in_.vm;
-    inst.demand.assign(in_.demand.begin() + static_cast<long>(t),
-                       in_.demand.begin() + static_cast<long>(t + w));
-    if (markov_.has_value()) {
-      // Conditional tree rooted at the price currently in force.
-      inst.tree =
-          markov_->build_tree(observed_.back(), bids, lambda_, widths);
-    } else {
-      inst.tree = ScenarioTree::build(
-          make_stage_supports(base_dist_, bids, lambda_, widths));
-    }
-    inst.costs = in_.costs;
-    inst.initial_storage = store;
-    cached_policy_ = cfg_.backend == PlannerBackend::DynamicProgramming
-                         ? solve_srrp_tree_dp(inst)
-                         : solve_srrp(inst, cfg_.solver);
-    RRP_ENSURES(cached_policy_.feasible());
-    cached_tree_ = inst.tree;
-    cached_bids_ = bids;
-    tree_cursor_ = cached_tree_.root();
-    plan_origin_ = t;
-    have_plan_ = true;
-  }
-
+SlotRecord PolicyRunner::execute_tree(std::size_t t) {
   // Multistage recourse execution: descend one tree stage per slot,
   // picking the child state that matches the realised acquisition.
   const std::size_t offset = t - plan_origin_;
@@ -303,25 +513,69 @@ SlotRecord PolicyRunner::execute_srrp(std::size_t t, std::size_t w,
   return rec;
 }
 
+double PolicyRunner::sanitize_tick(double tick, double last) const {
+  if (!std::isfinite(tick) || tick <= 0.0) return last;
+  // A tick an order of magnitude above on-demand is a feed glitch, not a
+  // market move (spot occasionally exceeds lambda, never by 10x).
+  if (tick > 10.0 * lambda_) return last;
+  return std::max(tick, kPriceFloor);
+}
+
+void PolicyRunner::observe_tick(std::size_t t) {
+  const double actual = in_.actual_spot[t];
+  double used = actual;
+  if (injector_ != nullptr) {
+    if (const auto fault = injector_->price_fault(t)) {
+      const double last = observed_.back();
+      double raw = actual;
+      switch (fault->kind) {
+        case testing::PriceFaultKind::Gap:
+        case testing::PriceFaultKind::Nan:
+          // No tick / an unusable tick arrived.
+          raw = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case testing::PriceFaultKind::Spike:
+          raw = actual * fault->spike_factor;
+          break;
+        case testing::PriceFaultKind::Delayed:
+          raw = last;  // the previous tick is re-delivered late
+          break;
+      }
+      used = sanitize_tick(raw, last);
+      PriceFeedEvent ev;
+      ev.slot = t;
+      ev.kind = fault->kind;
+      ev.raw = raw;
+      ev.used = used;
+      result_.price_faults.push_back(ev);
+    }
+  }
+  observed_.push_back(used);
+}
+
 SimulationResult PolicyRunner::run() {
-  SimulationResult result;
   const std::size_t T = in_.horizon();
-  result.slots.reserve(T);
+  result_.slots.reserve(T);
   double store = in_.initial_storage;
 
   for (std::size_t t = 0; t < T; ++t) {
     const std::size_t w = std::min(cfg_.lookahead, T - t);
     SlotRecord rec;
-    switch (cfg_.planner) {
-      case PlannerKind::NoPlan:
-        rec = execute_no_plan(t, store);
-        break;
-      case PlannerKind::Drrp:
-        rec = execute_drrp_like(t, w, store);
-        break;
-      case PlannerKind::Srrp:
-        rec = execute_srrp(t, w, store);
-        break;
+    if (cfg_.planner == PlannerKind::NoPlan) {
+      rec = execute_no_plan(t, store);
+    } else {
+      if (needs_replan(t)) replan(t, w, store);
+      switch (mode_) {
+        case PlanMode::None:
+          rec = execute_no_plan(t, store);
+          break;
+        case PlanMode::Schedule:
+          rec = execute_schedule(t);
+          break;
+        case PlanMode::Tree:
+          rec = execute_tree(t);
+          break;
+      }
     }
 
     // Inventory update; the planners guarantee coverage.
@@ -332,25 +586,31 @@ SimulationResult PolicyRunner::run() {
 
     // Realised cost accounting.
     if (rec.rented) {
-      result.cost.compute += rec.price_paid;
-      ++result.rentals;
-      if (!rec.won) ++result.out_of_bid_events;
+      result_.cost.compute += rec.price_paid;
+      ++result_.rentals;
+      if (!rec.won) ++result_.out_of_bid_events;
     }
-    result.cost.holding += in_.costs.holding(t) * store;
-    result.cost.transfer_in += in_.costs.generation_cost(rec.alpha, t);
-    result.cost.transfer_out += in_.costs.delivery_cost(in_.demand[t], t);
+    result_.cost.holding += in_.costs.holding(t) * store;
+    result_.cost.transfer_in += in_.costs.generation_cost(rec.alpha, t);
+    result_.cost.transfer_out += in_.costs.delivery_cost(in_.demand[t], t);
 
-    result.slots.push_back(rec);
-    observed_.push_back(in_.actual_spot[t]);
+    result_.slots.push_back(rec);
+    observe_tick(t);
   }
-  return result;
+  return std::move(result_);
 }
 
 }  // namespace
 
 SimulationResult simulate_policy(const SimulationInputs& inputs,
                                  const PolicyConfig& policy) {
-  PolicyRunner runner(inputs, policy);
+  return simulate_policy(inputs, policy, nullptr);
+}
+
+SimulationResult simulate_policy(const SimulationInputs& inputs,
+                                 const PolicyConfig& policy,
+                                 const testing::FaultInjector* injector) {
+  PolicyRunner runner(inputs, policy, injector);
   return runner.run();
 }
 

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "core/drrp.hpp"
 #include "core/policies.hpp"
 #include "market/cost_model.hpp"
@@ -28,6 +29,12 @@ struct SimulationInputs {
   double initial_storage = 0.0;
 
   std::size_t horizon() const { return demand.size(); }
+
+  /// Throws rrp::InvalidArgument with a message naming the offending
+  /// field/slot when: demand is empty, NaN, negative or infinite; a
+  /// price (actual_spot or history) is NaN, non-positive or infinite;
+  /// the price horizon does not match the demand horizon; the history
+  /// is empty; or initial_storage is NaN, negative or infinite.
   void validate() const;
 };
 
@@ -40,11 +47,60 @@ struct SlotRecord {
   double inventory = 0.0;    ///< end-of-slot beta
 };
 
+/// Why a re-plan attempt at some slot produced no usable plan.
+enum class FallbackReason {
+  SolverTimeout,     ///< the re-plan deadline expired (real or injected)
+  NumericalFailure,  ///< the solver escalated rrp::NumericalError
+  PlanRejected,      ///< the solver finished without a usable incumbent
+};
+
+/// What the recovery ladder executed instead of a fresh plan, in
+/// preference order.
+enum class FallbackAction {
+  ReusedPlanTail,  ///< the previous plan still covered the slot
+  HeuristicPlan,   ///< fresh Wagner-Whitin plan on the current estimates
+  OnDemand,        ///< rent on demand for exactly this slot's demand
+};
+
+const char* to_string(FallbackReason reason);
+const char* to_string(FallbackAction action);
+
+/// One degraded re-plan: the slot it happened at, why the fresh plan was
+/// unavailable, and which ladder rung served the slot instead.
+struct FallbackEvent {
+  std::size_t slot = 0;
+  FallbackReason reason = FallbackReason::PlanRejected;
+  FallbackAction action = FallbackAction::OnDemand;
+};
+
+/// One sanitised price-feed fault: the tick as (not) delivered by the
+/// faulty feed and the value the models actually consumed.  Settlement
+/// always uses the true market price; only the policy's observations
+/// degrade.
+struct PriceFeedEvent {
+  std::size_t slot = 0;
+  testing::PriceFaultKind kind = testing::PriceFaultKind::Gap;
+  double raw = 0.0;   ///< faulted tick (NaN when nothing arrived)
+  double used = 0.0;  ///< sanitised value fed to the models
+};
+
 struct SimulationResult {
   CostBreakdown cost;        ///< realised, not planned
   std::vector<SlotRecord> slots;
   std::size_t out_of_bid_events = 0;
   std::size_t rentals = 0;
+
+  // --- Degradation telemetry (one FallbackEvent per failed re-plan). ---
+  std::vector<FallbackEvent> fallbacks;
+  std::vector<PriceFeedEvent> price_faults;
+  std::size_t replan_timeouts = 0;
+  std::size_t replan_numerical_failures = 0;
+  std::size_t replans_rejected = 0;
+  std::size_t fallback_reused_tail = 0;
+  std::size_t fallback_heuristic = 0;
+  std::size_t fallback_on_demand = 0;
+
+  std::size_t degraded_replans() const { return fallbacks.size(); }
 
   double total_cost() const { return cost.total(); }
 };
@@ -53,6 +109,17 @@ struct SimulationResult {
 /// inputs (any model fitting inside is deterministic).
 SimulationResult simulate_policy(const SimulationInputs& inputs,
                                  const PolicyConfig& policy);
+
+/// Same, with an optional fault injector (tests / chaos experiments):
+/// solver faults fire when the policy attempts a re-plan at the faulted
+/// slot; price-feed faults corrupt the observed tick before it reaches
+/// the models.  Every injected fault is absorbed by the recovery ladder
+/// and recorded in the result's telemetry — the simulation always
+/// completes.  A null injector is identical to the two-argument
+/// overload.
+SimulationResult simulate_policy(const SimulationInputs& inputs,
+                                 const PolicyConfig& policy,
+                                 const testing::FaultInjector* injector);
 
 /// The paper's ideal case: "an oracle who knows all the future
 /// realization of spot instance price in advance, and takes them as

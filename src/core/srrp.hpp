@@ -59,7 +59,8 @@ struct SrrpPolicy {
 
   bool feasible() const {
     return status == milp::MipStatus::Optimal ||
-           status == milp::MipStatus::NodeLimit;
+           status == milp::MipStatus::NodeLimit ||
+           status == milp::MipStatus::TimeLimit;
   }
 };
 

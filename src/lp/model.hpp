@@ -76,7 +76,14 @@ class LinearProgram {
   Sense sense_ = Sense::Minimize;
 };
 
-enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+enum class SolveStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  /// The SimplexOptions deadline expired before optimality was proven.
+  TimeLimit,
+};
 
 const char* to_string(SolveStatus status);
 

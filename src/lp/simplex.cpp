@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "common/invariant.hpp"
 #include "common/matrix.hpp"
 
@@ -14,7 +15,7 @@ namespace {
 
 enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, FreeAtZero };
 
-enum class PhaseResult { Optimal, Unbounded, IterationLimit };
+enum class PhaseResult { Optimal, Unbounded, IterationLimit, TimeLimit };
 
 /// The working state of a bounded-variable simplex solve.  Variable
 /// layout: [0, n) structural, [n, n+m) slacks, [n+m, n+2m) artificials.
@@ -278,6 +279,8 @@ PhaseResult Worker::run_phase(const std::vector<double>& cost,
   bool use_bland = opt_.pricing == Pricing::Bland;
 
   for (std::size_t iter = 0; iter < max_iters; ++iter, ++iterations_) {
+    // One deadline poll per pivot; a pointer compare when unlimited.
+    if (opt_.deadline.expired()) return PhaseResult::TimeLimit;
     const std::vector<double> y = compute_duals(cost);
 
     // --- Pricing: choose the entering variable and its direction. ---
@@ -444,8 +447,9 @@ Solution Worker::run() {
   std::vector<double> phase1_cost(total_, 0.0);
   for (std::size_t r = 0; r < m_; ++r) phase1_cost[art_begin_ + r] = 1.0;
   PhaseResult p1 = run_phase(phase1_cost, opt_.max_iterations);
-  if (p1 == PhaseResult::IterationLimit) {
-    sol.status = SolveStatus::IterationLimit;
+  if (p1 == PhaseResult::IterationLimit || p1 == PhaseResult::TimeLimit) {
+    sol.status = p1 == PhaseResult::TimeLimit ? SolveStatus::TimeLimit
+                                              : SolveStatus::IterationLimit;
     sol.iterations = iterations_;
     return sol;
   }
@@ -465,8 +469,9 @@ Solution Worker::run() {
   for (std::size_t j = 0; j < n_; ++j)
     cost[j] = sense * lp_.variable(j).objective;
   PhaseResult p2 = run_phase(cost, opt_.max_iterations);
-  if (p2 == PhaseResult::IterationLimit) {
-    sol.status = SolveStatus::IterationLimit;
+  if (p2 == PhaseResult::IterationLimit || p2 == PhaseResult::TimeLimit) {
+    sol.status = p2 == PhaseResult::TimeLimit ? SolveStatus::TimeLimit
+                                              : SolveStatus::IterationLimit;
     sol.iterations = iterations_;
     return sol;
   }
@@ -524,6 +529,15 @@ void verify_basis(std::size_t num_rows, std::size_t num_columns,
 }
 
 Solution solve(const LinearProgram& lp, const SimplexOptions& options) {
+  if (options.fault_injector != nullptr &&
+      options.fault_injector->consume_lp_fault()) {
+    throw NumericalError("simplex: injected numerical failure");
+  }
+  if (options.deadline.expired()) {
+    Solution sol;
+    sol.status = SolveStatus::TimeLimit;
+    return sol;
+  }
   if (lp.num_rows() == 0) {
     // Pure bound problem: each variable sits at its cheapest finite bound.
     Solution sol;

@@ -15,7 +15,12 @@
 #include <cstddef>
 #include <span>
 
+#include "common/deadline.hpp"
 #include "lp/model.hpp"
+
+namespace rrp::testing {
+class FaultInjector;
+}  // namespace rrp::testing
 
 namespace rrp::lp {
 
@@ -33,6 +38,14 @@ struct SimplexOptions {
   std::size_t stall_limit = 200;
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
+  /// Wall-clock budget; polled once per pivot.  On expiry the solve
+  /// returns SolveStatus::TimeLimit instead of iterating further.
+  /// Defaults to unlimited (a single pointer compare per pivot).
+  common::Deadline deadline;
+  /// Test hook: when set, each solve() call first consumes one armed LP
+  /// failure from the injector and throws rrp::NumericalError if armed.
+  /// Production callers leave this null.
+  const testing::FaultInjector* fault_injector = nullptr;
 };
 
 /// Solves the LP.  Never throws on infeasible/unbounded inputs (that is

@@ -71,6 +71,10 @@ class Solver {
         pseudo_(model.num_variables()) {
     for (std::size_t j = 0; j < model.num_variables(); ++j)
       if (model.is_integral(j)) int_vars_.push_back(j);
+    // Node LPs inherit the global deadline unless the caller set a
+    // dedicated per-LP budget.
+    lp_opt_ = opt.lp;
+    if (lp_opt_.deadline.is_unlimited()) lp_opt_.deadline = opt.deadline;
 #if RRP_INVARIANTS_ENABLED
     // Feasibility tolerance for incumbent checks: snapping each integer
     // variable moves it by at most integrality_tol, so a row can drift
@@ -94,6 +98,12 @@ class Solver {
   /// Applies node bounds and solves the relaxation.
   lp::Solution solve_relaxation(const Node& node);
 
+  /// Solves relaxation_ through the failure-recovery ladder: on
+  /// rrp::NumericalError retry with Bland pricing, then forced
+  /// refactorisation, then a bounded deterministic cost perturbation;
+  /// rethrows only when every rung fails.
+  lp::Solution solve_with_recovery();
+
   /// Returns the index (into int_vars_) of the branching variable, or
   /// int_vars_.size() when the point is integral.
   std::size_t pick_branch_var(const std::vector<double>& x) const;
@@ -105,6 +115,7 @@ class Solver {
   const Model& model_;
   const BnbOptions& opt_;
   lp::LinearProgram relaxation_;
+  lp::SimplexOptions lp_opt_;  ///< opt_.lp with the inherited deadline
   double sense_mult_;
   std::vector<std::size_t> int_vars_;
   Pseudocosts pseudo_;
@@ -114,6 +125,7 @@ class Solver {
   std::vector<double> incumbent_x_;
   std::size_t nodes_ = 0;
   std::size_t lp_iterations_ = 0;
+  std::size_t lp_recoveries_ = 0;
 #if RRP_INVARIANTS_ENABLED
   double incumbent_feas_tol_ = 1e-6;
   /// Unmodified relaxation (solve_relaxation mutates relaxation_'s
@@ -126,8 +138,53 @@ lp::Solution Solver::solve_relaxation(const Node& node) {
   for (std::size_t k = 0; k < int_vars_.size(); ++k) {
     relaxation_.set_variable_bounds(int_vars_[k], node.lo[k], node.hi[k]);
   }
-  lp::Solution sol = lp::solve(relaxation_, opt_.lp);
+  lp::Solution sol = solve_with_recovery();
   lp_iterations_ += sol.iterations;
+  return sol;
+}
+
+lp::Solution Solver::solve_with_recovery() {
+  try {
+    return lp::solve(relaxation_, lp_opt_);
+  } catch (const NumericalError&) {
+    // Fall through to the recovery ladder.
+  }
+
+  // Rung 1: Bland pricing — slower pivots, but immune to the cycling and
+  // stall pathologies that usually underlie a degenerate basis.
+  lp::SimplexOptions retry = lp_opt_;
+  retry.pricing = lp::Pricing::Bland;
+  try {
+    lp::Solution sol = lp::solve(relaxation_, retry);
+    ++lp_recoveries_;
+    return sol;
+  } catch (const NumericalError&) {
+  }
+
+  // Rung 2: additionally rebuild the basis inverse after every pivot so
+  // accumulated eta-update drift cannot produce a vanishing pivot.
+  retry.refactor_every = 1;
+  try {
+    lp::Solution sol = lp::solve(relaxation_, retry);
+    ++lp_recoveries_;
+    return sol;
+  } catch (const NumericalError&) {
+  }
+
+  // Rung 3: bounded deterministic cost perturbation on a copy of the
+  // relaxation breaks exact dual ties.  The relative shift is <= 2^-30
+  // per coefficient, far below the solver tolerances, so the perturbed
+  // optimum is interchangeable with the true one at MIP precision.
+  lp::LinearProgram perturbed = relaxation_;
+  for (std::size_t j = 0; j < perturbed.num_variables(); ++j) {
+    const double c = perturbed.variable(j).objective;
+    const double jitter =
+        static_cast<double>((j * 2654435761ULL + 1ULL) % 1024ULL) / 1024.0;
+    perturbed.set_objective(
+        j, c + 9.3e-10 * (1.0 + std::fabs(c)) * (jitter - 0.5));
+  }
+  lp::Solution sol = lp::solve(perturbed, retry);  // rethrows on failure
+  ++lp_recoveries_;
   return sol;
 }
 
@@ -240,11 +297,18 @@ MipResult Solver::run() {
 
   push(std::move(root));
   double explored_bound_floor = -kInf;  // max lower bound among processed
+  bool hit_node_limit = false;
+  bool hit_time_limit = false;
 
   while (!empty()) {
     if (nodes_ >= opt_.max_nodes) {
-      result.status =
-          have_incumbent_ ? MipStatus::NodeLimit : MipStatus::NoIncumbent;
+      hit_node_limit = true;
+      break;
+    }
+    // Anytime contract: one deadline poll per node; on expiry stop with
+    // the incumbent found so far and the frontier's proven bound.
+    if (opt_.deadline.expired()) {
+      hit_time_limit = true;
       break;
     }
     Node node = pop();
@@ -262,6 +326,14 @@ MipResult Solver::run() {
       continue;
 
     lp::Solution sol = solve_relaxation(node);
+    if (sol.status == lp::SolveStatus::TimeLimit) {
+      // The node's relaxation did not finish: return the node to the
+      // frontier (its parent bound is still valid) so the proven bound
+      // stays sound, then wind down.
+      push(std::move(node));
+      hit_time_limit = true;
+      break;
+    }
     if (sol.status == lp::SolveStatus::Infeasible) continue;
     if (sol.status == lp::SolveStatus::Unbounded) {
       // A relaxation unbounded at the root means the MILP is unbounded
@@ -348,13 +420,19 @@ MipResult Solver::run() {
 
   result.nodes_explored = nodes_;
   result.lp_iterations = lp_iterations_;
+  result.lp_failures_recovered = lp_recoveries_;
+  const bool hit_limit = hit_node_limit || hit_time_limit;
   if (!have_incumbent_) {
-    if (result.status == MipStatus::NoIncumbent && nodes_ < opt_.max_nodes)
-      result.status = MipStatus::Infeasible;
+    // Without an incumbent a drained frontier proves infeasibility;
+    // stopping on a limit proves nothing.
+    result.status = hit_limit ? MipStatus::NoIncumbent : MipStatus::Infeasible;
     result.best_bound = sense_mult_ * frontier_best_bound();
     return result;
   }
-  if (empty() && result.status != MipStatus::NodeLimit)
+  if (hit_limit)
+    result.status =
+        hit_time_limit ? MipStatus::TimeLimit : MipStatus::NodeLimit;
+  else if (result.status != MipStatus::Optimal)
     result.status = MipStatus::Optimal;
 
   const double internal_bound =
@@ -376,17 +454,29 @@ const char* to_string(MipStatus status) {
     case MipStatus::Unbounded: return "unbounded";
     case MipStatus::NodeLimit: return "node-limit";
     case MipStatus::NoIncumbent: return "no-incumbent";
+    case MipStatus::TimeLimit: return "time-limit";
   }
   return "unknown";
 }
 
 double MipResult::gap() const {
   if (x.empty()) return kInf;
+  if (!std::isfinite(best_bound)) return kInf;
   const double denom = 1.0 + std::fabs(objective);
   return std::fabs(objective - best_bound) / denom;
 }
 
 MipResult solve(const Model& model, const BnbOptions& options) {
+  if (options.deadline.expired()) {
+    // Expired on entry: honour the anytime contract in O(1) — no node
+    // exploration, no incumbent, and a trivially valid (infinite) bound.
+    MipResult result;
+    result.status = MipStatus::NoIncumbent;
+    result.best_bound = model.objective_sense() == Objective::Minimize
+                            ? -kInf
+                            : kInf;
+    return result;
+  }
   Solver solver(model, options);
   return solver.run();
 }

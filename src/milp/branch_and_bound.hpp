@@ -31,7 +31,8 @@ enum class MipStatus {
   Infeasible,
   Unbounded,
   NodeLimit,      ///< best incumbent returned, optimality not proven
-  NoIncumbent,    ///< node limit hit before any feasible point was found
+  NoIncumbent,    ///< node/time limit hit before any feasible point found
+  TimeLimit,      ///< deadline expired; best incumbent + proven bound
 };
 
 const char* to_string(MipStatus status);
@@ -44,6 +45,11 @@ struct BnbOptions {
   double absolute_gap = 1e-9;
   std::size_t max_nodes = 200000;
   bool rounding_heuristic = true;
+  /// Wall-clock budget for the whole solve (anytime contract): polled
+  /// once per node and inherited by node LPs; on expiry the best
+  /// incumbent and a valid proven bound are returned with status
+  /// TimeLimit (NoIncumbent when nothing feasible was found in time).
+  common::Deadline deadline;
   lp::SimplexOptions lp;
 };
 
@@ -54,8 +60,12 @@ struct MipResult {
   std::vector<double> x;      ///< incumbent point (empty if none)
   std::size_t nodes_explored = 0;
   std::size_t lp_iterations = 0;
+  /// Node LPs that threw rrp::NumericalError and succeeded on a retry
+  /// (Bland pricing, forced refactorisation, or cost perturbation).
+  std::size_t lp_failures_recovered = 0;
 
-  /// Relative optimality gap; 0 when proven optimal.
+  /// Relative optimality gap; 0 when proven optimal, +infinity when
+  /// there is no incumbent or the proven bound is not finite.
   double gap() const;
 };
 

@@ -3,12 +3,32 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/rng.hpp"
 
 namespace {
 
 using namespace rrp::milp;
+
+// Knapsack large enough that the solve takes many nodes (for deadline
+// tests) but still has a known structure.
+Model big_knapsack(std::uint64_t seed, int items = 25) {
+  rrp::Rng rng(seed);
+  Model m;
+  LinExpr value, weight;
+  for (int i = 0; i < items; ++i) {
+    const Var b = m.add_binary();
+    value += rng.uniform(1.0, 30.0) * LinExpr(b);
+    weight += rng.uniform(1.0, 12.0) * LinExpr(b);
+  }
+  m.set_objective(value, Objective::Maximize);
+  m.add_constraint(std::move(weight) <= 40.0);
+  return m;
+}
 
 TEST(BranchAndBound, SolvesPureLpModel) {
   Model m;
@@ -204,6 +224,125 @@ TEST(BranchAndBound, GapIsZeroAtProvenOptimum) {
 TEST(BranchAndBound, StatusStrings) {
   EXPECT_STREQ(to_string(MipStatus::Optimal), "optimal");
   EXPECT_STREQ(to_string(MipStatus::NodeLimit), "node-limit");
+  EXPECT_STREQ(to_string(MipStatus::TimeLimit), "time-limit");
+  EXPECT_STREQ(to_string(MipStatus::NoIncumbent), "no-incumbent");
+  EXPECT_STREQ(to_string(MipStatus::Infeasible), "infeasible");
+  EXPECT_STREQ(to_string(MipStatus::Unbounded), "unbounded");
+}
+
+TEST(BranchAndBound, GapEdgeCases) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  MipResult r;
+  // No incumbent (x empty) -> infinite gap regardless of the bound.
+  r.best_bound = 12.0;
+  EXPECT_EQ(r.gap(), kInf);
+  // Incumbent but non-finite proven bound (e.g. deadline expired before
+  // any node LP finished) -> still infinite, never NaN.
+  r.x = {1.0};
+  r.objective = 12.0;
+  r.best_bound = -kInf;
+  EXPECT_EQ(r.gap(), kInf);
+  r.best_bound = std::nan("");
+  EXPECT_EQ(r.gap(), kInf);
+  // Matching bound -> zero.
+  r.best_bound = 12.0;
+  EXPECT_NEAR(r.gap(), 0.0, 1e-12);
+}
+
+TEST(BranchAndBound, ExpiredDeadlineOnEntryReturnsImmediately) {
+  const Model m = big_knapsack(81);
+  rrp::common::FakeClock clock(100.0);
+  BnbOptions opt;
+  opt.deadline = rrp::common::Deadline::after(0.0, clock);
+  const std::uint64_t reads_before = clock.reads();
+  const MipResult r = solve(m, opt);
+  EXPECT_EQ(r.status, MipStatus::NoIncumbent);
+  EXPECT_EQ(r.nodes_explored, 0u);
+  EXPECT_TRUE(r.x.empty());
+  // Bound must stay trivially valid for a maximisation: +infinity.
+  EXPECT_EQ(r.best_bound, std::numeric_limits<double>::infinity());
+  // O(1): one deadline poll, no node exploration, no LP work.
+  EXPECT_EQ(clock.reads(), reads_before + 1);
+  EXPECT_EQ(r.lp_iterations, 0u);
+}
+
+TEST(BranchAndBound, MidSolveDeadlineReturnsIncumbentWithValidBound) {
+  // Minimisation variant so the bound inequality direction is explicit.
+  rrp::Rng rng(83);
+  Model m;
+  LinExpr cost, cover;
+  for (int i = 0; i < 20; ++i) {
+    const Var b = m.add_binary();
+    cost += rng.uniform(1.0, 30.0) * LinExpr(b);
+    cover += rng.uniform(1.0, 12.0) * LinExpr(b);
+  }
+  m.set_objective(cost, Objective::Minimize);
+  m.add_constraint(std::move(cover) >= 40.0);
+
+  // Measure the full solve's deadline-poll count with a clock that
+  // advances one fake second per read: the generous budget never
+  // expires, and reads() tells us how many polls an optimal run takes.
+  rrp::common::FakeClock probe;
+  probe.set_auto_advance(1.0);
+  BnbOptions probe_opt;
+  probe_opt.deadline = rrp::common::Deadline::after(1e15, probe);
+  const MipResult exact = solve(m, probe_opt);
+  ASSERT_EQ(exact.status, MipStatus::Optimal);
+  const double total_polls = static_cast<double>(probe.reads());
+  ASSERT_GT(total_polls, 8.0) << "model solved too fast to interrupt";
+
+  // Expire the deadline at increasing fractions of the full solve; the
+  // pivot/node sequence is deterministic, so some cut-off interrupts
+  // after an incumbent exists but before optimality is proven.
+  bool interrupted_with_incumbent = false;
+  for (const double frac : {0.5, 0.75, 0.9, 0.97}) {
+    rrp::common::FakeClock clock;
+    clock.set_auto_advance(1.0);
+    BnbOptions opt;
+    opt.deadline = rrp::common::Deadline::after(frac * total_polls, clock);
+    const MipResult r = solve(m, opt);
+    ASSERT_NE(r.status, MipStatus::Optimal) << "cut-off did not interrupt";
+    if (r.status != MipStatus::TimeLimit) continue;
+    EXPECT_GE(r.nodes_explored, 1u);
+    ASSERT_FALSE(r.x.empty());
+    // Anytime contract (minimisation): bound <= optimum <= incumbent.
+    EXPECT_LE(r.best_bound, exact.objective + 1e-6);
+    EXPECT_GE(r.objective, exact.objective - 1e-6);
+    EXPECT_LE(r.best_bound, r.objective + 1e-6);
+    interrupted_with_incumbent = true;
+  }
+  EXPECT_TRUE(interrupted_with_incumbent);
+}
+
+TEST(BranchAndBound, RecoveryLadderRetriesInjectedLpFailures) {
+  const Model m = big_knapsack(85, 12);
+  const MipResult exact = solve(m);
+  ASSERT_EQ(exact.status, MipStatus::Optimal);
+
+  // Failing the first 1..3 lp::solve attempts lands on successive rungs
+  // of the ladder (Bland -> forced refactorisation -> perturbation); the
+  // solve must still reach the same optimum and report the recovery.
+  for (std::size_t failures : {1u, 2u, 3u}) {
+    rrp::testing::FaultInjector inj;
+    inj.arm_lp_failures(failures);
+    BnbOptions opt;
+    opt.lp.fault_injector = &inj;
+    const MipResult r = solve(m, opt);
+    ASSERT_EQ(r.status, MipStatus::Optimal) << failures << " failures";
+    EXPECT_NEAR(r.objective, exact.objective, 1e-6);
+    EXPECT_GE(r.lp_failures_recovered, 1u);
+    EXPECT_EQ(inj.armed_lp_failures(), 0u);
+  }
+}
+
+TEST(BranchAndBound, RecoveryLadderExhaustionEscalates) {
+  const Model m = big_knapsack(85, 12);
+  rrp::testing::FaultInjector inj;
+  // Initial attempt + three retries all fail -> NumericalError escapes.
+  inj.arm_lp_failures(4);
+  BnbOptions opt;
+  opt.lp.fault_injector = &inj;
+  EXPECT_THROW(solve(m, opt), rrp::NumericalError);
 }
 
 }  // namespace

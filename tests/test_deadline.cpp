@@ -1,0 +1,126 @@
+#include "common/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace {
+
+using rrp::common::Clock;
+using rrp::common::Deadline;
+using rrp::common::FakeClock;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Deadline, DefaultConstructedIsUnlimited) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), kInf);
+}
+
+TEST(Deadline, UnlimitedFactoryMatchesDefault) {
+  const Deadline d = Deadline::unlimited();
+  EXPECT_TRUE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, InfiniteBudgetIsUnlimited) {
+  FakeClock clock;
+  EXPECT_TRUE(Deadline::after(kInf, clock).is_unlimited());
+  EXPECT_TRUE(Deadline::after(kInf).is_unlimited());
+}
+
+TEST(Deadline, NanBudgetRejected) {
+  FakeClock clock;
+  EXPECT_THROW(Deadline::after(std::nan(""), clock), rrp::ContractViolation);
+}
+
+TEST(Deadline, ZeroAndNegativeBudgetsAlreadyExpired) {
+  FakeClock clock(100.0);
+  EXPECT_TRUE(Deadline::after(0.0, clock).expired());
+  EXPECT_TRUE(Deadline::after(-5.0, clock).expired());
+}
+
+TEST(Deadline, ExpiresWhenFakeClockAdvances) {
+  FakeClock clock;
+  const Deadline d = Deadline::after(10.0, clock);
+  EXPECT_FALSE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  clock.advance(9.999);
+  EXPECT_FALSE(d.expired());
+  clock.advance(0.001);
+  EXPECT_TRUE(d.expired());
+  // Monotonic: stays expired.
+  clock.advance(100.0);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Deadline, RemainingSecondsCountsDown) {
+  FakeClock clock(50.0);
+  const Deadline d = Deadline::after(10.0, clock);
+  EXPECT_DOUBLE_EQ(d.remaining_seconds(), 10.0);
+  clock.advance(4.0);
+  EXPECT_DOUBLE_EQ(d.remaining_seconds(), 6.0);
+  clock.advance(8.0);
+  EXPECT_DOUBLE_EQ(d.remaining_seconds(), -2.0);
+}
+
+TEST(Deadline, CopiesShareTheClock) {
+  FakeClock clock;
+  const Deadline d = Deadline::after(5.0, clock);
+  const Deadline copy = d;
+  clock.advance(6.0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_TRUE(copy.expired());
+}
+
+TEST(FakeClock, AutoAdvanceStepsPerRead) {
+  FakeClock clock;
+  clock.set_auto_advance(1.0);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 2.0);
+  EXPECT_EQ(clock.reads(), 3u);
+}
+
+TEST(FakeClock, AutoAdvanceDrivesDeadlineExpiryAfterExactPollCount) {
+  FakeClock clock;
+  clock.set_auto_advance(1.0);
+  // Budget 3.5 against a clock stepping 1s per read: the deadline is
+  // created at t=0 (one read) and expires on the poll observing t>=3.5.
+  const Deadline d = Deadline::after(3.5, clock);
+  EXPECT_FALSE(d.expired());  // observes t=1
+  EXPECT_FALSE(d.expired());  // t=2
+  EXPECT_FALSE(d.expired());  // t=3
+  EXPECT_TRUE(d.expired());   // t=4
+}
+
+TEST(FakeClock, ReadsCountsDeadlinePolls) {
+  FakeClock clock;
+  const Deadline d = Deadline::after(100.0, clock);
+  const std::uint64_t base = clock.reads();
+  (void)d.expired();
+  (void)d.expired();
+  EXPECT_EQ(clock.reads(), base + 2);
+  // Unlimited deadlines never touch the clock.
+  const Deadline unlimited;
+  (void)unlimited.expired();
+  EXPECT_EQ(clock.reads(), base + 2);
+}
+
+TEST(RealClock, IsMonotonicNonDecreasing) {
+  const Clock& clock = rrp::common::real_clock();
+  const double a = clock.now_seconds();
+  const double b = clock.now_seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(RealClock, DeadlineAfterLargeBudgetNotExpired) {
+  EXPECT_FALSE(Deadline::after(3600.0).expired());
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include "common/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace {
+
+using rrp::testing::FaultInjector;
+using rrp::testing::PriceFault;
+using rrp::testing::PriceFaultKind;
+using rrp::testing::SolverFaultKind;
+
+TEST(FaultInjector, EmptyScheduleReportsNoFaults) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.solver_fault(0).has_value());
+  EXPECT_FALSE(inj.price_fault(0).has_value());
+  EXPECT_EQ(inj.num_solver_faults(), 0u);
+  EXPECT_EQ(inj.num_price_faults(), 0u);
+  EXPECT_FALSE(inj.consume_lp_fault());
+}
+
+TEST(FaultInjector, SolverFaultsReturnedAtConfiguredSlotsOnly) {
+  FaultInjector inj;
+  inj.inject_solver_timeout(3);
+  inj.inject_solver_numerical_failure(7);
+  ASSERT_TRUE(inj.solver_fault(3).has_value());
+  EXPECT_EQ(*inj.solver_fault(3), SolverFaultKind::Timeout);
+  ASSERT_TRUE(inj.solver_fault(7).has_value());
+  EXPECT_EQ(*inj.solver_fault(7), SolverFaultKind::NumericalFailure);
+  EXPECT_FALSE(inj.solver_fault(4).has_value());
+  EXPECT_EQ(inj.num_solver_faults(), 2u);
+}
+
+TEST(FaultInjector, ReinjectingASlotOverwrites) {
+  FaultInjector inj;
+  inj.inject_solver_timeout(5);
+  inj.inject_solver_numerical_failure(5);
+  EXPECT_EQ(inj.num_solver_faults(), 1u);
+  EXPECT_EQ(*inj.solver_fault(5), SolverFaultKind::NumericalFailure);
+
+  inj.inject_price_gap(5);
+  inj.inject_price_delay(5);
+  EXPECT_EQ(inj.num_price_faults(), 1u);
+  EXPECT_EQ(inj.price_fault(5)->kind, PriceFaultKind::Delayed);
+}
+
+TEST(FaultInjector, PriceFaultKindsRoundTrip) {
+  FaultInjector inj;
+  inj.inject_price_gap(0);
+  inj.inject_price_nan(1);
+  inj.inject_price_spike(2, 50.0);
+  inj.inject_price_delay(3);
+  EXPECT_EQ(inj.price_fault(0)->kind, PriceFaultKind::Gap);
+  EXPECT_EQ(inj.price_fault(1)->kind, PriceFaultKind::Nan);
+  EXPECT_EQ(inj.price_fault(2)->kind, PriceFaultKind::Spike);
+  EXPECT_DOUBLE_EQ(inj.price_fault(2)->spike_factor, 50.0);
+  EXPECT_EQ(inj.price_fault(3)->kind, PriceFaultKind::Delayed);
+  EXPECT_EQ(inj.num_price_faults(), 4u);
+}
+
+TEST(FaultInjector, SeededSpikeFactorIsDeterministicAndOutlier) {
+  FaultInjector a(42);
+  FaultInjector b(42);
+  FaultInjector c(43);
+  for (std::size_t slot = 0; slot < 8; ++slot) {
+    a.inject_price_spike(slot);
+    b.inject_price_spike(slot);
+    c.inject_price_spike(slot);
+  }
+  bool any_differs = false;
+  for (std::size_t slot = 0; slot < 8; ++slot) {
+    const double fa = a.price_fault(slot)->spike_factor;
+    const double fb = b.price_fault(slot)->spike_factor;
+    EXPECT_DOUBLE_EQ(fa, fb) << "same seed must give identical factors";
+    EXPECT_GE(fa, 20.0);
+    EXPECT_LE(fa, 100.0);
+    if (fa != c.price_fault(slot)->spike_factor) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs) << "different seeds should diverge";
+}
+
+TEST(FaultInjector, ExplicitSpikeFactorValidated) {
+  FaultInjector inj;
+  EXPECT_THROW(inj.inject_price_spike(0, 0.0), rrp::ContractViolation);
+  EXPECT_THROW(inj.inject_price_spike(0, -2.0), rrp::ContractViolation);
+  EXPECT_THROW(inj.inject_price_spike(0, std::nan("")),
+               rrp::ContractViolation);
+}
+
+TEST(FaultInjector, ArmedLpFailuresConsumeOneAtATime) {
+  FaultInjector inj;
+  inj.arm_lp_failures(2);
+  EXPECT_EQ(inj.armed_lp_failures(), 2u);
+  EXPECT_TRUE(inj.consume_lp_fault());
+  EXPECT_EQ(inj.armed_lp_failures(), 1u);
+  EXPECT_TRUE(inj.consume_lp_fault());
+  EXPECT_FALSE(inj.consume_lp_fault());
+  EXPECT_FALSE(inj.consume_lp_fault());
+  EXPECT_EQ(inj.armed_lp_failures(), 0u);
+}
+
+TEST(FaultInjector, ToStringNamesEveryKind) {
+  using rrp::testing::to_string;
+  EXPECT_STREQ(to_string(SolverFaultKind::Timeout), "solver-timeout");
+  EXPECT_STREQ(to_string(SolverFaultKind::NumericalFailure),
+               "numerical-failure");
+  EXPECT_STREQ(to_string(PriceFaultKind::Gap), "price-gap");
+  EXPECT_STREQ(to_string(PriceFaultKind::Nan), "price-nan");
+  EXPECT_STREQ(to_string(PriceFaultKind::Spike), "price-spike");
+  EXPECT_STREQ(to_string(PriceFaultKind::Delayed), "price-delayed");
+}
+
+}  // namespace

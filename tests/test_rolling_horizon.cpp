@@ -31,12 +31,66 @@ SimulationInputs make_inputs(VmClass vm, std::size_t eval_hours,
   return in;
 }
 
+// Expects a specific substring in the InvalidArgument message, so the
+// error actually names the offending field/slot.
+template <typename Fn>
+void expect_invalid(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected InvalidArgument mentioning \"" << needle << "\"";
+  } catch (const rrp::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
 TEST(RollingHorizon, InputValidation) {
   SimulationInputs in;
-  EXPECT_THROW(in.validate(), rrp::ContractViolation);
+  expect_invalid([&] { in.validate(); }, "demand is empty");
   in = make_inputs(VmClass::C1Medium, 12, 1);
   in.actual_spot.pop_back();
-  EXPECT_THROW(in.validate(), rrp::ContractViolation);
+  expect_invalid([&] { in.validate(); }, "actual_spot has 11 slots");
+}
+
+TEST(RollingHorizon, InputValidationRejectsNaNAndNegatives) {
+  const auto good = make_inputs(VmClass::C1Medium, 12, 1);
+  EXPECT_NO_THROW(good.validate());
+
+  auto in = good;
+  in.demand[3] = std::nan("");
+  expect_invalid([&] { in.validate(); }, "demand[3] is NaN");
+
+  in = good;
+  in.demand[5] = -0.1;
+  expect_invalid([&] { in.validate(); }, "demand[5]");
+
+  in = good;
+  in.demand[0] = std::numeric_limits<double>::infinity();
+  expect_invalid([&] { in.validate(); }, "demand[0]");
+
+  in = good;
+  in.actual_spot[7] = std::nan("");
+  expect_invalid([&] { in.validate(); }, "actual_spot[7] is NaN");
+
+  in = good;
+  in.actual_spot[2] = 0.0;
+  expect_invalid([&] { in.validate(); }, "actual_spot[2]");
+
+  in = good;
+  in.history[4] = -1.0;
+  expect_invalid([&] { in.validate(); }, "history[4]");
+
+  in = good;
+  in.history.clear();
+  expect_invalid([&] { in.validate(); }, "history is empty");
+
+  in = good;
+  in.initial_storage = std::nan("");
+  expect_invalid([&] { in.validate(); }, "initial_storage is NaN");
+
+  in = good;
+  in.initial_storage = -1.0;
+  expect_invalid([&] { in.validate(); }, "initial_storage");
 }
 
 TEST(RollingHorizon, NoPlanRentsEverySlotWithDemand) {

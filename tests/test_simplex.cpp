@@ -4,9 +4,29 @@
 
 #include <cmath>
 
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+
 namespace {
 
 using namespace rrp::lp;
+
+// Multi-pivot LP used by the deadline tests (needs several iterations).
+LinearProgram dense_lp() {
+  LinearProgram lp;
+  std::vector<std::size_t> vars;
+  for (int i = 0; i < 12; ++i)
+    vars.push_back(lp.add_variable(0.0, 10.0, 1.0 + 0.1 * i));
+  lp.set_sense(Sense::Maximize);
+  for (int r = 0; r < 8; ++r) {
+    std::vector<Entry> row;
+    for (int i = 0; i < 12; ++i)
+      row.push_back({vars[i], 1.0 + ((r + i) % 3)});
+    lp.add_row(std::move(row), -kInfinity, 30.0 + 2.0 * r);
+  }
+  return lp;
+}
 
 TEST(Simplex, SolvesTextbookMaximization) {
   // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
@@ -196,6 +216,60 @@ TEST(Simplex, RedundantRowsDoNotBreakPhase1) {
   const Solution sol = solve(lp);
   ASSERT_EQ(sol.status, SolveStatus::Optimal);
   EXPECT_NEAR(sol.objective, 4.0, 1e-8);
+}
+
+TEST(SimplexDeadline, ExpiredOnEntryReturnsTimeLimitWithoutPivoting) {
+  rrp::common::FakeClock clock(10.0);
+  SimplexOptions opt;
+  opt.deadline = rrp::common::Deadline::after(-1.0, clock);
+  const Solution sol = solve(dense_lp(), opt);
+  EXPECT_EQ(sol.status, SolveStatus::TimeLimit);
+  EXPECT_EQ(sol.iterations, 0u);
+}
+
+TEST(SimplexDeadline, MidSolveExpiryReturnsTimeLimit) {
+  const LinearProgram lp = dense_lp();
+  // Reference: unlimited solve is optimal and takes several pivots.
+  const Solution exact = solve(lp);
+  ASSERT_EQ(exact.status, SolveStatus::Optimal);
+  ASSERT_GT(exact.iterations, 2u);
+
+  // One fake second per deadline poll; a 3.5s budget expires after a
+  // deterministic handful of pivots, before optimality.
+  rrp::common::FakeClock clock;
+  clock.set_auto_advance(1.0);
+  SimplexOptions opt;
+  opt.deadline = rrp::common::Deadline::after(3.5, clock);
+  const Solution sol = solve(lp, opt);
+  EXPECT_EQ(sol.status, SolveStatus::TimeLimit);
+  EXPECT_LT(sol.iterations, exact.iterations);
+}
+
+TEST(SimplexDeadline, GenerousDeadlineDoesNotChangeResult) {
+  const LinearProgram lp = dense_lp();
+  const Solution exact = solve(lp);
+  SimplexOptions opt;
+  opt.deadline = rrp::common::Deadline::after(3600.0);
+  const Solution sol = solve(lp, opt);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(sol.objective, exact.objective);
+  EXPECT_EQ(sol.iterations, exact.iterations);
+}
+
+TEST(SimplexDeadline, TimeLimitStatusString) {
+  EXPECT_STREQ(to_string(SolveStatus::TimeLimit), "time-limit");
+}
+
+TEST(SimplexFaults, ArmedInjectorThrowsNumericalError) {
+  rrp::testing::FaultInjector inj;
+  inj.arm_lp_failures(1);
+  SimplexOptions opt;
+  opt.fault_injector = &inj;
+  EXPECT_THROW(solve(dense_lp(), opt), rrp::NumericalError);
+  // The failure is consumed: the next solve succeeds.
+  const Solution sol = solve(dense_lp(), opt);
+  EXPECT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_EQ(inj.armed_lp_failures(), 0u);
 }
 
 }  // namespace

@@ -17,6 +17,11 @@ cannot express:
                       include guards, no unguarded headers).
   no-build-artifacts  No build outputs (build/, CMakeCache.txt, *.o,
                       LastTest.log, ...) tracked by git.
+  no-raw-clock        No direct std::chrono clock reads
+                      (steady_clock/system_clock/high_resolution_clock
+                      ::now()) outside src/common/; time must flow
+                      through rrp::common::Clock / Deadline so solver
+                      deadlines stay injectable and tests deterministic.
 
 Usage: rrp_lint.py [ROOT] [--quiet]
 Exit status is 0 when clean, 1 when any violation is found.
@@ -36,6 +41,7 @@ HEADER_EXTENSIONS = (".hpp", ".h", ".hh")
 
 LIBRARY_DIR = "src"
 NUMERIC_DIRS = ("src/lp", "src/milp", "src/core")
+CLOCK_DIR = "src/common"  # the one home of raw std::chrono clock reads
 HEADER_DIRS = ("src", "tests", "bench", "tools", "examples")
 
 ARTIFACT_PATTERNS = [
@@ -62,6 +68,9 @@ RE_ABORT = re.compile(r"\b(?:std\s*::\s*)?abort\s*\(")
 RE_ASSERT = re.compile(r"(?<![\w])assert\s*\(")
 RE_FLOAT = re.compile(r"\bfloat\b")
 RE_NEW = re.compile(r"\bnew\b")
+RE_RAW_CLOCK = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
 RE_PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 RE_IFNDEF_GUARD = re.compile(r"^\s*#\s*ifndef\s+\w+_(H|HPP|H_|HPP_)\b")
 
@@ -179,6 +188,7 @@ def check_cpp_file(path: str, text: str) -> list[Violation]:
     lines = strip_comments_and_strings(text)
     is_library = in_dir(path, LIBRARY_DIR)
     is_numeric = any(in_dir(path, d) for d in NUMERIC_DIRS)
+    is_clock_home = in_dir(path, CLOCK_DIR)
     is_header = path.endswith(HEADER_EXTENSIONS) and any(
         in_dir(path, d) for d in HEADER_DIRS
     )
@@ -223,6 +233,17 @@ def check_cpp_file(path: str, text: str) -> list[Violation]:
                     lineno,
                     "no-float-numerics",
                     "solver numerics must use double, not float",
+                )
+            )
+        if not is_clock_home and RE_RAW_CLOCK.search(line):
+            violations.append(
+                Violation(
+                    path,
+                    lineno,
+                    "no-raw-clock",
+                    "read time via rrp::common::Clock/Deadline, not "
+                    "std::chrono clocks; only src/common/ may touch "
+                    "them directly",
                 )
             )
 

@@ -120,6 +120,39 @@ class RuleTests(unittest.TestCase):
         )
         self.assertIn("pragma-once", self.rules_fired())
 
+    def test_raw_clock_outside_common_fires(self):
+        self.tree.write(
+            "src/lp/bad.cpp",
+            "#include <chrono>\n"
+            "double t() { return std::chrono::steady_clock::now()"
+            ".time_since_epoch().count(); }\n",
+        )
+        self.assertIn("no-raw-clock", self.rules_fired())
+
+    def test_raw_clock_in_tests_fires(self):
+        self.tree.write(
+            "tests/test_bad.cpp",
+            "auto t0 = std::chrono::high_resolution_clock::now();\n",
+        )
+        self.assertIn("no-raw-clock", self.rules_fired())
+
+    def test_raw_clock_in_common_is_allowed(self):
+        self.tree.write(
+            "src/common/deadline.cpp",
+            "#include <chrono>\n"
+            "double now() { return std::chrono::steady_clock::now()"
+            ".time_since_epoch().count(); }\n",
+        )
+        self.assertNotIn("no-raw-clock", self.rules_fired())
+
+    def test_raw_clock_in_comment_or_string_is_allowed(self):
+        self.tree.write(
+            "src/lp/ok.cpp",
+            "// never call steady_clock::now( ) here\n"
+            'const char* s = "system_clock::now(";\n',
+        )
+        self.assertNotIn("no-raw-clock", self.rules_fired())
+
     def test_committed_build_artifact_fires(self):
         self.tree.write("build/CMakeCache.txt", "CMAKE_BUILD_TYPE=Release\n")
         self.tree.write("src/obj.o", "\x7fELF")

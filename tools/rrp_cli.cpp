@@ -198,8 +198,11 @@ int cmd_simulate(const Args& args) {
   if (args.help()) {
     std::cout << "rrp simulate [--class c1.medium] [--hours 48] "
                  "[--policy sto-exp-mean|det-exp-mean|sto-predict|"
-                 "det-predict|on-demand|no-plan] [--replan N] [--seed N] "
-                 "[--trace FILE]\n";
+                 "det-predict|on-demand|no-plan] [--replan N] "
+                 "[--time-limit SECONDS] [--seed N] [--trace FILE]\n"
+                 "  --time-limit caps each re-plan solve (0 = unlimited); "
+                 "on expiry the best\n  incumbent is used and failed "
+                 "re-plans degrade via the recovery ladder.\n";
     return 0;
   }
   const market::VmClass vm = market::from_name(args.get("class",
@@ -237,6 +240,12 @@ int cmd_simulate(const Args& args) {
   if (args.has("replan"))
     policy.replan_every = static_cast<std::size_t>(args.get_u64("replan",
                                                                 1));
+  const double time_limit = args.get_double("time-limit", 0.0);
+  if (time_limit < 0.0) {
+    std::cerr << "--time-limit must be >= 0\n";
+    return 2;
+  }
+  policy.replan_time_limit = time_limit;
 
   const auto result = core::simulate_policy(in, policy);
   const double ideal = core::ideal_case_cost(in);
@@ -253,6 +262,25 @@ int cmd_simulate(const Args& args) {
   table.add_row({"compute", Table::num(result.cost.compute, 3)});
   table.add_row({"I/O+storage", Table::num(result.cost.holding, 3)});
   table.add_row({"transfer", Table::num(result.cost.transfer(), 3)});
+  table.add_row({"degraded re-plans",
+                 std::to_string(result.degraded_replans())});
+  if (result.degraded_replans() > 0) {
+    table.add_row({"  re-plan timeouts",
+                   std::to_string(result.replan_timeouts)});
+    table.add_row({"  numerical failures",
+                   std::to_string(result.replan_numerical_failures)});
+    table.add_row({"  plans rejected",
+                   std::to_string(result.replans_rejected)});
+    table.add_row({"  served by plan tail",
+                   std::to_string(result.fallback_reused_tail)});
+    table.add_row({"  served by heuristic",
+                   std::to_string(result.fallback_heuristic)});
+    table.add_row({"  served on demand",
+                   std::to_string(result.fallback_on_demand)});
+  }
+  if (!result.price_faults.empty())
+    table.add_row({"price-feed faults",
+                   std::to_string(result.price_faults.size())});
   table.print(std::cout);
   return 0;
 }
