@@ -107,6 +107,33 @@ void BM_DrrpFacilityLocationDeadline(benchmark::State& state) {
 }
 BENCHMARK(BM_DrrpFacilityLocationDeadline)->Arg(12)->Arg(24)->Arg(48);
 
+// Warm-start lever (ISSUE 5): the aggregated formulation's weak
+// relaxation forces a real tree, so per-node LP cost dominates and the
+// parent-basis dual re-optimisation shows up directly.  Arg is the
+// warm_start switch.
+void BM_DrrpAggregatedWarmStart(benchmark::State& state) {
+  const auto inst = drrp_instance(24);
+  milp::BnbOptions opt;
+  opt.warm_start = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_drrp(inst, opt, core::DrrpFormulation::Aggregated));
+  }
+}
+BENCHMARK(BM_DrrpAggregatedWarmStart)->Arg(0)->Arg(1);
+
+// Parallel tree search: Arg is the jobs count (1 = inline worker).
+void BM_DrrpAggregatedJobs(benchmark::State& state) {
+  const auto inst = drrp_instance(24);
+  milp::BnbOptions opt;
+  opt.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_drrp(inst, opt, core::DrrpFormulation::Aggregated));
+  }
+}
+BENCHMARK(BM_DrrpAggregatedJobs)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_DrrpWagnerWhitin(benchmark::State& state) {
   const auto inst = drrp_instance(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 namespace rrp::common {
 
@@ -28,25 +29,42 @@ const Clock& real_clock();
 /// `set_auto_advance` makes every read advance time by a fixed step, so
 /// "the deadline expires after exactly N solver iterations" is a
 /// reproducible scenario rather than a race against the host machine.
+/// Reads and writes are serialised internally so a FakeClock can drive
+/// deadlines polled concurrently by parallel branch & bound workers
+/// (auto-advance then counts total polls across all threads).
 class FakeClock final : public Clock {
  public:
   explicit FakeClock(double start_seconds = 0.0) : now_(start_seconds) {}
 
   double now_seconds() const override {
+    std::lock_guard lock(mutex_);
     ++reads_;
     const double t = now_;
     now_ += step_;
     return t;
   }
 
-  void set(double seconds) { now_ = seconds; }
-  void advance(double seconds) { now_ += seconds; }
-  void set_auto_advance(double seconds_per_read) { step_ = seconds_per_read; }
+  void set(double seconds) {
+    std::lock_guard lock(mutex_);
+    now_ = seconds;
+  }
+  void advance(double seconds) {
+    std::lock_guard lock(mutex_);
+    now_ += seconds;
+  }
+  void set_auto_advance(double seconds_per_read) {
+    std::lock_guard lock(mutex_);
+    step_ = seconds_per_read;
+  }
 
   /// Number of now_seconds() calls so far (deadline polls observed).
-  std::uint64_t reads() const { return reads_; }
+  std::uint64_t reads() const {
+    std::lock_guard lock(mutex_);
+    return reads_;
+  }
 
  private:
+  mutable std::mutex mutex_;
   mutable double now_ = 0.0;
   double step_ = 0.0;
   mutable std::uint64_t reads_ = 0;

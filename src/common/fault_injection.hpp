@@ -14,6 +14,7 @@
 // nullable pointer that defaults to "no faults".
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -76,16 +77,27 @@ class FaultInjector {
   /// SimplexOptions::fault_injector) to throw rrp::NumericalError.  Lets
   /// tests fail exactly the first k attempts of the branch & bound
   /// recovery ladder.
-  void arm_lp_failures(std::size_t count) { armed_lp_failures_ = count; }
-
-  /// Consumes one armed LP failure; true if the caller must fail.
-  bool consume_lp_fault() const {
-    if (armed_lp_failures_ == 0) return false;
-    --armed_lp_failures_;
-    return true;
+  void arm_lp_failures(std::size_t count) {
+    armed_lp_failures_.store(count, std::memory_order_relaxed);
   }
 
-  std::size_t armed_lp_failures() const { return armed_lp_failures_; }
+  /// Consumes one armed LP failure; true if the caller must fail.  Safe
+  /// to call from multiple B&B worker threads at once: the counter is
+  /// drained with a compare-exchange loop so exactly `count` calls fail.
+  bool consume_lp_fault() const {
+    std::size_t n = armed_lp_failures_.load(std::memory_order_relaxed);
+    while (n != 0) {
+      if (armed_lp_failures_.compare_exchange_weak(
+              n, n - 1, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t armed_lp_failures() const {
+    return armed_lp_failures_.load(std::memory_order_relaxed);
+  }
 
   // -- queries -----------------------------------------------------------
   std::optional<SolverFaultKind> solver_fault(std::size_t slot) const;
@@ -98,7 +110,7 @@ class FaultInjector {
   std::map<std::size_t, SolverFaultKind> solver_faults_;
   std::map<std::size_t, PriceFault> price_faults_;
   Rng rng_;
-  mutable std::size_t armed_lp_failures_ = 0;
+  mutable std::atomic<std::size_t> armed_lp_failures_{0};
 };
 
 }  // namespace rrp::testing

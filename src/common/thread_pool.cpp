@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -70,6 +72,18 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+bool ThreadPool::try_execute_one() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
@@ -81,6 +95,67 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     task();
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // Wait out stragglers so no task outlives the state it references; any
+  // exception was either already rethrown by wait() or is dropped here
+  // (destructors must not throw).
+  std::unique_lock lock(mutex_);
+  while (pending_ != 0) {
+    lock.unlock();
+    if (!pool_.try_execute_one()) {
+      lock.lock();
+      if (pending_ == 0) break;
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+    lock.lock();
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    // Notify under the mutex: once a waiter observes pending_ == 0 it
+    // may destroy this TaskGroup, so the notify must be sequenced
+    // before the waiter can re-acquire the lock and see the count.
+    std::lock_guard lock(mutex_);
+    --pending_;
+    done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      if (pending_ == 0) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        if (err) std::rethrow_exception(err);
+        return;
+      }
+    }
+    // Help: run queued pool tasks (ours or anyone's) instead of parking.
+    if (!pool_.try_execute_one()) {
+      std::unique_lock lock(mutex_);
+      if (pending_ == 0) continue;  // re-check the exit condition
+      // A tracked task is running on a worker but the queue is empty;
+      // nap briefly rather than spin (bounded because tracked tasks
+      // notify on completion).
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
   }
 }
 

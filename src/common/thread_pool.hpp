@@ -38,6 +38,14 @@ class ThreadPool {
   /// captured exception is rethrown on the caller's thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Pops one queued task (if any) and runs it on the calling thread.
+  /// Returns false when the queue was empty.  This is the "help while
+  /// waiting" primitive: a caller blocked on work it submitted can drain
+  /// the queue instead of sleeping, so nested fan-out (e.g. parallel
+  /// MILP solves inside a parallel simulation sweep) cannot deadlock the
+  /// pool.
+  bool try_execute_one();
+
  private:
   void worker_loop();
 
@@ -46,6 +54,40 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// A work handle over a batch of pool tasks.  `run` enqueues a task that
+/// is tracked by this group; `wait` blocks until every tracked task has
+/// finished, *helping* — executing queued pool tasks on the calling
+/// thread — while the group is still pending, and rethrows the first
+/// exception any tracked task raised.  Unlike collecting futures from
+/// ThreadPool::submit, a TaskGroup never parks the caller while runnable
+/// work exists, which keeps nested pool usage deadlock free.
+///
+/// The destructor waits for stragglers (swallowing their exceptions), so
+/// a group never outlives the state its tasks reference.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task` on the pool and tracks it in this group.
+  void run(std::function<void()> task);
+
+  /// Blocks until all tasks run so far have completed, executing queued
+  /// pool work on this thread while waiting.  Rethrows the first tracked
+  /// exception.  The group is reusable after wait() returns.
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
 };
 
 /// Shared process-wide pool for library internals.

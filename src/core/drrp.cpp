@@ -250,6 +250,8 @@ RentalPlan solve_drrp_aggregated(const DrrpInstance& inst,
   RentalPlan plan;
   plan.status = result.status;
   plan.nodes_explored = result.nodes_explored;
+  plan.warm_started_nodes = result.warm_started_nodes;
+  plan.cold_solved_nodes = result.cold_solved_nodes;
   if (result.x.empty()) return plan;
 
   const std::size_t T = inst.horizon();
@@ -277,6 +279,8 @@ RentalPlan solve_drrp_fl(const DrrpInstance& inst,
   RentalPlan plan;
   plan.status = result.status;
   plan.nodes_explored = result.nodes_explored;
+  plan.warm_started_nodes = result.warm_started_nodes;
+  plan.cold_solved_nodes = result.cold_solved_nodes;
   if (result.x.empty()) return plan;
 
   const std::size_t T = inst.horizon();

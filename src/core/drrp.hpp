@@ -63,6 +63,10 @@ struct RentalPlan {
   std::vector<char> chi;      ///< rental decision per slot
   CostBreakdown cost;
   std::size_t nodes_explored = 0;
+  /// Node LPs re-optimised from the parent basis vs. cold-solved (see
+  /// milp::MipResult); zero for non-MILP backends (Wagner-Whitin, DP).
+  std::size_t warm_started_nodes = 0;
+  std::size_t cold_solved_nodes = 0;
 
   bool feasible() const {
     return status == milp::MipStatus::Optimal ||

@@ -340,6 +340,9 @@ void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
             cfg_.backend == PlannerBackend::DynamicProgramming
                 ? solve_drrp_wagner_whitin(inst)
                 : solve_drrp(inst, solver);
+        result_.solver_nodes_explored += plan.nodes_explored;
+        result_.solver_warm_started_nodes += plan.warm_started_nodes;
+        result_.solver_cold_solved_nodes += plan.cold_solved_nodes;
         if (plan.feasible()) {
           commit_schedule(t, std::move(plan), estimates);
           return;
@@ -369,6 +372,9 @@ void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
             cfg_.backend == PlannerBackend::DynamicProgramming
                 ? solve_srrp_tree_dp(inst)
                 : solve_srrp(inst, solver);
+        result_.solver_nodes_explored += policy.nodes_explored;
+        result_.solver_warm_started_nodes += policy.warm_started_nodes;
+        result_.solver_cold_solved_nodes += policy.cold_solved_nodes;
         if (policy.feasible()) {
           commit_tree(t, std::move(policy), std::move(inst.tree), estimates);
           return;

@@ -100,6 +100,11 @@ struct SimulationResult {
   std::size_t fallback_heuristic = 0;
   std::size_t fallback_on_demand = 0;
 
+  // --- Solver telemetry (MILP backend; all zero for the DP backend). ---
+  std::size_t solver_nodes_explored = 0;   ///< summed over all re-plans
+  std::size_t solver_warm_started_nodes = 0;
+  std::size_t solver_cold_solved_nodes = 0;
+
   std::size_t degraded_replans() const { return fallbacks.size(); }
 
   double total_cost() const { return cost.total(); }

@@ -345,6 +345,8 @@ SrrpPolicy solve_srrp_aggregated(const SrrpInstance& inst,
   SrrpPolicy policy;
   policy.status = result.status;
   policy.nodes_explored = result.nodes_explored;
+  policy.warm_started_nodes = result.warm_started_nodes;
+  policy.cold_solved_nodes = result.cold_solved_nodes;
   if (result.x.empty()) return policy;
 
   const std::size_t V = inst.tree.num_vertices();
@@ -372,6 +374,8 @@ SrrpPolicy solve_srrp_fl(const SrrpInstance& inst,
   SrrpPolicy policy;
   policy.status = result.status;
   policy.nodes_explored = result.nodes_explored;
+  policy.warm_started_nodes = result.warm_started_nodes;
+  policy.cold_solved_nodes = result.cold_solved_nodes;
   if (result.x.empty()) return policy;
 
   const std::size_t V = inst.tree.num_vertices();

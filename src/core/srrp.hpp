@@ -56,6 +56,10 @@ struct SrrpPolicy {
   std::vector<char> chi;
   double expected_cost = 0.0;
   std::size_t nodes_explored = 0;
+  /// Node LPs re-optimised from the parent basis vs. cold-solved (see
+  /// milp::MipResult); zero for the tree-DP backend.
+  std::size_t warm_started_nodes = 0;
+  std::size_t cold_solved_nodes = 0;
 
   bool feasible() const {
     return status == milp::MipStatus::Optimal ||

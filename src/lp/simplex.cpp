@@ -12,69 +12,24 @@
 namespace rrp::lp {
 
 namespace {
+constexpr double kPivotTol = 1e-9;
+}  // namespace
 
-enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, FreeAtZero };
-
-enum class PhaseResult { Optimal, Unbounded, IterationLimit, TimeLimit };
-
-/// The working state of a bounded-variable simplex solve.  Variable
-/// layout: [0, n) structural, [n, n+m) slacks, [n+m, n+2m) artificials.
-class Worker {
- public:
-  Worker(const LinearProgram& lp, const SimplexOptions& opt);
-
-  Solution run();
-
- private:
-  PhaseResult run_phase(const std::vector<double>& cost,
-                        std::size_t max_iters);
-  void pivot_out_artificials();
-  void refactorize();
-  void recompute_basic_values();
-  std::vector<double> compute_duals(const std::vector<double>& cost) const;
-  double reduced_cost(std::size_t j, const std::vector<double>& cost,
-                      const std::vector<double>& y) const;
-  std::vector<double> ftran(std::size_t j) const;  ///< Binv * A_j
-  double current_objective(const std::vector<double>& cost) const;
-
-  /// RRP_CHECK_INVARIANTS hooks (no-ops otherwise).  `check_basis`
-  /// verifies structural basis/status consistency plus (as a dcheck)
-  /// Binv * B ~= I; `check_optimality` verifies primal feasibility and
-  /// bounded reduced costs of the final point.
-  void check_basis() const;
-  void check_optimality(const std::vector<double>& cost) const;
-
-  const LinearProgram& lp_;
-  const SimplexOptions& opt_;
-  std::size_t m_ = 0;        ///< rows
-  std::size_t n_ = 0;        ///< structural variables
-  std::size_t total_ = 0;    ///< structural + slack + artificial
-  std::size_t art_begin_ = 0;
-
-  std::vector<std::vector<Entry>> cols_;  ///< column-sparse A (rows indices)
-  std::vector<double> lb_, ub_;
-  std::vector<VarStatus> status_;
-  std::vector<double> value_;   ///< meaningful for nonbasic variables
-  std::vector<std::size_t> basis_;  ///< variable index per basis position
-  std::vector<double> xb_;          ///< basic variable values
-  Matrix binv_;
-  std::size_t pivots_since_refactor_ = 0;
-  std::size_t iterations_ = 0;
-};
-
-Worker::Worker(const LinearProgram& lp, const SimplexOptions& opt)
-    : lp_(lp), opt_(opt) {
+SimplexSolver::SimplexSolver(const LinearProgram& lp) {
   m_ = lp.num_rows();
   n_ = lp.num_variables();
   art_begin_ = n_ + m_;
   total_ = n_ + 2 * m_;
+  sense_ = lp.sense();
 
   cols_.resize(total_);
   lb_.assign(total_, 0.0);
   ub_.assign(total_, kInfinity);
+  obj_.assign(n_, 0.0);
   for (std::size_t j = 0; j < n_; ++j) {
     lb_[j] = lp.variable(j).lo;
     ub_[j] = lp.variable(j).hi;
+    obj_[j] = lp.variable(j).objective;
   }
   for (std::size_t r = 0; r < m_; ++r) {
     for (const Entry& e : lp.row(r).entries) {
@@ -85,86 +40,62 @@ Worker::Worker(const LinearProgram& lp, const SimplexOptions& opt)
     cols_[s].push_back(Entry{r, -1.0});
     lb_[s] = lp.row(r).lo;
     ub_[s] = lp.row(r).hi;
+    // Artificial column: single +/-1 entry whose sign is fixed per cold
+    // start from the residual of the initial nonbasic point.
+    const std::size_t a = art_begin_ + r;
+    cols_[a].push_back(Entry{r, 1.0});
   }
 
-  // Initial nonbasic point: every structural/slack at its finite bound
-  // nearest zero (0 for free variables).
-  status_.assign(total_, VarStatus::AtLower);
+  status_.assign(total_, BasisStatus::AtLower);
   value_.assign(total_, 0.0);
-  for (std::size_t j = 0; j < art_begin_; ++j) {
-    const bool lo_finite = lb_[j] > -kInfinity;
-    const bool hi_finite = ub_[j] < kInfinity;
-    if (lo_finite && hi_finite) {
-      if (std::fabs(lb_[j]) <= std::fabs(ub_[j])) {
-        status_[j] = VarStatus::AtLower;
-        value_[j] = lb_[j];
-      } else {
-        status_[j] = VarStatus::AtUpper;
-        value_[j] = ub_[j];
-      }
-    } else if (lo_finite) {
-      status_[j] = VarStatus::AtLower;
-      value_[j] = lb_[j];
-    } else if (hi_finite) {
-      status_[j] = VarStatus::AtUpper;
-      value_[j] = ub_[j];
-    } else {
-      status_[j] = VarStatus::FreeAtZero;
-      value_[j] = 0.0;
-    }
-  }
-
-  // Residual of Ax = 0 at the initial point determines artificial signs.
-  std::vector<double> resid(m_, 0.0);
-  for (std::size_t j = 0; j < art_begin_; ++j) {
-    if (value_[j] == 0.0) continue;
-    for (const Entry& e : cols_[j]) resid[e.col] -= e.coeff * value_[j];
-  }
   basis_.resize(m_);
   xb_.resize(m_);
   binv_ = Matrix(m_, m_);
-  for (std::size_t r = 0; r < m_; ++r) {
-    const double sign = resid[r] >= 0.0 ? 1.0 : -1.0;
-    const std::size_t a = art_begin_ + r;
-    cols_[a].push_back(Entry{r, sign});
-    lb_[a] = 0.0;
-    ub_[a] = kInfinity;
-    basis_[r] = a;
-    status_[a] = VarStatus::Basic;
-    xb_[r] = std::fabs(resid[r]);
-    binv_(r, r) = sign;  // inverse of diag(sign)
-  }
+  w_.resize(m_);
+  y_.resize(m_);
+  rhs_.resize(m_);
+  cost_.assign(total_, 0.0);
 }
 
-std::vector<double> Worker::ftran(std::size_t j) const {
-  std::vector<double> w(m_, 0.0);
+void SimplexSolver::set_variable_bounds(std::size_t j, double lo, double hi) {
+  RRP_EXPECTS(j < n_);
+  RRP_EXPECTS(lo <= hi);
+  lb_[j] = lo;
+  ub_[j] = hi;
+}
+
+void SimplexSolver::set_objective(std::size_t j, double coeff) {
+  RRP_EXPECTS(j < n_);
+  RRP_EXPECTS(std::isfinite(coeff));
+  obj_[j] = coeff;
+}
+
+void SimplexSolver::ftran(std::size_t j) const {
+  std::fill(w_.begin(), w_.end(), 0.0);
   for (const Entry& e : cols_[j]) {
     const double c = e.coeff;
-    for (std::size_t i = 0; i < m_; ++i) w[i] += c * binv_(i, e.col);
+    for (std::size_t i = 0; i < m_; ++i) w_[i] += c * binv_(i, e.col);
   }
-  return w;
 }
 
-std::vector<double> Worker::compute_duals(
-    const std::vector<double>& cost) const {
+void SimplexSolver::compute_duals(const std::vector<double>& cost) const {
   // y = c_B^T * Binv.
-  std::vector<double> y(m_, 0.0);
+  std::fill(y_.begin(), y_.end(), 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
     const double cb = cost[basis_[i]];
     if (cb == 0.0) continue;
-    for (std::size_t k = 0; k < m_; ++k) y[k] += cb * binv_(i, k);
+    for (std::size_t k = 0; k < m_; ++k) y_[k] += cb * binv_(i, k);
   }
-  return y;
 }
 
-double Worker::reduced_cost(std::size_t j, const std::vector<double>& cost,
-                            const std::vector<double>& y) const {
+double SimplexSolver::reduced_cost(std::size_t j,
+                                   const std::vector<double>& cost) const {
   double d = cost[j];
-  for (const Entry& e : cols_[j]) d -= y[e.col] * e.coeff;
+  for (const Entry& e : cols_[j]) d -= y_[e.col] * e.coeff;
   return d;
 }
 
-void Worker::refactorize() {
+void SimplexSolver::refactorize() {
   Matrix b(m_, m_);
   for (std::size_t pos = 0; pos < m_; ++pos) {
     for (const Entry& e : cols_[basis_[pos]]) b(e.col, pos) = e.coeff;
@@ -174,41 +105,41 @@ void Worker::refactorize() {
   recompute_basic_values();
 #if RRP_INVARIANTS_ENABLED
   // Cheap structural check on every refactorization; the expensive
-  // Binv*B dcheck runs only at phase boundaries (see run()).
+  // Binv*B dcheck runs only at phase boundaries (see check_basis()).
   verify_basis(m_, total_, basis_);
 #endif
 }
 
-void Worker::recompute_basic_values() {
+void SimplexSolver::recompute_basic_values() {
   // x_B = Binv * (0 - sum_nonbasic A_j v_j).
-  std::vector<double> rhs(m_, 0.0);
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
   for (std::size_t j = 0; j < total_; ++j) {
-    if (status_[j] == VarStatus::Basic || value_[j] == 0.0) continue;
-    for (const Entry& e : cols_[j]) rhs[e.col] -= e.coeff * value_[j];
+    if (status_[j] == BasisStatus::Basic || value_[j] == 0.0) continue;
+    for (const Entry& e : cols_[j]) rhs_[e.col] -= e.coeff * value_[j];
   }
   for (std::size_t i = 0; i < m_; ++i) {
     double acc = 0.0;
-    for (std::size_t k = 0; k < m_; ++k) acc += binv_(i, k) * rhs[k];
+    for (std::size_t k = 0; k < m_; ++k) acc += binv_(i, k) * rhs_[k];
     xb_[i] = acc;
   }
 }
 
-void Worker::check_basis() const {
+void SimplexSolver::check_basis() const {
 #if RRP_INVARIANTS_ENABLED
   verify_basis(m_, total_, basis_);
   std::size_t basic_count = 0;
   for (std::size_t j = 0; j < total_; ++j)
-    if (status_[j] == VarStatus::Basic) ++basic_count;
+    if (status_[j] == BasisStatus::Basic) ++basic_count;
   RRP_INVARIANT_MSG(basic_count == m_,
                     std::to_string(basic_count) + " variables marked basic");
   for (std::size_t i = 0; i < m_; ++i)
-    RRP_INVARIANT(status_[basis_[i]] == VarStatus::Basic);
+    RRP_INVARIANT(status_[basis_[i]] == BasisStatus::Basic);
   // Expensive factorization dcheck: Binv * B ~= I column by column.
   for (std::size_t pos = 0; pos < m_; ++pos) {
-    const std::vector<double> w = ftran(basis_[pos]);
+    ftran(basis_[pos]);
     for (std::size_t i = 0; i < m_; ++i) {
       const double expect = i == pos ? 1.0 : 0.0;
-      RRP_DCHECK_MSG(std::fabs(w[i] - expect) <= 1e-5,
+      RRP_DCHECK_MSG(std::fabs(w_[i] - expect) <= 1e-5,
                      "Binv*B deviates at (" + std::to_string(i) + "," +
                          std::to_string(pos) + ")");
     }
@@ -216,7 +147,7 @@ void Worker::check_basis() const {
 #endif
 }
 
-void Worker::check_optimality(const std::vector<double>& cost) const {
+void SimplexSolver::check_optimality(const std::vector<double>& cost) const {
 #if RRP_INVARIANTS_ENABLED
   // Primal feasibility: every basic value within its bounds.
   for (std::size_t i = 0; i < m_; ++i) {
@@ -231,28 +162,28 @@ void Worker::check_optimality(const std::vector<double>& cost) const {
   double cscale = 0.0;
   for (double c : cost) cscale = std::max(cscale, std::fabs(c));
   const double dtol = 1e-4 * (1.0 + cscale);
-  const std::vector<double> y = compute_duals(cost);
+  compute_duals(cost);
   for (std::size_t j = 0; j < total_; ++j) {
-    if (status_[j] == VarStatus::Basic) continue;
+    if (status_[j] == BasisStatus::Basic) continue;
     if (lb_[j] == ub_[j]) continue;  // fixed: any reduced cost is fine
-    const double d = reduced_cost(j, cost, y);
+    const double d = reduced_cost(j, cost);
     RRP_INVARIANT_MSG(std::isfinite(d),
                       "reduced cost of " + std::to_string(j) + " not finite");
     switch (status_[j]) {
-      case VarStatus::AtLower:
+      case BasisStatus::AtLower:
         RRP_INVARIANT_MSG(d >= -dtol, "improving reduced cost " +
                                           std::to_string(d) + " at lower");
         break;
-      case VarStatus::AtUpper:
+      case BasisStatus::AtUpper:
         RRP_INVARIANT_MSG(d <= dtol, "improving reduced cost " +
                                          std::to_string(d) + " at upper");
         break;
-      case VarStatus::FreeAtZero:
+      case BasisStatus::FreeAtZero:
         RRP_INVARIANT_MSG(std::fabs(d) <= dtol,
                           "free variable with nonzero reduced cost " +
                               std::to_string(d));
         break;
-      case VarStatus::Basic:
+      case BasisStatus::Basic:
         break;
     }
   }
@@ -261,52 +192,53 @@ void Worker::check_optimality(const std::vector<double>& cost) const {
 #endif
 }
 
-double Worker::current_objective(const std::vector<double>& cost) const {
+double SimplexSolver::current_objective(const std::vector<double>& cost)
+    const {
   double obj = 0.0;
   for (std::size_t j = 0; j < total_; ++j) {
-    if (status_[j] != VarStatus::Basic && cost[j] != 0.0)
+    if (status_[j] != BasisStatus::Basic && cost[j] != 0.0)
       obj += cost[j] * value_[j];
   }
   for (std::size_t i = 0; i < m_; ++i) obj += cost[basis_[i]] * xb_[i];
   return obj;
 }
 
-PhaseResult Worker::run_phase(const std::vector<double>& cost,
-                              std::size_t max_iters) {
-  const double dtol = opt_.optimality_tol;
+SimplexSolver::PhaseResult SimplexSolver::run_phase(
+    const std::vector<double>& cost, std::size_t max_iters) {
+  const double dtol = opt_->optimality_tol;
   std::size_t stall = 0;
   double last_obj = current_objective(cost);
-  bool use_bland = opt_.pricing == Pricing::Bland;
+  bool use_bland = opt_->pricing == Pricing::Bland;
 
   for (std::size_t iter = 0; iter < max_iters; ++iter, ++iterations_) {
     // One deadline poll per pivot; a pointer compare when unlimited.
-    if (opt_.deadline.expired()) return PhaseResult::TimeLimit;
-    const std::vector<double> y = compute_duals(cost);
+    if (opt_->deadline.expired()) return PhaseResult::TimeLimit;
+    compute_duals(cost);
 
     // --- Pricing: choose the entering variable and its direction. ---
     std::size_t enter = total_;
     int dir = 0;
     double best_score = dtol;
     for (std::size_t j = 0; j < total_; ++j) {
-      if (status_[j] == VarStatus::Basic) continue;
+      if (status_[j] == BasisStatus::Basic) continue;
       if (lb_[j] == ub_[j]) continue;  // fixed: can never move
-      const double d = reduced_cost(j, cost, y);
+      const double d = reduced_cost(j, cost);
       int cand_dir = 0;
       double score = 0.0;
       switch (status_[j]) {
-        case VarStatus::AtLower:
+        case BasisStatus::AtLower:
           if (d < -dtol) { cand_dir = +1; score = -d; }
           break;
-        case VarStatus::AtUpper:
+        case BasisStatus::AtUpper:
           if (d > dtol) { cand_dir = -1; score = d; }
           break;
-        case VarStatus::FreeAtZero:
+        case BasisStatus::FreeAtZero:
           if (std::fabs(d) > dtol) {
             cand_dir = d < 0.0 ? +1 : -1;
             score = std::fabs(d);
           }
           break;
-        case VarStatus::Basic:
+        case BasisStatus::Basic:
           break;
       }
       if (cand_dir == 0) continue;
@@ -324,7 +256,7 @@ PhaseResult Worker::run_phase(const std::vector<double>& cost,
     if (enter == total_) return PhaseResult::Optimal;
 
     // --- Ratio test. ---
-    const std::vector<double> w = ftran(enter);
+    ftran(enter);
     // Limit from the entering variable's own opposite bound.
     double t_max = kInfinity;
     int limit_kind = 0;  // 0: own bound flip, 1: basic leaves
@@ -333,10 +265,9 @@ PhaseResult Worker::run_phase(const std::vector<double>& cost,
     if (dir > 0 && ub_[enter] < kInfinity) t_max = ub_[enter] - value_[enter];
     if (dir < 0 && lb_[enter] > -kInfinity) t_max = value_[enter] - lb_[enter];
 
-    const double piv_tol = 1e-9;
     for (std::size_t i = 0; i < m_; ++i) {
-      const double delta = -static_cast<double>(dir) * w[i];  // d x_B[i]/dt
-      if (std::fabs(delta) <= piv_tol) continue;
+      const double delta = -static_cast<double>(dir) * w_[i];  // d x_B[i]/dt
+      if (std::fabs(delta) <= kPivotTol) continue;
       const std::size_t bi = basis_[i];
       double t_i = kInfinity;
       bool hits_upper = false;
@@ -348,13 +279,13 @@ PhaseResult Worker::run_phase(const std::vector<double>& cost,
           hits_upper = true;
         }
       }
-      if (t_i < -opt_.feasibility_tol) t_i = 0.0;  // clamp tiny negatives
+      if (t_i < -opt_->feasibility_tol) t_i = 0.0;  // clamp tiny negatives
       t_i = std::max(t_i, 0.0);
       // Prefer strictly smaller ratios; among near-ties keep the larger
       // pivot element for numerical stability.
       if (t_i < t_max - 1e-12 ||
           (t_i < t_max + 1e-12 && limit_kind == 1 &&
-           std::fabs(w[i]) > std::fabs(w[leave_pos]))) {
+           std::fabs(w_[i]) > std::fabs(w_[leave_pos]))) {
         t_max = t_i;
         limit_kind = 1;
         leave_pos = i;
@@ -367,67 +298,171 @@ PhaseResult Worker::run_phase(const std::vector<double>& cost,
     // --- Apply the step. ---
     const double step = std::max(t_max, 0.0);
     for (std::size_t i = 0; i < m_; ++i)
-      xb_[i] -= static_cast<double>(dir) * step * w[i];
+      xb_[i] -= static_cast<double>(dir) * step * w_[i];
 
     if (limit_kind == 0) {
       // Bound flip: the entering variable moves to its other bound.
       value_[enter] += static_cast<double>(dir) * step;
       status_[enter] =
-          dir > 0 ? VarStatus::AtUpper : VarStatus::AtLower;
+          dir > 0 ? BasisStatus::AtUpper : BasisStatus::AtLower;
     } else {
       const std::size_t leave = basis_[leave_pos];
       // Snap the leaving variable exactly onto its bound.
       value_[leave] = leave_at_upper ? ub_[leave] : lb_[leave];
       status_[leave] =
-          leave_at_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+          leave_at_upper ? BasisStatus::AtUpper : BasisStatus::AtLower;
       const double enter_val = value_[enter] + static_cast<double>(dir) * step;
       basis_[leave_pos] = enter;
-      status_[enter] = VarStatus::Basic;
+      status_[enter] = BasisStatus::Basic;
       xb_[leave_pos] = enter_val;
       // Eta update of the basis inverse.
-      const double piv = w[leave_pos];
-      if (std::fabs(piv) < piv_tol)
+      const double piv = w_[leave_pos];
+      if (std::fabs(piv) < kPivotTol)
         throw NumericalError("simplex: vanishing pivot element");
       auto prow = binv_.row(leave_pos);
       for (double& v : prow) v /= piv;
       for (std::size_t i = 0; i < m_; ++i) {
-        if (i == leave_pos || w[i] == 0.0) continue;
-        const double f = w[i];
+        if (i == leave_pos || w_[i] == 0.0) continue;
+        const double f = w_[i];
         auto irow = binv_.row(i);
         for (std::size_t k = 0; k < m_; ++k) irow[k] -= f * prow[k];
       }
-      if (++pivots_since_refactor_ >= opt_.refactor_every) refactorize();
+      if (++pivots_since_refactor_ >= opt_->refactor_every) refactorize();
     }
 
     // --- Stall detection -> Bland fallback. ---
     const double obj = current_objective(cost);
     if (obj < last_obj - 1e-10 * (1.0 + std::fabs(last_obj))) {
       stall = 0;
-      if (opt_.pricing != Pricing::Bland) use_bland = false;
+      if (opt_->pricing != Pricing::Bland) use_bland = false;
       last_obj = obj;
-    } else if (++stall >= opt_.stall_limit) {
+    } else if (++stall >= opt_->stall_limit) {
       use_bland = true;
     }
   }
   return PhaseResult::IterationLimit;
 }
 
-void Worker::pivot_out_artificials() {
+SimplexSolver::DualResult SimplexSolver::run_dual(
+    const std::vector<double>& cost, std::size_t max_iters) {
+  // Bounded-variable dual simplex: pick the basic variable with the
+  // largest bound violation, drive it exactly onto the violated bound,
+  // and admit the entering column by the dual ratio test (min |d|/|a|),
+  // which preserves dual feasibility of the warm-started basis.  When
+  // no column can move the leaving row toward its bound, row r is a
+  // primal infeasibility certificate independent of the objective.
+  for (std::size_t iter = 0; iter < max_iters; ++iter, ++iterations_) {
+    if (opt_->deadline.expired()) return DualResult::TimeLimit;
+
+    // --- Leaving row: most violated basic variable. ---
+    std::size_t r = m_;
+    bool below = false;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t bi = basis_[i];
+      const double tol = opt_->feasibility_tol * (1.0 + std::fabs(xb_[i]));
+      const double under = lb_[bi] - xb_[i];
+      const double over = xb_[i] - ub_[bi];
+      if (under > tol && under > worst) {
+        worst = under;
+        r = i;
+        below = true;
+      }
+      if (over > tol && over > worst) {
+        worst = over;
+        r = i;
+        below = false;
+      }
+    }
+    if (r == m_) return DualResult::Feasible;
+
+    const std::size_t leave = basis_[r];
+    const double target = below ? lb_[leave] : ub_[leave];
+    const double sigma = below ? +1.0 : -1.0;  // required sign of d xb_r
+    compute_duals(cost);
+    const auto rho = binv_.row(r);
+
+    // --- Entering column: dual ratio test over eligible nonbasics. ---
+    std::size_t enter = total_;
+    int enter_dir = 0;
+    double enter_alpha = 0.0;
+    double best_ratio = kInfinity;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == BasisStatus::Basic) continue;
+      if (lb_[j] == ub_[j]) continue;  // fixed (includes pinned artificials)
+      double alpha = 0.0;
+      for (const Entry& e : cols_[j]) alpha += rho[e.col] * e.coeff;
+      if (std::fabs(alpha) <= kPivotTol) continue;
+      int dir = 0;
+      switch (status_[j]) {
+        case BasisStatus::AtLower: dir = +1; break;
+        case BasisStatus::AtUpper: dir = -1; break;
+        case BasisStatus::FreeAtZero:
+          dir = sigma * alpha < 0.0 ? +1 : -1;
+          break;
+        case BasisStatus::Basic: break;
+      }
+      // Moving x_j by dir changes xb_r by -alpha*dir; require the move
+      // to push xb_r toward its violated bound.
+      if (sigma * alpha * static_cast<double>(dir) >= 0.0) continue;
+      const double d = reduced_cost(j, cost);
+      const double ratio = std::fabs(d) / std::fabs(alpha);
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 &&
+           std::fabs(alpha) > std::fabs(enter_alpha))) {
+        best_ratio = ratio;
+        enter = j;
+        enter_dir = dir;
+        enter_alpha = alpha;
+      }
+    }
+    if (enter == total_) return DualResult::Infeasible;
+
+    // --- Pivot: land xb_r exactly on its violated bound. ---
+    const double denom = -enter_alpha * static_cast<double>(enter_dir);
+    const double t = std::max((target - xb_[r]) / denom, 0.0);
+    ftran(enter);
+    for (std::size_t i = 0; i < m_; ++i)
+      xb_[i] -= static_cast<double>(enter_dir) * t * w_[i];
+    value_[leave] = target;
+    status_[leave] = below ? BasisStatus::AtLower : BasisStatus::AtUpper;
+    const double enter_val =
+        value_[enter] + static_cast<double>(enter_dir) * t;
+    basis_[r] = enter;
+    status_[enter] = BasisStatus::Basic;
+    xb_[r] = enter_val;
+    const double piv = w_[r];
+    if (std::fabs(piv) < kPivotTol)
+      throw NumericalError("dual simplex: vanishing pivot element");
+    auto prow = binv_.row(r);
+    for (double& v : prow) v /= piv;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == r || w_[i] == 0.0) continue;
+      const double f = w_[i];
+      auto irow = binv_.row(i);
+      for (std::size_t k = 0; k < m_; ++k) irow[k] -= f * prow[k];
+    }
+    if (++pivots_since_refactor_ >= opt_->refactor_every) refactorize();
+  }
+  return DualResult::Stalled;
+}
+
+void SimplexSolver::pivot_out_artificials() {
   for (std::size_t pos = 0; pos < m_; ++pos) {
     if (basis_[pos] < art_begin_) continue;
     // Find a non-artificial, non-basic column with a usable pivot element
     // in this basis row and swap it in (a degenerate pivot: the primal
     // point is unchanged because the artificial sits at zero).
     for (std::size_t j = 0; j < art_begin_; ++j) {
-      if (status_[j] == VarStatus::Basic) continue;
+      if (status_[j] == BasisStatus::Basic) continue;
       double wpos = 0.0;
       for (const Entry& e : cols_[j]) wpos += binv_(pos, e.col) * e.coeff;
       if (std::fabs(wpos) < 1e-7) continue;
       const std::size_t art = basis_[pos];
-      status_[art] = VarStatus::AtLower;
+      status_[art] = BasisStatus::AtLower;
       value_[art] = 0.0;
       basis_[pos] = j;
-      status_[j] = VarStatus::Basic;
+      status_[j] = BasisStatus::Basic;
       refactorize();
       break;
     }
@@ -440,35 +475,17 @@ void Worker::pivot_out_artificials() {
   recompute_basic_values();
 }
 
-Solution Worker::run() {
+const std::vector<double>& SimplexSolver::phase2_cost() {
+  const double sense = sense_ == Sense::Maximize ? -1.0 : 1.0;
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  for (std::size_t j = 0; j < n_; ++j) cost_[j] = sense * obj_[j];
+  return cost_;
+}
+
+Solution SimplexSolver::finish_phase2() {
   Solution sol;
-
-  // Phase 1: minimise the artificial mass.
-  std::vector<double> phase1_cost(total_, 0.0);
-  for (std::size_t r = 0; r < m_; ++r) phase1_cost[art_begin_ + r] = 1.0;
-  PhaseResult p1 = run_phase(phase1_cost, opt_.max_iterations);
-  if (p1 == PhaseResult::IterationLimit || p1 == PhaseResult::TimeLimit) {
-    sol.status = p1 == PhaseResult::TimeLimit ? SolveStatus::TimeLimit
-                                              : SolveStatus::IterationLimit;
-    sol.iterations = iterations_;
-    return sol;
-  }
-  refactorize();
-  check_basis();
-  const double infeasibility = current_objective(phase1_cost);
-  if (infeasibility > 1e-6) {
-    sol.status = SolveStatus::Infeasible;
-    sol.iterations = iterations_;
-    return sol;
-  }
-  pivot_out_artificials();
-
-  // Phase 2: the model objective (negated internally for Maximize).
-  const double sense = lp_.sense() == Sense::Maximize ? -1.0 : 1.0;
-  std::vector<double> cost(total_, 0.0);
-  for (std::size_t j = 0; j < n_; ++j)
-    cost[j] = sense * lp_.variable(j).objective;
-  PhaseResult p2 = run_phase(cost, opt_.max_iterations);
+  const std::vector<double>& cost = phase2_cost();
+  PhaseResult p2 = run_phase(cost, opt_->max_iterations);
   if (p2 == PhaseResult::IterationLimit || p2 == PhaseResult::TimeLimit) {
     sol.status = p2 == PhaseResult::TimeLimit ? SolveStatus::TimeLimit
                                               : SolveStatus::IterationLimit;
@@ -488,19 +505,252 @@ Solution Worker::run() {
   sol.iterations = iterations_;
   sol.x.assign(n_, 0.0);
   for (std::size_t j = 0; j < n_; ++j)
-    if (status_[j] != VarStatus::Basic) sol.x[j] = value_[j];
+    if (status_[j] != BasisStatus::Basic) sol.x[j] = value_[j];
   for (std::size_t i = 0; i < m_; ++i)
     if (basis_[i] < n_) sol.x[basis_[i]] = xb_[i];
-  sol.objective = lp_.objective_value(sol.x);
-  const std::vector<double> y = compute_duals(cost);
-  sol.duals = y;
+  double objective = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) objective += obj_[j] * sol.x[j];
+  sol.objective = objective;
+  compute_duals(cost);
+  sol.duals = y_;
   sol.reduced_costs.assign(n_, 0.0);
   for (std::size_t j = 0; j < n_; ++j)
-    sol.reduced_costs[j] = reduced_cost(j, cost, y);
+    sol.reduced_costs[j] = reduced_cost(j, cost);
+  last_optimal_ = true;
   return sol;
 }
 
-}  // namespace
+Solution SimplexSolver::cold_solve() {
+  // Initial nonbasic point: every structural/slack at its finite bound
+  // nearest zero (0 for free variables).
+  for (std::size_t j = 0; j < art_begin_; ++j) {
+    const bool lo_finite = lb_[j] > -kInfinity;
+    const bool hi_finite = ub_[j] < kInfinity;
+    if (lo_finite && hi_finite) {
+      if (std::fabs(lb_[j]) <= std::fabs(ub_[j])) {
+        status_[j] = BasisStatus::AtLower;
+        value_[j] = lb_[j];
+      } else {
+        status_[j] = BasisStatus::AtUpper;
+        value_[j] = ub_[j];
+      }
+    } else if (lo_finite) {
+      status_[j] = BasisStatus::AtLower;
+      value_[j] = lb_[j];
+    } else if (hi_finite) {
+      status_[j] = BasisStatus::AtUpper;
+      value_[j] = ub_[j];
+    } else {
+      status_[j] = BasisStatus::FreeAtZero;
+      value_[j] = 0.0;
+    }
+  }
+
+  // Residual of Ax = 0 at the initial point determines artificial signs.
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  for (std::size_t j = 0; j < art_begin_; ++j) {
+    if (value_[j] == 0.0) continue;
+    for (const Entry& e : cols_[j]) rhs_[e.col] -= e.coeff * value_[j];
+  }
+  binv_ = Matrix(m_, m_);
+  for (std::size_t r = 0; r < m_; ++r) {
+    const double sign = rhs_[r] >= 0.0 ? 1.0 : -1.0;
+    const std::size_t a = art_begin_ + r;
+    cols_[a][0].coeff = sign;
+    lb_[a] = 0.0;
+    ub_[a] = kInfinity;
+    basis_[r] = a;
+    status_[a] = BasisStatus::Basic;
+    value_[a] = 0.0;
+    xb_[r] = std::fabs(rhs_[r]);
+    binv_(r, r) = sign;  // inverse of diag(sign)
+  }
+  pivots_since_refactor_ = 0;
+
+  Solution sol;
+  // Phase 1: minimise the artificial mass.
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  for (std::size_t r = 0; r < m_; ++r) cost_[r + art_begin_] = 1.0;
+  const std::vector<double> phase1_cost = cost_;
+  PhaseResult p1 = run_phase(phase1_cost, opt_->max_iterations);
+  if (p1 == PhaseResult::IterationLimit || p1 == PhaseResult::TimeLimit) {
+    sol.status = p1 == PhaseResult::TimeLimit ? SolveStatus::TimeLimit
+                                              : SolveStatus::IterationLimit;
+    sol.iterations = iterations_;
+    return sol;
+  }
+  refactorize();
+  check_basis();
+  const double infeasibility = current_objective(phase1_cost);
+  if (infeasibility > 1e-6) {
+    sol.status = SolveStatus::Infeasible;
+    sol.iterations = iterations_;
+    return sol;
+  }
+  pivot_out_artificials();
+
+  // Phase 2: the model objective (negated internally for Maximize).
+  return finish_phase2();
+}
+
+bool SimplexSolver::install_basis(const Basis& start) {
+  if (start.basic.size() != m_ || start.status.size() != art_begin_)
+    return false;
+  // Structural consistency: basic entries distinct, in the structural +
+  // slack range, and agreeing with the status vector.
+  std::vector<char> seen(art_begin_, 0);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    const std::size_t j = start.basic[pos];
+    if (j >= art_begin_ || seen[j] != 0) return false;
+    if (start.status[j] != BasisStatus::Basic) return false;
+    seen[j] = 1;
+  }
+  for (std::size_t j = 0; j < art_begin_; ++j) {
+    if (start.status[j] == BasisStatus::Basic && seen[j] == 0) return false;
+  }
+
+  for (std::size_t j = 0; j < art_begin_; ++j) {
+    BasisStatus s = start.status[j];
+    // Re-anchor nonbasic variables whose preferred bound is (or became)
+    // infinite; bounds may have moved since the basis was exported.
+    if (s == BasisStatus::AtLower && lb_[j] <= -kInfinity)
+      s = ub_[j] < kInfinity ? BasisStatus::AtUpper : BasisStatus::FreeAtZero;
+    if (s == BasisStatus::AtUpper && ub_[j] >= kInfinity)
+      s = lb_[j] > -kInfinity ? BasisStatus::AtLower : BasisStatus::FreeAtZero;
+    if (s == BasisStatus::FreeAtZero &&
+        (lb_[j] > -kInfinity || ub_[j] < kInfinity))
+      s = lb_[j] > -kInfinity ? BasisStatus::AtLower : BasisStatus::AtUpper;
+    status_[j] = s;
+    switch (s) {
+      case BasisStatus::AtLower: value_[j] = lb_[j]; break;
+      case BasisStatus::AtUpper: value_[j] = ub_[j]; break;
+      default: value_[j] = 0.0; break;
+    }
+  }
+  // Artificials stay pinned out of the warm-started problem.
+  for (std::size_t r = 0; r < m_; ++r) {
+    const std::size_t a = art_begin_ + r;
+    status_[a] = BasisStatus::AtLower;
+    value_[a] = 0.0;
+    lb_[a] = 0.0;
+    ub_[a] = 0.0;
+  }
+  std::copy(start.basic.begin(), start.basic.end(), basis_.begin());
+  try {
+    refactorize();  // throws NumericalError when the start basis is singular
+  } catch (const NumericalError&) {
+    return false;
+  }
+  return true;
+}
+
+Solution SimplexSolver::solve_bound_only() const {
+  // Pure bound problem: each variable sits at its cheapest finite bound.
+  Solution sol;
+  sol.status = SolveStatus::Optimal;
+  sol.x.assign(n_, 0.0);
+  const double sense = sense_ == Sense::Maximize ? -1.0 : 1.0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double c = sense * obj_[j];
+    if (c > 0.0) {
+      if (lb_[j] == -kInfinity) {
+        sol.status = SolveStatus::Unbounded;
+        return sol;
+      }
+      sol.x[j] = lb_[j];
+    } else if (c < 0.0) {
+      if (ub_[j] == kInfinity) {
+        sol.status = SolveStatus::Unbounded;
+        return sol;
+      }
+      sol.x[j] = ub_[j];
+    } else {
+      sol.x[j] = std::clamp(0.0, lb_[j], ub_[j]);
+    }
+  }
+  double objective = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) objective += obj_[j] * sol.x[j];
+  sol.objective = objective;
+  sol.reduced_costs.assign(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j)
+    sol.reduced_costs[j] = sense * obj_[j];
+  return sol;
+}
+
+Solution SimplexSolver::solve(const SimplexOptions& options) {
+  last_warm_ = false;
+  last_optimal_ = false;
+  iterations_ = 0;
+  if (options.fault_injector != nullptr &&
+      options.fault_injector->consume_lp_fault()) {
+    throw NumericalError("simplex: injected numerical failure");
+  }
+  if (options.deadline.expired()) {
+    Solution sol;
+    sol.status = SolveStatus::TimeLimit;
+    return sol;
+  }
+  if (m_ == 0) return solve_bound_only();
+  opt_ = &options;
+  return cold_solve();
+}
+
+Solution SimplexSolver::solve_from(const Basis& start,
+                                   const SimplexOptions& options) {
+  last_warm_ = false;
+  last_optimal_ = false;
+  iterations_ = 0;
+  if (options.fault_injector != nullptr &&
+      options.fault_injector->consume_lp_fault()) {
+    throw NumericalError("simplex: injected numerical failure");
+  }
+  if (options.deadline.expired()) {
+    Solution sol;
+    sol.status = SolveStatus::TimeLimit;
+    return sol;
+  }
+  if (m_ == 0) return solve_bound_only();
+  opt_ = &options;
+  if (start.empty() || !install_basis(start)) return cold_solve();
+
+  // Re-optimise: dual simplex restores primal feasibility (bound changes
+  // leave the parent basis dual feasible), then primal phase 2 cleans up
+  // any residual dual infeasibility.  Numerical trouble on the warm path
+  // is never fatal — fall back to the cold two-phase solve instead.
+  try {
+    const DualResult dres = run_dual(phase2_cost(), opt_->max_iterations);
+    if (dres == DualResult::TimeLimit) {
+      Solution sol;
+      sol.status = SolveStatus::TimeLimit;
+      sol.iterations = iterations_;
+      return sol;
+    }
+    if (dres == DualResult::Infeasible) {
+      Solution sol;
+      sol.status = SolveStatus::Infeasible;
+      sol.iterations = iterations_;
+      last_warm_ = true;
+      return sol;
+    }
+    if (dres == DualResult::Stalled) return cold_solve();
+    Solution sol = finish_phase2();
+    last_warm_ = true;
+    return sol;
+  } catch (const NumericalError&) {
+    return cold_solve();
+  }
+}
+
+Basis SimplexSolver::basis() const {
+  Basis b;
+  if (!last_optimal_) return b;
+  for (std::size_t i = 0; i < m_; ++i)
+    if (basis_[i] >= art_begin_) return b;  // redundant row: not exportable
+  b.basic = basis_;
+  b.status.assign(status_.begin(),
+                  status_.begin() + static_cast<std::ptrdiff_t>(art_begin_));
+  return b;
+}
 
 void verify_basis(std::size_t num_rows, std::size_t num_columns,
                   std::span<const std::size_t> basis) {
@@ -529,48 +779,8 @@ void verify_basis(std::size_t num_rows, std::size_t num_columns,
 }
 
 Solution solve(const LinearProgram& lp, const SimplexOptions& options) {
-  if (options.fault_injector != nullptr &&
-      options.fault_injector->consume_lp_fault()) {
-    throw NumericalError("simplex: injected numerical failure");
-  }
-  if (options.deadline.expired()) {
-    Solution sol;
-    sol.status = SolveStatus::TimeLimit;
-    return sol;
-  }
-  if (lp.num_rows() == 0) {
-    // Pure bound problem: each variable sits at its cheapest finite bound.
-    Solution sol;
-    sol.status = SolveStatus::Optimal;
-    sol.x.assign(lp.num_variables(), 0.0);
-    const double sense = lp.sense() == Sense::Maximize ? -1.0 : 1.0;
-    for (std::size_t j = 0; j < lp.num_variables(); ++j) {
-      const Variable& v = lp.variable(j);
-      const double c = sense * v.objective;
-      if (c > 0.0) {
-        if (v.lo == -kInfinity) {
-          sol.status = SolveStatus::Unbounded;
-          return sol;
-        }
-        sol.x[j] = v.lo;
-      } else if (c < 0.0) {
-        if (v.hi == kInfinity) {
-          sol.status = SolveStatus::Unbounded;
-          return sol;
-        }
-        sol.x[j] = v.hi;
-      } else {
-        sol.x[j] = std::clamp(0.0, v.lo, v.hi);
-      }
-    }
-    sol.objective = lp.objective_value(sol.x);
-    sol.reduced_costs.assign(lp.num_variables(), 0.0);
-    for (std::size_t j = 0; j < lp.num_variables(); ++j)
-      sol.reduced_costs[j] = sense * lp.variable(j).objective;
-    return sol;
-  }
-  Worker worker(lp, options);
-  return worker.run();
+  SimplexSolver solver(lp);
+  return solver.solve(options);
 }
 
 }  // namespace rrp::lp

@@ -8,14 +8,34 @@
 // periodically; Dantzig pricing switches to Bland's rule during stalls
 // to guarantee finiteness under degeneracy.
 //
+// Two entry points share that engine:
+//
+//   * `solve(lp, options)` — one-shot: build the working arrays, solve,
+//     throw them away.
+//   * `SimplexSolver` — a persistent solver object that keeps the
+//     column structure, factorised basis and preallocated work buffers
+//     alive across calls, supports `set_variable_bounds` /
+//     `set_objective` without rebuilding the model, and can re-optimise
+//     from a caller-supplied starting basis (`solve_from`).  A bound
+//     change against an optimal parent basis leaves the basis dual
+//     feasible, so re-optimisation runs the dual simplex until primal
+//     feasibility is restored and finishes with (usually zero) primal
+//     pivots — the warm-start path under rrp::milp's branch & bound.
+//     Any structural or numerical trouble with the starting basis
+//     (wrong shape, singular factorisation, stalling) silently falls
+//     back to a cold two-phase solve, so `solve_from` is never less
+//     robust than `solve`.
+//
 // This is the LP engine under rrp::milp's branch & bound, which in turn
 // solves the paper's DRRP and SRRP mixed-integer programs.
 #pragma once
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "common/deadline.hpp"
+#include "common/matrix.hpp"
 #include "lp/model.hpp"
 
 namespace rrp::testing {
@@ -48,6 +68,26 @@ struct SimplexOptions {
   const testing::FaultInjector* fault_injector = nullptr;
 };
 
+/// Where a column sits in an exported basis snapshot.
+enum class BasisStatus : unsigned char {
+  Basic,
+  AtLower,
+  AtUpper,
+  FreeAtZero,  ///< free variable resting at zero
+};
+
+/// A snapshot of a simplex basis over the structural + slack columns
+/// (artificials are never part of an exportable basis).  Produced by
+/// SimplexSolver::basis() after an optimal solve and consumed by
+/// SimplexSolver::solve_from() to warm start a re-optimisation; a
+/// default-constructed (empty) basis means "no warm start available".
+struct Basis {
+  std::vector<std::size_t> basic;   ///< basic variable index per row
+  std::vector<BasisStatus> status;  ///< one per structural + slack column
+
+  bool empty() const { return basic.empty(); }
+};
+
 /// Solves the LP.  Never throws on infeasible/unbounded inputs (that is
 /// reported through Solution::status); throws rrp::NumericalError only
 /// if the basis algebra degenerates beyond repair.
@@ -62,5 +102,100 @@ Solution solve(const LinearProgram& lp, const SimplexOptions& options = {});
 /// a deliberately corrupted basis.
 void verify_basis(std::size_t num_rows, std::size_t num_columns,
                   std::span<const std::size_t> basis);
+
+/// Persistent simplex solver: copies the problem structure once at
+/// construction and reuses every working array across solves.  Not
+/// thread safe — give each thread its own instance (cheap: one copy of
+/// the column structure plus O(rows^2) for the basis inverse).
+class SimplexSolver {
+ public:
+  /// Snapshots the program (columns, bounds, objective, sense); the
+  /// LinearProgram itself is not referenced afterwards.
+  explicit SimplexSolver(const LinearProgram& lp);
+
+  std::size_t num_variables() const { return n_; }
+  std::size_t num_rows() const { return m_; }
+
+  /// Replaces the bounds of structural variable `j` without rebuilding
+  /// anything.  Requires lo <= hi.
+  void set_variable_bounds(std::size_t j, double lo, double hi);
+  double lower_bound(std::size_t j) const { return lb_[j]; }
+  double upper_bound(std::size_t j) const { return ub_[j]; }
+
+  /// Replaces the objective coefficient of structural variable `j`.
+  void set_objective(std::size_t j, double coeff);
+  double objective_coefficient(std::size_t j) const { return obj_[j]; }
+
+  /// Cold solve: two-phase simplex from scratch, identical in behaviour
+  /// to the free solve() function.
+  Solution solve(const SimplexOptions& options = {});
+
+  /// Re-optimises from `start` (typically the parent B&B node's optimal
+  /// basis).  Restores primal feasibility with the dual simplex, then
+  /// finishes with primal phase-2 pivots.  Falls back to a cold solve
+  /// when the start basis is empty, structurally unusable, singular, or
+  /// the re-optimisation stalls; last_solve_was_warm() reports which
+  /// path produced the returned solution.
+  Solution solve_from(const Basis& start, const SimplexOptions& options = {});
+
+  /// Basis of the most recent Optimal solve, or an empty basis when the
+  /// last solve did not finish Optimal or ended with an artificial
+  /// still basic (redundant rows — not worth warm starting from).
+  Basis basis() const;
+
+  /// True when the last solve() / solve_from() answered via the
+  /// warm-start path (no phase 1); false for cold solves and fallbacks.
+  bool last_solve_was_warm() const { return last_warm_; }
+
+ private:
+  enum class PhaseResult { Optimal, Unbounded, IterationLimit, TimeLimit };
+  enum class DualResult { Feasible, Infeasible, Stalled, TimeLimit };
+
+  Solution solve_bound_only() const;  ///< closed form for m_ == 0
+  Solution cold_solve();
+  bool install_basis(const Basis& start);
+  DualResult run_dual(const std::vector<double>& cost, std::size_t max_iters);
+  PhaseResult run_phase(const std::vector<double>& cost,
+                        std::size_t max_iters);
+  Solution finish_phase2();
+  const std::vector<double>& phase2_cost();
+  void pivot_out_artificials();
+  void refactorize();
+  void recompute_basic_values();
+  void compute_duals(const std::vector<double>& cost) const;  ///< into y_
+  double reduced_cost(std::size_t j, const std::vector<double>& cost) const;
+  void ftran(std::size_t j) const;  ///< Binv * A_j into w_
+  double current_objective(const std::vector<double>& cost) const;
+  void check_basis() const;
+  void check_optimality(const std::vector<double>& cost) const;
+
+  // Problem data (bounds/objective mutable via setters).
+  std::size_t m_ = 0;      ///< rows
+  std::size_t n_ = 0;      ///< structural variables
+  std::size_t total_ = 0;  ///< structural + slack + artificial
+  std::size_t art_begin_ = 0;
+  Sense sense_ = Sense::Minimize;
+  std::vector<std::vector<Entry>> cols_;  ///< column-sparse A (row indices)
+  std::vector<double> lb_, ub_;
+  std::vector<double> obj_;  ///< structural objective coefficients
+
+  // Persistent solve state (valid between calls; rebuilt as needed).
+  std::vector<BasisStatus> status_;
+  std::vector<double> value_;       ///< meaningful for nonbasic variables
+  std::vector<std::size_t> basis_;  ///< variable index per basis position
+  std::vector<double> xb_;          ///< basic variable values
+  Matrix binv_;
+  std::size_t pivots_since_refactor_ = 0;
+  std::size_t iterations_ = 0;
+  bool last_optimal_ = false;
+  bool last_warm_ = false;
+  const SimplexOptions* opt_ = nullptr;  ///< options of the active solve
+
+  // Preallocated work buffers (one allocation for the solver lifetime).
+  mutable std::vector<double> w_;  ///< ftran result
+  mutable std::vector<double> y_;  ///< duals
+  std::vector<double> rhs_;
+  std::vector<double> cost_;       ///< phase-2 cost cache
+};
 
 }  // namespace rrp::lp

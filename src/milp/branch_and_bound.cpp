@@ -1,13 +1,22 @@
 #include "milp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
+#include <exception>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/invariant.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rrp::milp {
 
@@ -22,6 +31,9 @@ struct Node {
   std::vector<double> hi;
   double bound = -kInf;  ///< parent relaxation value (internal min sense)
   std::size_t depth = 0;
+  /// Parent node's optimal basis; shared between the two children and
+  /// consumed by SimplexSolver::solve_from.  Null = cold solve.
+  std::shared_ptr<const lp::Basis> start;
 };
 
 struct NodeBoundGreater {
@@ -60,6 +72,68 @@ struct Pseudocosts {
   }
 };
 
+/// Everything a tree-search worker owns privately: a persistent simplex
+/// solver (factorised basis + work buffers live across the nodes this
+/// worker processes) and telemetry counters that are reduced into the
+/// MipResult once, after all workers have joined — so the totals are
+/// race free without per-node atomics.
+struct WorkerState {
+  explicit WorkerState(const lp::LinearProgram& lp) : solver(lp) {}
+
+  lp::SimplexSolver solver;
+  std::size_t lp_iterations = 0;
+  std::size_t recoveries = 0;
+  std::size_t warm_nodes = 0;
+  std::size_t cold_nodes = 0;
+};
+
+/// Restores the bounds of the given variables on destruction, so the
+/// rounding heuristic's fixings can never leak into sibling nodes even
+/// on an exception path.
+class BoundsGuard {
+ public:
+  BoundsGuard(lp::SimplexSolver& solver, const std::vector<std::size_t>& vars)
+      : solver_(solver), vars_(vars) {
+    saved_.reserve(vars.size());
+    for (std::size_t j : vars)
+      saved_.emplace_back(solver.lower_bound(j), solver.upper_bound(j));
+  }
+  ~BoundsGuard() {
+    for (std::size_t k = 0; k < vars_.size(); ++k)
+      solver_.set_variable_bounds(vars_[k], saved_[k].first,
+                                  saved_[k].second);
+  }
+  BoundsGuard(const BoundsGuard&) = delete;
+  BoundsGuard& operator=(const BoundsGuard&) = delete;
+
+ private:
+  lp::SimplexSolver& solver_;
+  const std::vector<std::size_t>& vars_;
+  std::vector<std::pair<double, double>> saved_;
+};
+
+/// Restores the full objective vector on destruction; used by the cost
+/// perturbation recovery rung so the perturbed coefficients cannot
+/// survive into later solves (and no model copy is needed).
+class ObjectiveGuard {
+ public:
+  explicit ObjectiveGuard(lp::SimplexSolver& solver) : solver_(solver) {
+    saved_.reserve(solver.num_variables());
+    for (std::size_t j = 0; j < solver.num_variables(); ++j)
+      saved_.push_back(solver.objective_coefficient(j));
+  }
+  ~ObjectiveGuard() {
+    for (std::size_t j = 0; j < saved_.size(); ++j)
+      solver_.set_objective(j, saved_[j]);
+  }
+  ObjectiveGuard(const ObjectiveGuard&) = delete;
+  ObjectiveGuard& operator=(const ObjectiveGuard&) = delete;
+
+ private:
+  lp::SimplexSolver& solver_;
+  std::vector<double> saved_;
+};
+
 class Solver {
  public:
   Solver(const Model& model, const BnbOptions& opt)
@@ -88,66 +162,133 @@ class Solver {
     }
     incumbent_feas_tol_ =
         1e-6 + 10.0 * opt_.integrality_tol * (1.0 + max_row_l1);
-    pristine_lp_ = relaxation_;
 #endif
   }
 
   MipResult run();
 
  private:
-  /// Applies node bounds and solves the relaxation.
-  lp::Solution solve_relaxation(const Node& node);
+  // -- tree search ------------------------------------------------------
+  void worker(std::size_t w, WorkerState& ws);
+  void process_node(WorkerState& ws, Node& node, std::size_t node_number);
 
-  /// Solves relaxation_ through the failure-recovery ladder: on
-  /// rrp::NumericalError retry with Bland pricing, then forced
-  /// refactorisation, then a bounded deterministic cost perturbation;
-  /// rethrows only when every rung fails.
-  lp::Solution solve_with_recovery();
+  /// Applies the node's integer bounds to the worker's solver and runs
+  /// the recovery ladder (warm started from node.start when enabled).
+  lp::Solution solve_node_lp(WorkerState& ws, const Node& node);
+
+  /// Solves the worker's current LP state through the failure-recovery
+  /// ladder: warm/cold attempt, then on rrp::NumericalError retry with
+  /// Bland pricing, then forced refactorisation, then a bounded
+  /// deterministic in-place cost perturbation; rethrows only when every
+  /// rung fails.
+  lp::Solution solve_with_recovery(WorkerState& ws, const lp::Basis* start);
 
   /// Returns the index (into int_vars_) of the branching variable, or
   /// int_vars_.size() when the point is integral.
-  std::size_t pick_branch_var(const std::vector<double>& x) const;
+  std::size_t pick_branch_var(const std::vector<double>& x);
 
-  void try_rounding_heuristic(const Node& node, const std::vector<double>& x);
+  void try_rounding_heuristic(WorkerState& ws, const Node& node,
+                              const std::vector<double>& x,
+                              const lp::Basis* start);
 
   void offer_incumbent(const std::vector<double>& x, double internal_obj);
 
+  double prune_margin(double incumbent) const {
+    return std::max(opt_.absolute_gap,
+                    opt_.relative_gap * (1.0 + std::fabs(incumbent)));
+  }
+
+  // -- frontier helpers (caller must hold mtx_) -------------------------
+  bool frontier_empty_locked() const {
+    return heap_.empty() && stack_.empty();
+  }
+  void push_locked(Node&& n) {
+    if (opt_.node_selection == NodeSelection::BestBound)
+      heap_.push(std::move(n));
+    else
+      stack_.push_back(std::move(n));
+  }
+  Node pop_locked() {
+    if (opt_.node_selection == NodeSelection::BestBound) {
+      Node n = heap_.top();
+      heap_.pop();
+      return n;
+    }
+    Node n = std::move(stack_.back());
+    stack_.pop_back();
+    return n;
+  }
+  double frontier_best_locked() const {
+    if (opt_.node_selection == NodeSelection::BestBound)
+      return heap_.empty() ? kInf : heap_.top().bound;
+    double best = kInf;
+    for (const Node& n : stack_) best = std::min(best, n.bound);
+    return best;
+  }
+  /// Proven global bound: the frontier plus every node currently being
+  /// processed by a worker (whose slot holds the node's parent bound, a
+  /// valid underestimate of its subtree).
+  double global_bound_locked() const {
+    double best = frontier_best_locked();
+    for (double b : in_flight_) best = std::min(best, b);
+    return best;
+  }
+
   const Model& model_;
   const BnbOptions& opt_;
-  lp::LinearProgram relaxation_;
+  const lp::LinearProgram relaxation_;  ///< immutable; workers copy it
   lp::SimplexOptions lp_opt_;  ///< opt_.lp with the inherited deadline
   double sense_mult_;
   std::vector<std::size_t> int_vars_;
   Pseudocosts pseudo_;
+  std::mutex pseudo_mtx_;  ///< pseudocost state is shared advisory data
+
+  // Shared tree-search state, guarded by mtx_ unless noted.
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  std::priority_queue<Node, std::vector<Node>, NodeBoundGreater> heap_;
+  std::deque<Node> stack_;
+  std::vector<double> in_flight_;  ///< per-worker bound slot; kInf = idle
+  std::size_t active_ = 0;         ///< workers currently processing a node
+  bool stop_ = false;
+  bool hit_node_limit_ = false;
+  bool hit_time_limit_ = false;
+  bool gap_met_ = false;
+  bool unbounded_ = false;
+  std::exception_ptr error_;
 
   bool have_incumbent_ = false;
   double incumbent_obj_ = kInf;  ///< internal (minimisation) space
   std::vector<double> incumbent_x_;
-  std::size_t nodes_ = 0;
-  std::size_t lp_iterations_ = 0;
-  std::size_t lp_recoveries_ = 0;
+  /// Lock-free mirror of incumbent_obj_ for pruning reads on the hot
+  /// path; lowered by compare-exchange, never raised.
+  std::atomic<double> incumbent_atomic_{kInf};
+  std::atomic<std::size_t> nodes_count_{0};  ///< nodes popped so far
 #if RRP_INVARIANTS_ENABLED
   double incumbent_feas_tol_ = 1e-6;
-  /// Unmodified relaxation (solve_relaxation mutates relaxation_'s
-  /// variable bounds); incumbents are checked against this copy.
-  lp::LinearProgram pristine_lp_;
 #endif
 };
 
-lp::Solution Solver::solve_relaxation(const Node& node) {
-  for (std::size_t k = 0; k < int_vars_.size(); ++k) {
-    relaxation_.set_variable_bounds(int_vars_[k], node.lo[k], node.hi[k]);
-  }
-  lp::Solution sol = solve_with_recovery();
-  lp_iterations_ += sol.iterations;
+lp::Solution Solver::solve_node_lp(WorkerState& ws, const Node& node) {
+  for (std::size_t k = 0; k < int_vars_.size(); ++k)
+    ws.solver.set_variable_bounds(int_vars_[k], node.lo[k], node.hi[k]);
+  lp::Solution sol = solve_with_recovery(ws, node.start.get());
+  ws.lp_iterations += sol.iterations;
+  if (ws.solver.last_solve_was_warm())
+    ++ws.warm_nodes;
+  else
+    ++ws.cold_nodes;
   return sol;
 }
 
-lp::Solution Solver::solve_with_recovery() {
+lp::Solution Solver::solve_with_recovery(WorkerState& ws,
+                                         const lp::Basis* start) {
+  const bool warm = opt_.warm_start && start != nullptr && !start->empty();
   try {
-    return lp::solve(relaxation_, lp_opt_);
+    return warm ? ws.solver.solve_from(*start, lp_opt_)
+                : ws.solver.solve(lp_opt_);
   } catch (const NumericalError&) {
-    // Fall through to the recovery ladder.
+    // Fall through to the recovery ladder (always cold from here on).
   }
 
   // Rung 1: Bland pricing — slower pivots, but immune to the cycling and
@@ -155,8 +296,8 @@ lp::Solution Solver::solve_with_recovery() {
   lp::SimplexOptions retry = lp_opt_;
   retry.pricing = lp::Pricing::Bland;
   try {
-    lp::Solution sol = lp::solve(relaxation_, retry);
-    ++lp_recoveries_;
+    lp::Solution sol = ws.solver.solve(retry);
+    ++ws.recoveries;
     return sol;
   } catch (const NumericalError&) {
   }
@@ -165,32 +306,36 @@ lp::Solution Solver::solve_with_recovery() {
   // accumulated eta-update drift cannot produce a vanishing pivot.
   retry.refactor_every = 1;
   try {
-    lp::Solution sol = lp::solve(relaxation_, retry);
-    ++lp_recoveries_;
+    lp::Solution sol = ws.solver.solve(retry);
+    ++ws.recoveries;
     return sol;
   } catch (const NumericalError&) {
   }
 
-  // Rung 3: bounded deterministic cost perturbation on a copy of the
-  // relaxation breaks exact dual ties.  The relative shift is <= 2^-30
-  // per coefficient, far below the solver tolerances, so the perturbed
-  // optimum is interchangeable with the true one at MIP precision.
-  lp::LinearProgram perturbed = relaxation_;
-  for (std::size_t j = 0; j < perturbed.num_variables(); ++j) {
-    const double c = perturbed.variable(j).objective;
+  // Rung 3: bounded deterministic cost perturbation, applied in place on
+  // the persistent solver and rolled back by the guard, breaks exact
+  // dual ties.  The relative shift is <= 2^-30 per coefficient, far
+  // below the solver tolerances, so the perturbed optimum is
+  // interchangeable with the true one at MIP precision.
+  ObjectiveGuard guard(ws.solver);
+  for (std::size_t j = 0; j < ws.solver.num_variables(); ++j) {
+    const double c = ws.solver.objective_coefficient(j);
     const double jitter =
         static_cast<double>((j * 2654435761ULL + 1ULL) % 1024ULL) / 1024.0;
-    perturbed.set_objective(
+    ws.solver.set_objective(
         j, c + 9.3e-10 * (1.0 + std::fabs(c)) * (jitter - 0.5));
   }
-  lp::Solution sol = lp::solve(perturbed, retry);  // rethrows on failure
-  ++lp_recoveries_;
+  lp::Solution sol = ws.solver.solve(retry);  // rethrows on failure
+  ++ws.recoveries;
   return sol;
 }
 
-std::size_t Solver::pick_branch_var(const std::vector<double>& x) const {
+std::size_t Solver::pick_branch_var(const std::vector<double>& x) {
   std::size_t best = int_vars_.size();
   double best_score = -kInf;
+  std::unique_lock<std::mutex> pseudo_lock;
+  if (opt_.branching == Branching::PseudoCost)
+    pseudo_lock = std::unique_lock(pseudo_mtx_);
   for (std::size_t k = 0; k < int_vars_.size(); ++k) {
     const double v = x[int_vars_[k]];
     const double frac = v - std::floor(v);
@@ -219,40 +364,216 @@ std::size_t Solver::pick_branch_var(const std::vector<double>& x) const {
 
 void Solver::offer_incumbent(const std::vector<double>& x,
                              double internal_obj) {
-  if (!have_incumbent_ || internal_obj < incumbent_obj_) {
-    have_incumbent_ = true;
-    incumbent_obj_ = internal_obj;
-    incumbent_x_ = x;
-    // Snap integer variables exactly.
-    for (std::size_t j : int_vars_)
-      incumbent_x_[j] = std::round(incumbent_x_[j]);
-#if RRP_INVARIANTS_ENABLED
-    // Incumbent feasibility: the snapped point must satisfy the original
-    // model (rows and bounds) and be exactly integral where required.
-    for (std::size_t j : int_vars_)
-      RRP_INVARIANT(incumbent_x_[j] == std::round(incumbent_x_[j]));
-    const double viol = pristine_lp_.max_violation(incumbent_x_);
-    RRP_INVARIANT_MSG(viol <= incumbent_feas_tol_,
-                      "incumbent violates the model by " +
-                          std::to_string(viol));
-#endif
+  // Monotone minimum on the lock-free mirror first, so concurrent
+  // workers prune against the freshest value without taking the lock.
+  double cur = incumbent_atomic_.load(std::memory_order_relaxed);
+  while (internal_obj < cur &&
+         !incumbent_atomic_.compare_exchange_weak(cur, internal_obj,
+                                                  std::memory_order_relaxed)) {
   }
+  std::lock_guard lock(mtx_);
+  if (have_incumbent_ && internal_obj >= incumbent_obj_) return;
+  have_incumbent_ = true;
+  incumbent_obj_ = internal_obj;
+  incumbent_x_ = x;
+  // Snap integer variables exactly.
+  for (std::size_t j : int_vars_)
+    incumbent_x_[j] = std::round(incumbent_x_[j]);
+#if RRP_INVARIANTS_ENABLED
+  // Incumbent feasibility: the snapped point must satisfy the original
+  // model (rows and bounds) and be exactly integral where required.
+  for (std::size_t j : int_vars_)
+    RRP_INVARIANT(incumbent_x_[j] == std::round(incumbent_x_[j]));
+  const double viol = relaxation_.max_violation(incumbent_x_);
+  RRP_INVARIANT_MSG(viol <= incumbent_feas_tol_,
+                    "incumbent violates the model by " + std::to_string(viol));
+#endif
 }
 
-void Solver::try_rounding_heuristic(const Node& node,
-                                    const std::vector<double>& x) {
+void Solver::try_rounding_heuristic(WorkerState& ws, const Node& node,
+                                    const std::vector<double>& x,
+                                    const lp::Basis* start) {
   // Fix every integer variable to the nearest integer inside the node
-  // bounds, then re-solve the LP for the continuous variables.
-  Node fixed = node;
+  // bounds, then re-solve the LP for the continuous variables.  The
+  // guard restores the node's bounds even when the solve throws.
+  BoundsGuard guard(ws.solver, int_vars_);
   for (std::size_t k = 0; k < int_vars_.size(); ++k) {
     double v = std::round(x[int_vars_[k]]);
     v = std::clamp(v, node.lo[k], node.hi[k]);
-    fixed.lo[k] = v;
-    fixed.hi[k] = v;
+    ws.solver.set_variable_bounds(int_vars_[k], v, v);
   }
-  lp::Solution sol = solve_relaxation(fixed);
+  lp::Solution sol = solve_with_recovery(ws, start);
+  ws.lp_iterations += sol.iterations;
   if (sol.status == lp::SolveStatus::Optimal) {
     offer_incumbent(sol.x, sense_mult_ * model_.objective_value(sol.x));
+  }
+}
+
+void Solver::process_node(WorkerState& ws, Node& node,
+                          std::size_t node_number) {
+  // Bound-based pruning against the incumbent, honouring both gap
+  // tolerances: a node whose bound cannot improve the incumbent by more
+  // than the configured gap is not worth expanding.
+  {
+    const double inc = incumbent_atomic_.load(std::memory_order_relaxed);
+    if (inc < kInf && node.bound >= inc - prune_margin(inc)) return;
+  }
+
+  lp::Solution sol = solve_node_lp(ws, node);
+  if (sol.status == lp::SolveStatus::TimeLimit) {
+    // The node's relaxation did not finish: return the node to the
+    // frontier (its parent bound is still valid) so the proven bound
+    // stays sound, then wind the search down.
+    std::lock_guard lock(mtx_);
+    push_locked(std::move(node));
+    hit_time_limit_ = true;
+    stop_ = true;
+    cv_.notify_all();
+    return;
+  }
+  if (sol.status == lp::SolveStatus::Infeasible) return;
+  if (sol.status == lp::SolveStatus::Unbounded) {
+    // A relaxation unbounded at the root means the MILP is unbounded or
+    // infeasible; report unbounded (standard convention).
+    std::lock_guard lock(mtx_);
+    unbounded_ = true;
+    stop_ = true;
+    cv_.notify_all();
+    return;
+  }
+  if (sol.status != lp::SolveStatus::Optimal) return;  // iter limit
+
+  const double node_obj = sense_mult_ * model_.objective_value(sol.x);
+  // Bound monotonicity: a child's relaxation can only tighten (grow, in
+  // minimisation space) relative to the bound inherited from its parent;
+  // a violation means the LP layer returned an inconsistent optimum or
+  // node bookkeeping got corrupted.
+  RRP_INVARIANT_MSG(
+      node_obj >= node.bound - 1e-5 * (1.0 + std::fabs(node_obj) +
+                                       std::fabs(node.bound)),
+      "child relaxation " + std::to_string(node_obj) +
+          " beats parent bound " + std::to_string(node.bound));
+  {
+    const double inc = incumbent_atomic_.load(std::memory_order_relaxed);
+    if (inc < kInf && node_obj >= inc - prune_margin(inc)) return;
+  }
+
+  // Export the node's basis immediately — heuristic probes below reuse
+  // the solver and would overwrite it.
+  std::shared_ptr<const lp::Basis> basis;
+  if (opt_.warm_start) {
+    lp::Basis b = ws.solver.basis();
+    if (!b.empty()) basis = std::make_shared<const lp::Basis>(std::move(b));
+  }
+
+  const std::size_t k = pick_branch_var(sol.x);
+  if (k == int_vars_.size()) {
+    offer_incumbent(sol.x, node_obj);
+    return;
+  }
+
+  if (opt_.rounding_heuristic && (node_number == 1 || node_number % 64 == 0))
+    try_rounding_heuristic(ws, node, sol.x, basis.get());
+
+  const std::size_t var = int_vars_[k];
+  const double v = sol.x[var];
+  const double frac = v - std::floor(v);
+
+  Node down = node;
+  down.hi[k] = std::floor(v);
+  down.bound = node_obj;
+  down.depth = node.depth + 1;
+  down.start = basis;
+  Node up = node;
+  up.lo[k] = std::ceil(v);
+  up.bound = node_obj;
+  up.depth = node.depth + 1;
+  up.start = basis;
+
+  // Record pseudocosts lazily by peeking at the children right away when
+  // pseudocost branching is active (strong-branching-lite).
+  if (opt_.branching == Branching::PseudoCost && node.depth < 4) {
+    lp::Solution dsol = solve_node_lp(ws, down);
+    lp::Solution usol = solve_node_lp(ws, up);
+    std::lock_guard plock(pseudo_mtx_);
+    if (dsol.status == lp::SolveStatus::Optimal)
+      pseudo_.record(var, false, frac,
+                     sense_mult_ * model_.objective_value(dsol.x) - node_obj);
+    if (usol.status == lp::SolveStatus::Optimal)
+      pseudo_.record(var, true, frac,
+                     sense_mult_ * model_.objective_value(usol.x) - node_obj);
+  }
+
+  std::lock_guard lock(mtx_);
+  // DFS dives toward the nearer integer first (pushed last).
+  if (frac >= 0.5) {
+    push_locked(std::move(down));
+    push_locked(std::move(up));
+  } else {
+    push_locked(std::move(up));
+    push_locked(std::move(down));
+  }
+  // Gap-based early termination against the proven global bound.
+  if (have_incumbent_) {
+    const double bound = std::min(global_bound_locked(), node_obj);
+    const double gap = incumbent_obj_ - bound;
+    if (gap <= opt_.absolute_gap ||
+        gap <= opt_.relative_gap * (1.0 + std::fabs(incumbent_obj_))) {
+      gap_met_ = true;
+      stop_ = true;
+    }
+  }
+  cv_.notify_all();
+}
+
+void Solver::worker(std::size_t w, WorkerState& ws) {
+  std::unique_lock lock(mtx_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return stop_ || !frontier_empty_locked() || active_ == 0;
+    });
+    if (stop_) return;
+    if (frontier_empty_locked()) return;  // active_ == 0: tree exhausted
+    if (nodes_count_.load(std::memory_order_relaxed) >= opt_.max_nodes) {
+      hit_node_limit_ = true;
+      stop_ = true;
+      cv_.notify_all();
+      return;
+    }
+    // Anytime contract: one deadline poll per node, taken outside the
+    // frontier lock (an injected FakeClock serialises internally).
+    lock.unlock();
+    const bool expired = opt_.deadline.expired();
+    lock.lock();
+    if (stop_) return;
+    if (expired) {
+      hit_time_limit_ = true;
+      stop_ = true;
+      cv_.notify_all();
+      return;
+    }
+    if (frontier_empty_locked()) continue;  // raced: another worker won
+    Node node = pop_locked();
+    const std::size_t node_number =
+        nodes_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ++active_;
+    in_flight_[w] = node.bound;
+    lock.unlock();
+    try {
+      process_node(ws, node, node_number);
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      stop_ = true;
+      --active_;
+      in_flight_[w] = kInf;
+      cv_.notify_all();
+      return;
+    }
+    lock.lock();
+    --active_;
+    in_flight_[w] = kInf;
+    if (stop_ || (frontier_empty_locked() && active_ == 0)) cv_.notify_all();
   }
 }
 
@@ -266,179 +587,60 @@ MipResult Solver::run() {
     root.lo[k] = model_.variable(int_vars_[k]).lo;
     root.hi[k] = model_.variable(int_vars_[k]).hi;
   }
+  push_locked(std::move(root));
 
-  // Two interchangeable frontiers: a heap for best-bound, a stack for DFS.
-  std::priority_queue<Node, std::vector<Node>, NodeBoundGreater> heap;
-  std::deque<Node> stack;
-  auto push = [&](Node&& n) {
-    if (opt_.node_selection == NodeSelection::BestBound)
-      heap.push(std::move(n));
-    else
-      stack.push_back(std::move(n));
-  };
-  auto empty = [&] { return heap.empty() && stack.empty(); };
-  auto pop = [&] {
-    if (opt_.node_selection == NodeSelection::BestBound) {
-      Node n = heap.top();
-      heap.pop();
-      return n;
-    }
-    Node n = std::move(stack.back());
-    stack.pop_back();
-    return n;
-  };
-  auto frontier_best_bound = [&] {
-    if (opt_.node_selection == NodeSelection::BestBound)
-      return heap.empty() ? kInf : heap.top().bound;
-    double best = kInf;
-    for (const Node& n : stack) best = std::min(best, n.bound);
-    return best;
-  };
+  std::size_t jobs = opt_.jobs;
+  if (jobs == 0)
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  in_flight_.assign(jobs, kInf);
+  std::vector<WorkerState> states;
+  states.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) states.emplace_back(relaxation_);
 
-  push(std::move(root));
-  double explored_bound_floor = -kInf;  // max lower bound among processed
-  bool hit_node_limit = false;
-  bool hit_time_limit = false;
+  if (jobs == 1) {
+    worker(0, states[0]);
+  } else {
+    TaskGroup group(global_pool());
+    for (std::size_t w = 1; w < jobs; ++w)
+      group.run([this, w, &states] { worker(w, states[w]); });
+    worker(0, states[0]);  // the caller participates
+    group.wait();
+  }
+  if (error_) std::rethrow_exception(error_);
 
-  while (!empty()) {
-    if (nodes_ >= opt_.max_nodes) {
-      hit_node_limit = true;
-      break;
-    }
-    // Anytime contract: one deadline poll per node; on expiry stop with
-    // the incumbent found so far and the frontier's proven bound.
-    if (opt_.deadline.expired()) {
-      hit_time_limit = true;
-      break;
-    }
-    Node node = pop();
-    ++nodes_;
-
-    // Bound-based pruning against the incumbent, honouring both gap
-    // tolerances: a node whose bound cannot improve the incumbent by
-    // more than the configured gap is not worth expanding.
-    const double prune_margin =
-        have_incumbent_
-            ? std::max(opt_.absolute_gap,
-                       opt_.relative_gap * (1.0 + std::fabs(incumbent_obj_)))
-            : 0.0;
-    if (have_incumbent_ && node.bound >= incumbent_obj_ - prune_margin)
-      continue;
-
-    lp::Solution sol = solve_relaxation(node);
-    if (sol.status == lp::SolveStatus::TimeLimit) {
-      // The node's relaxation did not finish: return the node to the
-      // frontier (its parent bound is still valid) so the proven bound
-      // stays sound, then wind down.
-      push(std::move(node));
-      hit_time_limit = true;
-      break;
-    }
-    if (sol.status == lp::SolveStatus::Infeasible) continue;
-    if (sol.status == lp::SolveStatus::Unbounded) {
-      // A relaxation unbounded at the root means the MILP is unbounded
-      // or infeasible; report unbounded (standard convention).
-      result.status = MipStatus::Unbounded;
-      result.nodes_explored = nodes_;
-      result.lp_iterations = lp_iterations_;
-      return result;
-    }
-    if (sol.status != lp::SolveStatus::Optimal) continue;  // iter limit
-
-    const double node_obj = sense_mult_ * model_.objective_value(sol.x);
-    // Bound monotonicity: a child's relaxation can only tighten (grow,
-    // in minimisation space) relative to the bound inherited from its
-    // parent; a violation means the LP layer returned an inconsistent
-    // optimum or node bookkeeping got corrupted.
-    RRP_INVARIANT_MSG(
-        node_obj >=
-            node.bound - 1e-5 * (1.0 + std::fabs(node_obj) +
-                                 std::fabs(node.bound)),
-        "child relaxation " + std::to_string(node_obj) +
-            " beats parent bound " + std::to_string(node.bound));
-    explored_bound_floor = std::max(explored_bound_floor, node.bound);
-    if (have_incumbent_ && node_obj >= incumbent_obj_ - prune_margin)
-      continue;
-
-    const std::size_t k = pick_branch_var(sol.x);
-    if (k == int_vars_.size()) {
-      offer_incumbent(sol.x, node_obj);
-      continue;
-    }
-
-    if (opt_.rounding_heuristic && (nodes_ == 1 || nodes_ % 64 == 0))
-      try_rounding_heuristic(node, sol.x);
-
-    const std::size_t var = int_vars_[k];
-    const double v = sol.x[var];
-    const double frac = v - std::floor(v);
-
-    Node down = node;
-    down.hi[k] = std::floor(v);
-    down.bound = node_obj;
-    down.depth = node.depth + 1;
-    Node up = node;
-    up.lo[k] = std::ceil(v);
-    up.bound = node_obj;
-    up.depth = node.depth + 1;
-
-    // Record pseudocosts lazily by peeking at the children right away
-    // when pseudocost branching is active (strong-branching-lite).
-    if (opt_.branching == Branching::PseudoCost && node.depth < 4) {
-      lp::Solution dsol = solve_relaxation(down);
-      if (dsol.status == lp::SolveStatus::Optimal)
-        pseudo_.record(var, false, frac,
-                       sense_mult_ * model_.objective_value(dsol.x) -
-                           node_obj);
-      lp::Solution usol = solve_relaxation(up);
-      if (usol.status == lp::SolveStatus::Optimal)
-        pseudo_.record(var, true, frac,
-                       sense_mult_ * model_.objective_value(usol.x) -
-                           node_obj);
-    }
-
-    // DFS dives toward the nearer integer first (pushed last).
-    if (frac >= 0.5) {
-      push(std::move(down));
-      push(std::move(up));
-    } else {
-      push(std::move(up));
-      push(std::move(down));
-    }
-
-    // Gap-based early termination.
-    if (have_incumbent_) {
-      const double bound = std::min(frontier_best_bound(), node_obj);
-      const double gap = incumbent_obj_ - bound;
-      if (gap <= opt_.absolute_gap ||
-          gap <= opt_.relative_gap * (1.0 + std::fabs(incumbent_obj_))) {
-        result.status = MipStatus::Optimal;
-        break;
-      }
-    }
+  result.nodes_explored = nodes_count_.load(std::memory_order_relaxed);
+  for (const WorkerState& ws : states) {
+    result.lp_iterations += ws.lp_iterations;
+    result.lp_failures_recovered += ws.recoveries;
+    result.warm_started_nodes += ws.warm_nodes;
+    result.cold_solved_nodes += ws.cold_nodes;
   }
 
-  result.nodes_explored = nodes_;
-  result.lp_iterations = lp_iterations_;
-  result.lp_failures_recovered = lp_recoveries_;
-  const bool hit_limit = hit_node_limit || hit_time_limit;
+  if (unbounded_) {
+    result.status = MipStatus::Unbounded;
+    return result;
+  }
+
+  const bool hit_limit = hit_node_limit_ || hit_time_limit_;
   if (!have_incumbent_) {
     // Without an incumbent a drained frontier proves infeasibility;
     // stopping on a limit proves nothing.
     result.status = hit_limit ? MipStatus::NoIncumbent : MipStatus::Infeasible;
-    result.best_bound = sense_mult_ * frontier_best_bound();
+    result.best_bound = sense_mult_ * frontier_best_locked();
     return result;
   }
-  if (hit_limit)
+  if (gap_met_)
+    result.status = MipStatus::Optimal;  // the gap proof beats a limit
+  else if (hit_limit)
     result.status =
-        hit_time_limit ? MipStatus::TimeLimit : MipStatus::NodeLimit;
-  else if (result.status != MipStatus::Optimal)
+        hit_time_limit_ ? MipStatus::TimeLimit : MipStatus::NodeLimit;
+  else
     result.status = MipStatus::Optimal;
 
   const double internal_bound =
       result.status == MipStatus::Optimal
           ? incumbent_obj_
-          : std::min(frontier_best_bound(), incumbent_obj_);
+          : std::min(frontier_best_locked(), incumbent_obj_);
   result.objective = sense_mult_ * incumbent_obj_;
   result.best_bound = sense_mult_ * internal_bound;
   result.x = incumbent_x_;

@@ -5,6 +5,22 @@
 // replacement.  It supports best-bound and depth-first node selection,
 // most-fractional / first-fractional / pseudocost branching, a rounding
 // heuristic for early incumbents, and relative/absolute gap termination.
+//
+// Two performance levers sit on top of the plain tree search:
+//
+//   * Warm starts — each node carries its parent's optimal basis and the
+//     node LP re-optimises from it with the dual simplex (a bound change
+//     keeps the parent basis dual feasible), via a persistent
+//     lp::SimplexSolver that reuses its factorisation and work buffers
+//     across nodes.  MipResult::warm_started_nodes /
+//     cold_solved_nodes report the split.
+//   * Parallel tree search — `jobs` workers pull nodes from a shared
+//     frontier (mutex-protected heap/stack on common::ThreadPool), each
+//     owning a thread-local SimplexSolver.  Pruning, deadline and
+//     anytime semantics are preserved exactly: a node whose LP times
+//     out returns to the frontier so the proven bound stays sound, and
+//     with zero gap tolerances the optimal objective is identical
+//     across any jobs count.
 #pragma once
 
 #include <cstddef>
@@ -45,6 +61,14 @@ struct BnbOptions {
   double absolute_gap = 1e-9;
   std::size_t max_nodes = 200000;
   bool rounding_heuristic = true;
+  /// Warm start node LPs from the parent node's optimal basis (dual
+  /// simplex re-optimisation).  Off = every node pays a cold two-phase
+  /// solve; kept as a switch so benchmarks and tests can compare.
+  bool warm_start = true;
+  /// Worker threads for the tree search.  1 (default) runs inline on
+  /// the calling thread; 0 means hardware concurrency; N > 1 fans the
+  /// frontier out over the shared rrp::ThreadPool.
+  std::size_t jobs = 1;
   /// Wall-clock budget for the whole solve (anytime contract): polled
   /// once per node and inherited by node LPs; on expiry the best
   /// incumbent and a valid proven bound are returned with status
@@ -63,6 +87,11 @@ struct MipResult {
   /// Node LPs that threw rrp::NumericalError and succeeded on a retry
   /// (Bland pricing, forced refactorisation, or cost perturbation).
   std::size_t lp_failures_recovered = 0;
+  /// Node relaxations re-optimised from the parent basis vs. solved by
+  /// the cold two-phase simplex (root nodes, failed warm starts, and
+  /// all nodes when BnbOptions::warm_start is off).
+  std::size_t warm_started_nodes = 0;
+  std::size_t cold_solved_nodes = 0;
 
   /// Relative optimality gap; 0 when proven optimal, +infinity when
   /// there is no incumbent or the proven bound is not finite.

@@ -1,0 +1,289 @@
+// Determinism and robustness of the parallel, warm-started branch &
+// bound (ISSUE 5).  The contract under test:
+//
+//   * With zero gap tolerances and most-fractional branching, the final
+//     optimal objective and proven bound are *bit-identical* across any
+//     jobs count — parallel exploration may visit a different set of
+//     nodes, but every pruned subtree is dominated by the incumbent, so
+//     the returned optimum cannot depend on scheduling.
+//   * Warm starts change the pivot paths (hence the tree), never the
+//     answer: warm-on vs warm-off agree to LP tolerance.
+//   * Injected LP failures and fake-clock deadlines are absorbed under
+//     parallelism exactly as in the serial solver (this file is part of
+//     the TSan suite — see tests/CMakeLists.txt and the CI matrix).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/deadline.hpp"
+#include "common/fault_injection.hpp"
+#include "common/rng.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace {
+
+using namespace rrp::milp;
+
+// Same random lot-sizing family as test_anytime_property.cpp: binary
+// setup y_t, continuous order alpha_t <= M*y_t, non-negative carried
+// inventory.  Always feasible.
+struct LotSizing {
+  std::vector<double> demand, price;
+  double setup_cost = 0.0, storage_cost = 0.0, big_m = 0.0;
+  std::vector<Var> y, alpha, beta;
+  Model model;
+
+  explicit LotSizing(rrp::Rng& rng, int min_horizon = 3, int extra = 5) {
+    const int horizon =
+        min_horizon + static_cast<int>(rng.uniform(0.0, 1.0 * extra));
+    setup_cost = rng.uniform(1.0, 8.0);
+    storage_cost = rng.uniform(0.05, 0.5);
+    double total_demand = 0.0;
+    for (int t = 0; t < horizon; ++t) {
+      demand.push_back(std::floor(rng.uniform(0.0, 6.0)));
+      price.push_back(rng.uniform(0.5, 4.0));
+      total_demand += demand.back();
+    }
+    big_m = total_demand + 1.0;
+    LinExpr cost;
+    for (int t = 0; t < horizon; ++t) {
+      y.push_back(model.add_binary());
+      alpha.push_back(model.add_continuous(0.0, big_m));
+      beta.push_back(model.add_continuous(0.0, big_m));
+      cost += setup_cost * LinExpr(y[t]) + price[t] * LinExpr(alpha[t]) +
+              storage_cost * LinExpr(beta[t]);
+      model.add_constraint(LinExpr(alpha[t]) - big_m * LinExpr(y[t]) <= 0.0);
+      LinExpr balance = LinExpr(alpha[t]) - LinExpr(beta[t]);
+      if (t > 0) balance += LinExpr(beta[t - 1]);
+      model.add_constraint(std::move(balance) == demand[t]);
+    }
+    model.set_objective(std::move(cost), Objective::Minimize);
+  }
+
+  void expect_feasible(const std::vector<double>& x) const {
+    const double tol = 1e-5;
+    double inventory = 0.0;
+    for (std::size_t t = 0; t < demand.size(); ++t) {
+      const double yt = x[y[t].id];
+      const double at = x[alpha[t].id];
+      EXPECT_NEAR(yt, std::round(yt), tol) << "y[" << t << "] not integral";
+      EXPECT_GE(at, -tol);
+      EXPECT_LE(at, big_m * yt + tol) << "order without setup at " << t;
+      inventory += at - demand[t];
+      EXPECT_GE(inventory, -tol) << "negative inventory at " << t;
+      EXPECT_NEAR(x[beta[t].id], inventory, tol);
+    }
+  }
+};
+
+// Zero gap margins + most-fractional branching: the settings under
+// which the final objective is exploration-order independent.
+BnbOptions exact_options() {
+  BnbOptions opt;
+  opt.absolute_gap = 0.0;
+  opt.relative_gap = 0.0;
+  opt.branching = Branching::MostFractional;
+  return opt;
+}
+
+TEST(ParallelBnb, BitIdenticalObjectiveAcrossJobCounts) {
+  rrp::Rng rng(42);
+  std::size_t parallel_multinode = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    LotSizing inst(rng);
+
+    BnbOptions opt = exact_options();
+    opt.jobs = 1;
+    const MipResult serial = solve(inst.model, opt);
+    ASSERT_EQ(serial.status, MipStatus::Optimal) << "trial " << trial;
+    inst.expect_feasible(serial.x);
+
+    for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+      opt.jobs = jobs;
+      const MipResult parallel = solve(inst.model, opt);
+      ASSERT_EQ(parallel.status, MipStatus::Optimal)
+          << "trial " << trial << " jobs " << jobs;
+      // Bit-identical, not approximately equal: parallel scheduling
+      // must not leak into the answer.
+      EXPECT_EQ(parallel.objective, serial.objective)
+          << "trial " << trial << " jobs " << jobs;
+      EXPECT_EQ(parallel.best_bound, serial.best_bound)
+          << "trial " << trial << " jobs " << jobs;
+      inst.expect_feasible(parallel.x);
+      if (parallel.nodes_explored > 1) ++parallel_multinode;
+    }
+  }
+  // The suite must actually exercise multi-node parallel trees, not
+  // just root solves.
+  EXPECT_GT(parallel_multinode, 10u);
+}
+
+TEST(ParallelBnb, DepthFirstAlsoDeterministicAcrossJobs) {
+  rrp::Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    LotSizing inst(rng);
+    BnbOptions opt = exact_options();
+    opt.node_selection = NodeSelection::DepthFirst;
+    opt.jobs = 1;
+    const MipResult serial = solve(inst.model, opt);
+    ASSERT_EQ(serial.status, MipStatus::Optimal);
+    opt.jobs = 8;
+    const MipResult parallel = solve(inst.model, opt);
+    ASSERT_EQ(parallel.status, MipStatus::Optimal);
+    EXPECT_EQ(parallel.objective, serial.objective) << "trial " << trial;
+  }
+}
+
+TEST(ParallelBnb, WarmStartsMatchColdSolvesAndAreCounted) {
+  rrp::Rng rng(2025);
+  std::size_t warm_total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    LotSizing inst(rng);
+
+    BnbOptions opt = exact_options();
+    opt.warm_start = false;
+    const MipResult cold = solve(inst.model, opt);
+    ASSERT_EQ(cold.status, MipStatus::Optimal) << "trial " << trial;
+    EXPECT_EQ(cold.warm_started_nodes, 0u);
+    EXPECT_GT(cold.cold_solved_nodes, 0u);
+
+    opt.warm_start = true;
+    const MipResult warm = solve(inst.model, opt);
+    ASSERT_EQ(warm.status, MipStatus::Optimal) << "trial " << trial;
+    // Warm vs cold may explore different trees (different alternative
+    // optima at a node), so the comparison is numeric, not bitwise.
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+    inst.expect_feasible(warm.x);
+    warm_total += warm.warm_started_nodes;
+    // Every counted LP is attached to a popped node (pruned nodes solve
+    // no LP, so the sum is at most nodes_explored and at least 1: the
+    // root always solves).
+    EXPECT_GE(warm.warm_started_nodes + warm.cold_solved_nodes, 1u);
+    EXPECT_LE(warm.warm_started_nodes + warm.cold_solved_nodes,
+              warm.nodes_explored);
+  }
+  // The point of the feature: most node LPs should actually warm start.
+  EXPECT_GT(warm_total, 20u);
+}
+
+TEST(ParallelBnb, JobsZeroMeansHardwareConcurrency) {
+  rrp::Rng rng(11);
+  LotSizing inst(rng);
+  BnbOptions opt = exact_options();
+  opt.jobs = 0;
+  const MipResult r = solve(inst.model, opt);
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  inst.expect_feasible(r.x);
+}
+
+TEST(ParallelBnb, AnytimeContractHoldsUnderParallelism) {
+  // Node and fake-clock time limits with 8 workers: every result must
+  // still be a well-formed anytime answer (feasible incumbent + sound
+  // bound, or an honest NoIncumbent).
+  rrp::Rng rng(321);
+  int limit_path = 0, optimal = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    LotSizing inst(rng, 4, 5);
+    const MipResult exact = solve(inst.model, exact_options());
+    ASSERT_EQ(exact.status, MipStatus::Optimal);
+
+    BnbOptions opt;
+    opt.jobs = 8;
+    opt.max_nodes = 1 + static_cast<std::size_t>(rng.uniform(0.0, 10.0));
+    rrp::common::FakeClock clock;
+    clock.set_auto_advance(1.0);
+    opt.deadline =
+        rrp::common::Deadline::after(rng.uniform(2.0, 120.0), clock);
+
+    const MipResult r = solve(inst.model, opt);
+    switch (r.status) {
+      case MipStatus::Optimal:
+        ++optimal;
+        EXPECT_NEAR(r.objective, exact.objective, 1e-5) << "trial " << trial;
+        break;
+      case MipStatus::TimeLimit:
+      case MipStatus::NodeLimit:
+        ++limit_path;
+        ASSERT_FALSE(r.x.empty()) << "trial " << trial;
+        inst.expect_feasible(r.x);
+        EXPECT_GE(r.objective, exact.objective - 1e-5);
+        EXPECT_LE(r.best_bound, r.objective + 1e-6);
+        EXPECT_LE(r.best_bound, exact.objective + 1e-6);
+        break;
+      case MipStatus::NoIncumbent:
+        ++limit_path;
+        EXPECT_TRUE(r.x.empty());
+        EXPECT_LE(r.best_bound, exact.objective + 1e-6);
+        break;
+      default:
+        FAIL() << "feasible model reported " << to_string(r.status)
+               << " in trial " << trial;
+    }
+  }
+  // The randomisation must hit both outcomes, not degenerate into one.
+  EXPECT_GT(limit_path, 8);
+  EXPECT_GT(optimal, 2);
+}
+
+TEST(ParallelBnbChaos, InjectedLpFailuresAreRecoveredInParallel) {
+  // FaultInjector-armed LP failures under 8 workers: the recovery
+  // ladder retries on the worker that hit the fault; the solve must
+  // still land on the exact optimum.  Run under TSan in CI.
+  rrp::Rng rng(99);
+  std::size_t recovered_total = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    LotSizing inst(rng);
+    const MipResult exact = solve(inst.model, exact_options());
+    ASSERT_EQ(exact.status, MipStatus::Optimal);
+
+    rrp::testing::FaultInjector inj;
+    // Each recovery rung's LP solve consumes one armed failure at entry,
+    // so <= 3 armed faults are always absorbed by the 4-attempt ladder
+    // even when they all land on the same node.
+    inj.arm_lp_failures(1 + static_cast<std::size_t>(rng.uniform(0.0, 3.0)));
+    BnbOptions opt = exact_options();
+    opt.jobs = 8;
+    opt.lp.fault_injector = &inj;
+
+    const MipResult r = solve(inst.model, opt);
+    ASSERT_EQ(r.status, MipStatus::Optimal) << "trial " << trial;
+    EXPECT_NEAR(r.objective, exact.objective, 1e-6) << "trial " << trial;
+    inst.expect_feasible(r.x);
+    recovered_total += r.lp_failures_recovered;
+  }
+  EXPECT_GT(recovered_total, 0u);
+}
+
+TEST(ParallelBnbChaos, FaultsAndDeadlinesTogetherStayWellFormed) {
+  // The full storm: armed LP failures *and* an expiring fake-clock
+  // deadline, 8 workers.  Whatever bites first, the result is either a
+  // feasible incumbent with a sound bound or an honest empty-handed
+  // status — never a crash, hang, or malformed point.
+  rrp::Rng rng(555);
+  for (int trial = 0; trial < 15; ++trial) {
+    LotSizing inst(rng, 4, 5);
+    rrp::testing::FaultInjector inj;
+    inj.arm_lp_failures(static_cast<std::size_t>(rng.uniform(0.0, 4.0)));
+    rrp::common::FakeClock clock;
+    clock.set_auto_advance(1.0);
+
+    BnbOptions opt;
+    opt.jobs = 8;
+    opt.lp.fault_injector = &inj;
+    opt.deadline =
+        rrp::common::Deadline::after(rng.uniform(2.0, 60.0), clock);
+
+    const MipResult r = solve(inst.model, opt);
+    if (!r.x.empty()) {
+      inst.expect_feasible(r.x);
+      EXPECT_LE(r.best_bound, r.objective + 1e-6) << "trial " << trial;
+    } else {
+      EXPECT_TRUE(r.status == MipStatus::NoIncumbent ||
+                  r.status == MipStatus::Infeasible)
+          << to_string(r.status) << " in trial " << trial;
+    }
+  }
+}
+
+}  // namespace

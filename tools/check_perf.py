@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a BENCH_solvers.json run against the
+checked-in baseline (bench/BENCH_solvers.baseline.json).
+
+The baseline stores deliberately conservative node-throughput floors
+(roughly a third of a developer workstation) so that normal CI-runner
+variance passes, while a real regression — e.g. warm starts silently
+disabled, or a per-node allocation creeping back in — trips the gate.
+
+Failure conditions:
+  * a benchmark's nodes_per_second drops more than --tolerance (default
+    25%) below its baseline floor;
+  * srrp_warm_speedup falls below the baseline's min_srrp_warm_speedup
+    (the ISSUE 5 acceptance bar: warm starts must at least double B&B
+    node throughput on the SRRP deterministic equivalent);
+  * a baseline benchmark is missing from the measured file.
+
+Usage: check_perf.py MEASURED_JSON BASELINE_JSON [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop below the baseline "
+                             "floor (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.measured) as f:
+        measured = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    measured_by_name = {r["name"]: r for r in measured.get("results", [])}
+    failures = []
+
+    for base in baseline.get("results", []):
+        name = base["name"]
+        if "nodes_per_second" not in base:
+            continue
+        got = measured_by_name.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from measured results")
+            continue
+        floor = base["nodes_per_second"] * (1.0 - args.tolerance)
+        actual = got.get("nodes_per_second", 0.0)
+        status = "ok" if actual >= floor else "FAIL"
+        print(f"{status:4} {name}: {actual:.0f} nodes/s "
+              f"(floor {floor:.0f}, baseline {base['nodes_per_second']:.0f})")
+        if actual < floor:
+            failures.append(
+                f"{name}: {actual:.0f} nodes/s below floor {floor:.0f}")
+
+    min_speedup = baseline.get("min_srrp_warm_speedup")
+    if min_speedup is not None:
+        speedup = measured.get("srrp_warm_speedup", 0.0)
+        status = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"{status:4} srrp_warm_speedup: {speedup:.2f}x "
+              f"(minimum {min_speedup:.2f}x)")
+        if speedup < min_speedup:
+            failures.append(
+                f"srrp_warm_speedup {speedup:.2f}x below {min_speedup:.2f}x")
+
+    if failures:
+        print("\nperf-smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

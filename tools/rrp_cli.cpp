@@ -157,7 +157,10 @@ int cmd_plan(const Args& args) {
   if (args.help()) {
     std::cout << "rrp plan [--class m1.large] [--hours 24] [--price P] "
                  "[--demand-mean 0.4] [--demand-sd 0.2] [--storage E] "
-                 "[--seed N]\n";
+                 "[--solver dp|milp] [--jobs N] [--seed N]\n"
+                 "  --solver milp solves the exact DRRP MILP by branch & "
+                 "bound (--jobs worker\n  threads, 0 = all cores); the "
+                 "default dp backend is the Wagner-Whitin recursion.\n";
     return 0;
   }
   const market::VmClass vm = market::from_name(args.get("class",
@@ -175,7 +178,23 @@ int cmd_plan(const Args& args) {
       args.get_double("price", market::info(vm).on_demand_hourly));
   inst.initial_storage = args.get_double("storage", 0.0);
 
-  const auto plan = core::solve_drrp_wagner_whitin(inst);
+  const std::string solver_name = args.get("solver", "dp");
+  core::RentalPlan plan;
+  if (solver_name == "milp") {
+    milp::BnbOptions solver;
+    solver.jobs = static_cast<std::size_t>(args.get_u64("jobs", 0));
+    plan = core::solve_drrp(inst, solver);
+  } else if (solver_name == "dp") {
+    plan = core::solve_drrp_wagner_whitin(inst);
+  } else {
+    std::cerr << "unknown solver: " << solver_name << " (want dp|milp)\n";
+    return 2;
+  }
+  if (!plan.feasible()) {
+    std::cerr << "rrp plan: solver returned " << milp::to_string(plan.status)
+              << "\n";
+    return 1;
+  }
   const auto naive = core::no_plan_schedule(inst);
 
   Table table("Plan for " + std::string(market::info(vm).name) + ", " +
@@ -191,6 +210,12 @@ int cmd_plan(const Args& args) {
             << Table::num(naive.cost.total(), 3) << " (saving "
             << Table::pct(1.0 - plan.cost.total() / naive.cost.total())
             << ")\n";
+  if (solver_name == "milp") {
+    const std::size_t total_lps =
+        plan.warm_started_nodes + plan.cold_solved_nodes;
+    std::cout << "b&b nodes " << plan.nodes_explored << ", warm-started LPs "
+              << plan.warm_started_nodes << "/" << total_lps << "\n";
+  }
   return 0;
 }
 
@@ -199,10 +224,14 @@ int cmd_simulate(const Args& args) {
     std::cout << "rrp simulate [--class c1.medium] [--hours 48] "
                  "[--policy sto-exp-mean|det-exp-mean|sto-predict|"
                  "det-predict|on-demand|no-plan] [--replan N] "
-                 "[--time-limit SECONDS] [--seed N] [--trace FILE]\n"
+                 "[--time-limit SECONDS] [--jobs N] [--seed N] "
+                 "[--trace FILE]\n"
                  "  --time-limit caps each re-plan solve (0 = unlimited); "
                  "on expiry the best\n  incumbent is used and failed "
-                 "re-plans degrade via the recovery ladder.\n";
+                 "re-plans degrade via the recovery ladder.\n"
+                 "  --jobs sets the branch & bound worker threads per "
+                 "re-plan solve\n  (0 = all cores; only the MILP backend "
+                 "parallelises).\n";
     return 0;
   }
   const market::VmClass vm = market::from_name(args.get("class",
@@ -246,6 +275,8 @@ int cmd_simulate(const Args& args) {
     return 2;
   }
   policy.replan_time_limit = time_limit;
+  const auto jobs = static_cast<std::size_t>(args.get_u64("jobs", 0));
+  policy.solver.jobs = jobs;
 
   const auto result = core::simulate_policy(in, policy);
   const double ideal = core::ideal_case_cost(in);
@@ -262,6 +293,19 @@ int cmd_simulate(const Args& args) {
   table.add_row({"compute", Table::num(result.cost.compute, 3)});
   table.add_row({"I/O+storage", Table::num(result.cost.holding, 3)});
   table.add_row({"transfer", Table::num(result.cost.transfer(), 3)});
+  table.add_row({"solver jobs",
+                 jobs == 0 ? "auto" : std::to_string(jobs)});
+  if (result.solver_nodes_explored > 0) {
+    table.add_row({"b&b nodes explored",
+                   std::to_string(result.solver_nodes_explored)});
+    const std::size_t total_lps = result.solver_warm_started_nodes +
+                                  result.solver_cold_solved_nodes;
+    if (total_lps > 0)
+      table.add_row(
+          {"warm-started LPs",
+           Table::pct(static_cast<double>(result.solver_warm_started_nodes) /
+                      static_cast<double>(total_lps))});
+  }
   table.add_row({"degraded re-plans",
                  std::to_string(result.degraded_replans())});
   if (result.degraded_replans() > 0) {
