@@ -10,7 +10,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace rrp::common {
 
@@ -37,7 +38,7 @@ class FakeClock final : public Clock {
   explicit FakeClock(double start_seconds = 0.0) : now_(start_seconds) {}
 
   double now_seconds() const override {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++reads_;
     const double t = now_;
     now_ += step_;
@@ -45,29 +46,29 @@ class FakeClock final : public Clock {
   }
 
   void set(double seconds) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     now_ = seconds;
   }
   void advance(double seconds) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     now_ += seconds;
   }
   void set_auto_advance(double seconds_per_read) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     step_ = seconds_per_read;
   }
 
   /// Number of now_seconds() calls so far (deadline polls observed).
   std::uint64_t reads() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return reads_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  mutable double now_ = 0.0;
-  double step_ = 0.0;
-  mutable std::uint64_t reads_ = 0;
+  mutable Mutex mutex_;
+  mutable double now_ RRP_GUARDED_BY(mutex_) = 0.0;
+  double step_ RRP_GUARDED_BY(mutex_) = 0.0;
+  mutable std::uint64_t reads_ RRP_GUARDED_BY(mutex_) = 0;
 };
 
 /// A point in time after which a solve must wind down.  Default-constructed

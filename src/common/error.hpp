@@ -48,6 +48,16 @@ class NumericalError : public Error {
   explicit NumericalError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a deadline expires inside an exact solver that has no
+/// anytime fallback (the Wagner-Whitin and scenario-tree DP paths).
+/// Anytime solvers (branch & bound) return a TimeLimit *status* with
+/// their best incumbent instead; the DPs have no partial answer that is
+/// sound to return, so expiry surfaces as this exception.
+class TimeLimitExceeded : public Error {
+ public:
+  explicit TimeLimitExceeded(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* cond,
                                        const char* file, int line) {

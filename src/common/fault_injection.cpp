@@ -31,42 +31,55 @@ const char* to_string(PriceFaultKind kind) {
 }
 
 void FaultInjector::inject_solver_timeout(std::size_t slot) {
+  MutexLock lock(mutex_);
   solver_faults_[slot] = SolverFaultKind::Timeout;
 }
 
 void FaultInjector::inject_solver_numerical_failure(std::size_t slot) {
+  MutexLock lock(mutex_);
   solver_faults_[slot] = SolverFaultKind::NumericalFailure;
 }
 
 void FaultInjector::inject_price_gap(std::size_t slot) {
+  MutexLock lock(mutex_);
   price_faults_[slot] = PriceFault{PriceFaultKind::Gap, 1.0};
 }
 
 void FaultInjector::inject_price_nan(std::size_t slot) {
+  MutexLock lock(mutex_);
   price_faults_[slot] = PriceFault{PriceFaultKind::Nan, 1.0};
 }
 
 void FaultInjector::inject_price_spike(std::size_t slot) {
-  inject_price_spike(slot, rng_.uniform(20.0, 100.0));
+  double factor;
+  {
+    MutexLock lock(mutex_);
+    factor = rng_.uniform(20.0, 100.0);
+  }
+  inject_price_spike(slot, factor);
 }
 
 void FaultInjector::inject_price_spike(std::size_t slot, double factor) {
   RRP_EXPECTS(std::isfinite(factor) && factor > 0.0);
+  MutexLock lock(mutex_);
   price_faults_[slot] = PriceFault{PriceFaultKind::Spike, factor};
 }
 
 void FaultInjector::inject_price_delay(std::size_t slot) {
+  MutexLock lock(mutex_);
   price_faults_[slot] = PriceFault{PriceFaultKind::Delayed, 1.0};
 }
 
 std::optional<SolverFaultKind> FaultInjector::solver_fault(
     std::size_t slot) const {
+  MutexLock lock(mutex_);
   const auto it = solver_faults_.find(slot);
   if (it == solver_faults_.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<PriceFault> FaultInjector::price_fault(std::size_t slot) const {
+  MutexLock lock(mutex_);
   const auto it = price_faults_.find(slot);
   if (it == price_faults_.end()) return std::nullopt;
   return it->second;

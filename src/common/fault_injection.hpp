@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 
 namespace rrp::testing {
 
@@ -54,8 +55,11 @@ class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
 
-  // The armed-LP-failure counter is consumed concurrently with reads of
-  // the schedule; keep the injector pinned to one place.
+  // The armed-LP-failure counter and the fault schedule are consumed
+  // concurrently (B&B workers, parallel re-plan sweeps); keep the
+  // injector pinned to one place.  The schedule maps are guarded by an
+  // internal mutex so tests may even reconfigure an injector while a
+  // solve is in flight.
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -103,13 +107,21 @@ class FaultInjector {
   std::optional<SolverFaultKind> solver_fault(std::size_t slot) const;
   std::optional<PriceFault> price_fault(std::size_t slot) const;
 
-  std::size_t num_solver_faults() const { return solver_faults_.size(); }
-  std::size_t num_price_faults() const { return price_faults_.size(); }
+  std::size_t num_solver_faults() const {
+    MutexLock lock(mutex_);
+    return solver_faults_.size();
+  }
+  std::size_t num_price_faults() const {
+    MutexLock lock(mutex_);
+    return price_faults_.size();
+  }
 
  private:
-  std::map<std::size_t, SolverFaultKind> solver_faults_;
-  std::map<std::size_t, PriceFault> price_faults_;
-  Rng rng_;
+  mutable Mutex mutex_;
+  std::map<std::size_t, SolverFaultKind> solver_faults_
+      RRP_GUARDED_BY(mutex_);
+  std::map<std::size_t, PriceFault> price_faults_ RRP_GUARDED_BY(mutex_);
+  Rng rng_ RRP_GUARDED_BY(mutex_);
   mutable std::atomic<std::size_t> armed_lp_failures_{0};
 };
 

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -33,7 +33,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto fut = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     RRP_EXPECTS(!stopping_);
     tasks_.push(std::move(packaged));
   }
@@ -50,7 +50,7 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   auto chunk = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
@@ -58,7 +58,7 @@ void ThreadPool::parallel_for(std::size_t n,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -75,7 +75,7 @@ void ThreadPool::parallel_for(std::size_t n,
 bool ThreadPool::try_execute_one() {
   std::packaged_task<void()> task;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop();
@@ -88,8 +88,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(lock);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -102,7 +102,7 @@ TaskGroup::~TaskGroup() {
   // Wait out stragglers so no task outlives the state it references; any
   // exception was either already rethrown by wait() or is dropped here
   // (destructors must not throw).
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   while (pending_ != 0) {
     lock.unlock();
     if (!pool_.try_execute_one()) {
@@ -117,20 +117,20 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::run(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++pending_;
   }
   pool_.submit([this, task = std::move(task)] {
     try {
       task();
     } catch (...) {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     // Notify under the mutex: once a waiter observes pending_ == 0 it
     // may destroy this TaskGroup, so the notify must be sequenced
     // before the waiter can re-acquire the lock and see the count.
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     --pending_;
     done_cv_.notify_all();
   });
@@ -139,7 +139,7 @@ void TaskGroup::run(std::function<void()> task) {
 void TaskGroup::wait() {
   for (;;) {
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (pending_ == 0) {
         std::exception_ptr err = std::exchange(first_error_, nullptr);
         lock.unlock();
@@ -149,7 +149,7 @@ void TaskGroup::wait() {
     }
     // Help: run queued pool tasks (ours or anyone's) instead of parking.
     if (!pool_.try_execute_one()) {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (pending_ == 0) continue;  // re-check the exit condition
       // A tracked task is running on a worker but the queue is empty;
       // nap briefly rather than spin (bounded because tracked tasks

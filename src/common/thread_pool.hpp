@@ -7,14 +7,14 @@
 // pre-sized slots; no cross-task RNG sharing.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace rrp {
 
@@ -50,10 +50,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ RRP_GUARDED_BY(mutex_);
+  bool stopping_ RRP_GUARDED_BY(mutex_) = false;
 };
 
 /// A work handle over a batch of pool tasks.  `run` enqueues a task that
@@ -84,10 +84,10 @@ class TaskGroup {
 
  private:
   ThreadPool& pool_;
-  std::mutex mutex_;
-  std::condition_variable done_cv_;
-  std::size_t pending_ = 0;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  CondVar done_cv_;
+  std::size_t pending_ RRP_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ RRP_GUARDED_BY(mutex_);
 };
 
 /// Shared process-wide pool for library internals.

@@ -66,7 +66,8 @@ FleetPlan aggregate(std::vector<FleetClassPlan> classes) {
 }  // namespace
 
 FleetPlan plan_fleet(const std::vector<FleetEntry>& entries,
-                     const market::CostModel& costs) {
+                     const market::CostModel& costs,
+                     const common::Deadline& deadline) {
   validate_entries(entries);
   std::vector<FleetClassPlan> classes(entries.size());
   global_pool().parallel_for(entries.size(), [&](std::size_t i) {
@@ -75,7 +76,7 @@ FleetPlan plan_fleet(const std::vector<FleetEntry>& entries,
     FleetClassPlan& out = classes[i];
     out.vm = e.vm;
     out.instances = e.instances;
-    out.per_instance = solve_drrp_wagner_whitin(inst);
+    out.per_instance = solve_drrp_wagner_whitin(inst, deadline);
     out.class_cost = scale(out.per_instance.cost,
                            static_cast<double>(e.instances));
   });

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "core/drrp.hpp"
 
 namespace rrp::core {
@@ -46,10 +47,14 @@ struct FleetPlan {
 
 /// Plans every class of the fleet (classes are independent, solved in
 /// parallel on the global thread pool).  Requires equal horizons across
-/// entries and instances >= 1.
+/// entries and instances >= 1.  The deadline is shared by every
+/// per-class solve; on expiry the whole plan throws
+/// rrp::TimeLimitExceeded (per-class Wagner-Whitin contract).
 FleetPlan plan_fleet(const std::vector<FleetEntry>& entries,
                      const market::CostModel& costs =
-                         market::CostModel::paper_defaults());
+                         market::CostModel::paper_defaults(),
+                     const common::Deadline& deadline =
+                         common::Deadline::unlimited());
 
 /// The no-planning fleet baseline (Figure 10 aggregated over classes).
 FleetPlan no_plan_fleet(const std::vector<FleetEntry>& entries,

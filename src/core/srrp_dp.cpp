@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -16,8 +17,11 @@ constexpr double kEps = 1e-9;
 /// DP engine over (vertex, entering inventory).
 class TreeDp {
  public:
-  explicit TreeDp(const SrrpInstance& inst)
-      : inst_(inst), tree_(inst.tree), V_(tree_.num_vertices()) {
+  TreeDp(const SrrpInstance& inst, const common::Deadline& deadline)
+      : inst_(inst),
+        deadline_(deadline),
+        tree_(inst.tree),
+        V_(tree_.num_vertices()) {
     cum_.assign(V_, 0.0);
     for (std::size_t u = 1; u < V_; ++u) {
       const auto& vert = tree_.vertex(u);
@@ -82,6 +86,14 @@ class TreeDp {
     const auto it = table.find(key_of(x));
     if (it != table.end()) return it->second.value;
 
+    // One poll per uncached state, the unit of real DP work (cache hits
+    // stay poll-free so a memo-heavy solve costs no clock reads).
+    if (deadline_.expired()) {
+      throw TimeLimitExceeded(
+          "solve_srrp_tree_dp: deadline expired while evaluating vertex " +
+          std::to_string(u));
+    }
+
     const double d = demand_at(u);
     const double p = prob(u);
     const std::size_t slot = slot_of(u);
@@ -139,6 +151,7 @@ class TreeDp {
   }
 
   const SrrpInstance& inst_;
+  const common::Deadline& deadline_;
   const ScenarioTree& tree_;
   std::size_t V_;
   std::vector<double> cum_;  ///< demand sum along the root path, per vertex
@@ -148,14 +161,15 @@ class TreeDp {
 
 }  // namespace
 
-SrrpPolicy solve_srrp_tree_dp(const SrrpInstance& inst) {
+SrrpPolicy solve_srrp_tree_dp(const SrrpInstance& inst,
+                              const common::Deadline& deadline) {
   inst.validate();
   if (inst.bottleneck_rate > 0.0 && !inst.bottleneck_capacity.empty()) {
     throw InvalidArgument(
         "the tree DP requires an uncapacitated instance; use the MILP "
         "for bottleneck-constrained planning");
   }
-  TreeDp dp(inst);
+  TreeDp dp(inst, deadline);
   return dp.run();
 }
 

@@ -16,12 +16,18 @@
 // Requires an uncapacitated instance (like Wagner-Whitin for DRRP).
 #pragma once
 
+#include "common/deadline.hpp"
 #include "core/srrp.hpp"
 
 namespace rrp::core {
 
 /// Solves SRRP exactly by dynamic programming over the scenario tree.
 /// Throws InvalidArgument when the bottleneck constraint is active.
-SrrpPolicy solve_srrp_tree_dp(const SrrpInstance& instance);
+/// The deadline is polled once per uncached (vertex, inventory) state;
+/// on expiry the solve throws rrp::TimeLimitExceeded (the memo table
+/// holds no sound partial policy).
+SrrpPolicy solve_srrp_tree_dp(
+    const SrrpInstance& instance,
+    const common::Deadline& deadline = common::Deadline::unlimited());
 
 }  // namespace rrp::core

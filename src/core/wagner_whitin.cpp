@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
 
 namespace rrp::core {
 
-RentalPlan solve_drrp_wagner_whitin(const DrrpInstance& inst) {
+RentalPlan solve_drrp_wagner_whitin(const DrrpInstance& inst,
+                                    const common::Deadline& deadline) {
   inst.validate();
   if (inst.bottleneck_rate > 0.0 && !inst.bottleneck_capacity.empty()) {
     throw InvalidArgument(
@@ -42,6 +44,12 @@ RentalPlan solve_drrp_wagner_whitin(const DrrpInstance& inst) {
   std::vector<std::size_t> choice(T, 0);
   f[T] = 0.0;
   for (std::size_t t = T; t-- > 0;) {
+    // One poll per stage: O(T) clock reads against O(T^2) DP work.
+    if (deadline.expired()) {
+      throw TimeLimitExceeded(
+          "solve_drrp_wagner_whitin: deadline expired at stage " +
+          std::to_string(t) + " of " + std::to_string(T));
+    }
     if (net[t] == 0.0) {
       f[t] = f[t + 1];
       choice[t] = t;  // skip

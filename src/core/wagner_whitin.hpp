@@ -12,13 +12,18 @@
 // simulator and as an independent oracle in the test suite.
 #pragma once
 
+#include "common/deadline.hpp"
 #include "core/drrp.hpp"
 
 namespace rrp::core {
 
 /// Solves the instance exactly by dynamic programming.  Requires the
 /// bottleneck constraint to be inactive (bottleneck_rate == 0 or no
-/// capacities); throws InvalidArgument otherwise.
-RentalPlan solve_drrp_wagner_whitin(const DrrpInstance& instance);
+/// capacities); throws InvalidArgument otherwise.  The deadline is
+/// polled once per DP stage; on expiry the solve throws
+/// rrp::TimeLimitExceeded (an exact DP has no sound partial answer).
+RentalPlan solve_drrp_wagner_whitin(
+    const DrrpInstance& instance,
+    const common::Deadline& deadline = common::Deadline::unlimited());
 
 }  // namespace rrp::core

@@ -165,7 +165,8 @@ void SimplexSolver::check_optimality(const std::vector<double>& cost) const {
   compute_duals(cost);
   for (std::size_t j = 0; j < total_; ++j) {
     if (status_[j] == BasisStatus::Basic) continue;
-    if (lb_[j] == ub_[j]) continue;  // fixed: any reduced cost is fine
+    if (lb_[j] == ub_[j])  // rrp-lint: allow(float-equality)
+      continue;  // fixed: any reduced cost is fine
     const double d = reduced_cost(j, cost);
     RRP_INVARIANT_MSG(std::isfinite(d),
                       "reduced cost of " + std::to_string(j) + " not finite");
@@ -221,7 +222,8 @@ SimplexSolver::PhaseResult SimplexSolver::run_phase(
     double best_score = dtol;
     for (std::size_t j = 0; j < total_; ++j) {
       if (status_[j] == BasisStatus::Basic) continue;
-      if (lb_[j] == ub_[j]) continue;  // fixed: can never move
+      if (lb_[j] == ub_[j])  // rrp-lint: allow(float-equality)
+        continue;  // fixed: can never move
       const double d = reduced_cost(j, cost);
       int cand_dir = 0;
       double score = 0.0;
@@ -389,7 +391,8 @@ SimplexSolver::DualResult SimplexSolver::run_dual(
     double best_ratio = kInfinity;
     for (std::size_t j = 0; j < total_; ++j) {
       if (status_[j] == BasisStatus::Basic) continue;
-      if (lb_[j] == ub_[j]) continue;  // fixed (includes pinned artificials)
+      if (lb_[j] == ub_[j])  // rrp-lint: allow(float-equality)
+        continue;  // fixed (includes pinned artificials)
       double alpha = 0.0;
       for (const Entry& e : cols_[j]) alpha += rho[e.col] * e.coeff;
       if (std::fabs(alpha) <= kPivotTol) continue;

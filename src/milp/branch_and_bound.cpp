@@ -3,12 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -16,6 +14,7 @@
 #include <vector>
 
 #include "common/invariant.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 
 namespace rrp::milp {
@@ -198,17 +197,17 @@ class Solver {
                     opt_.relative_gap * (1.0 + std::fabs(incumbent)));
   }
 
-  // -- frontier helpers (caller must hold mtx_) -------------------------
-  bool frontier_empty_locked() const {
+  // -- frontier helpers (compile-time contract: caller holds mtx_) ------
+  bool frontier_empty_locked() const RRP_REQUIRES(mtx_) {
     return heap_.empty() && stack_.empty();
   }
-  void push_locked(Node&& n) {
+  void push_locked(Node&& n) RRP_REQUIRES(mtx_) {
     if (opt_.node_selection == NodeSelection::BestBound)
       heap_.push(std::move(n));
     else
       stack_.push_back(std::move(n));
   }
-  Node pop_locked() {
+  Node pop_locked() RRP_REQUIRES(mtx_) {
     if (opt_.node_selection == NodeSelection::BestBound) {
       Node n = heap_.top();
       heap_.pop();
@@ -218,7 +217,7 @@ class Solver {
     stack_.pop_back();
     return n;
   }
-  double frontier_best_locked() const {
+  double frontier_best_locked() const RRP_REQUIRES(mtx_) {
     if (opt_.node_selection == NodeSelection::BestBound)
       return heap_.empty() ? kInf : heap_.top().bound;
     double best = kInf;
@@ -228,7 +227,7 @@ class Solver {
   /// Proven global bound: the frontier plus every node currently being
   /// processed by a worker (whose slot holds the node's parent bound, a
   /// valid underestimate of its subtree).
-  double global_bound_locked() const {
+  double global_bound_locked() const RRP_REQUIRES(mtx_) {
     double best = frontier_best_locked();
     for (double b : in_flight_) best = std::min(best, b);
     return best;
@@ -240,26 +239,30 @@ class Solver {
   lp::SimplexOptions lp_opt_;  ///< opt_.lp with the inherited deadline
   double sense_mult_;
   std::vector<std::size_t> int_vars_;
-  Pseudocosts pseudo_;
-  std::mutex pseudo_mtx_;  ///< pseudocost state is shared advisory data
+  Mutex pseudo_mtx_;  ///< pseudocost state is shared advisory data
+  Pseudocosts pseudo_ RRP_GUARDED_BY(pseudo_mtx_);
 
   // Shared tree-search state, guarded by mtx_ unless noted.
-  std::mutex mtx_;
-  std::condition_variable cv_;
-  std::priority_queue<Node, std::vector<Node>, NodeBoundGreater> heap_;
-  std::deque<Node> stack_;
-  std::vector<double> in_flight_;  ///< per-worker bound slot; kInf = idle
-  std::size_t active_ = 0;         ///< workers currently processing a node
-  bool stop_ = false;
-  bool hit_node_limit_ = false;
-  bool hit_time_limit_ = false;
-  bool gap_met_ = false;
-  bool unbounded_ = false;
-  std::exception_ptr error_;
+  Mutex mtx_;
+  CondVar cv_;
+  std::priority_queue<Node, std::vector<Node>, NodeBoundGreater> heap_
+      RRP_GUARDED_BY(mtx_);
+  std::deque<Node> stack_ RRP_GUARDED_BY(mtx_);
+  /// Per-worker bound slot; kInf = idle.
+  std::vector<double> in_flight_ RRP_GUARDED_BY(mtx_);
+  /// Workers currently processing a node.
+  std::size_t active_ RRP_GUARDED_BY(mtx_) = 0;
+  bool stop_ RRP_GUARDED_BY(mtx_) = false;
+  bool hit_node_limit_ RRP_GUARDED_BY(mtx_) = false;
+  bool hit_time_limit_ RRP_GUARDED_BY(mtx_) = false;
+  bool gap_met_ RRP_GUARDED_BY(mtx_) = false;
+  bool unbounded_ RRP_GUARDED_BY(mtx_) = false;
+  std::exception_ptr error_ RRP_GUARDED_BY(mtx_);
 
-  bool have_incumbent_ = false;
-  double incumbent_obj_ = kInf;  ///< internal (minimisation) space
-  std::vector<double> incumbent_x_;
+  bool have_incumbent_ RRP_GUARDED_BY(mtx_) = false;
+  /// Internal (minimisation) space.
+  double incumbent_obj_ RRP_GUARDED_BY(mtx_) = kInf;
+  std::vector<double> incumbent_x_ RRP_GUARDED_BY(mtx_);
   /// Lock-free mirror of incumbent_obj_ for pruning reads on the hot
   /// path; lowered by compare-exchange, never raised.
   std::atomic<double> incumbent_atomic_{kInf};
@@ -333,9 +336,12 @@ lp::Solution Solver::solve_with_recovery(WorkerState& ws,
 std::size_t Solver::pick_branch_var(const std::vector<double>& x) {
   std::size_t best = int_vars_.size();
   double best_score = -kInf;
-  std::unique_lock<std::mutex> pseudo_lock;
-  if (opt_.branching == Branching::PseudoCost)
-    pseudo_lock = std::unique_lock(pseudo_mtx_);
+  // The pseudocost store is only read under PseudoCost branching, but
+  // the lock is taken unconditionally: conditionally-held capabilities
+  // are inexpressible in the static contract, and outside PseudoCost
+  // mode pseudo_mtx_ is uncontended, so the acquire is a few nanoseconds
+  // against a per-node LP solve.
+  MutexLock pseudo_lock(pseudo_mtx_);
   for (std::size_t k = 0; k < int_vars_.size(); ++k) {
     const double v = x[int_vars_[k]];
     const double frac = v - std::floor(v);
@@ -371,7 +377,7 @@ void Solver::offer_incumbent(const std::vector<double>& x,
          !incumbent_atomic_.compare_exchange_weak(cur, internal_obj,
                                                   std::memory_order_relaxed)) {
   }
-  std::lock_guard lock(mtx_);
+  MutexLock lock(mtx_);
   if (have_incumbent_ && internal_obj >= incumbent_obj_) return;
   have_incumbent_ = true;
   incumbent_obj_ = internal_obj;
@@ -382,8 +388,10 @@ void Solver::offer_incumbent(const std::vector<double>& x,
 #if RRP_INVARIANTS_ENABLED
   // Incumbent feasibility: the snapped point must satisfy the original
   // model (rows and bounds) and be exactly integral where required.
+  // The comparison is exact by construction (just assigned a round()).
   for (std::size_t j : int_vars_)
-    RRP_INVARIANT(incumbent_x_[j] == std::round(incumbent_x_[j]));
+    RRP_INVARIANT(incumbent_x_[j] ==  // rrp-lint: allow(float-equality)
+                  std::round(incumbent_x_[j]));
   const double viol = relaxation_.max_violation(incumbent_x_);
   RRP_INVARIANT_MSG(viol <= incumbent_feas_tol_,
                     "incumbent violates the model by " + std::to_string(viol));
@@ -424,7 +432,7 @@ void Solver::process_node(WorkerState& ws, Node& node,
     // The node's relaxation did not finish: return the node to the
     // frontier (its parent bound is still valid) so the proven bound
     // stays sound, then wind the search down.
-    std::lock_guard lock(mtx_);
+    MutexLock lock(mtx_);
     push_locked(std::move(node));
     hit_time_limit_ = true;
     stop_ = true;
@@ -435,7 +443,7 @@ void Solver::process_node(WorkerState& ws, Node& node,
   if (sol.status == lp::SolveStatus::Unbounded) {
     // A relaxation unbounded at the root means the MILP is unbounded or
     // infeasible; report unbounded (standard convention).
-    std::lock_guard lock(mtx_);
+    MutexLock lock(mtx_);
     unbounded_ = true;
     stop_ = true;
     cv_.notify_all();
@@ -495,7 +503,7 @@ void Solver::process_node(WorkerState& ws, Node& node,
   if (opt_.branching == Branching::PseudoCost && node.depth < 4) {
     lp::Solution dsol = solve_node_lp(ws, down);
     lp::Solution usol = solve_node_lp(ws, up);
-    std::lock_guard plock(pseudo_mtx_);
+    MutexLock plock(pseudo_mtx_);
     if (dsol.status == lp::SolveStatus::Optimal)
       pseudo_.record(var, false, frac,
                      sense_mult_ * model_.objective_value(dsol.x) - node_obj);
@@ -504,7 +512,7 @@ void Solver::process_node(WorkerState& ws, Node& node,
                      sense_mult_ * model_.objective_value(usol.x) - node_obj);
   }
 
-  std::lock_guard lock(mtx_);
+  MutexLock lock(mtx_);
   // DFS dives toward the nearer integer first (pushed last).
   if (frac >= 0.5) {
     push_locked(std::move(down));
@@ -527,11 +535,9 @@ void Solver::process_node(WorkerState& ws, Node& node,
 }
 
 void Solver::worker(std::size_t w, WorkerState& ws) {
-  std::unique_lock lock(mtx_);
+  MutexLock lock(mtx_);
   for (;;) {
-    cv_.wait(lock, [&] {
-      return stop_ || !frontier_empty_locked() || active_ == 0;
-    });
+    while (!stop_ && frontier_empty_locked() && active_ != 0) cv_.wait(lock);
     if (stop_) return;
     if (frontier_empty_locked()) return;  // active_ == 0: tree exhausted
     if (nodes_count_.load(std::memory_order_relaxed) >= opt_.max_nodes) {
@@ -559,20 +565,24 @@ void Solver::worker(std::size_t w, WorkerState& ws) {
     ++active_;
     in_flight_[w] = node.bound;
     lock.unlock();
+    // Capture rather than handle under the lock: no capability
+    // transition may span the try/catch boundary (the static analysis
+    // does not model exceptional edges).
+    std::exception_ptr err;
     try {
       process_node(ws, node, node_number);
     } catch (...) {
-      lock.lock();
-      if (!error_) error_ = std::current_exception();
-      stop_ = true;
-      --active_;
-      in_flight_[w] = kInf;
-      cv_.notify_all();
-      return;
+      err = std::current_exception();
     }
     lock.lock();
     --active_;
     in_flight_[w] = kInf;
+    if (err) {
+      if (!error_) error_ = err;
+      stop_ = true;
+      cv_.notify_all();
+      return;
+    }
     if (stop_ || (frontier_empty_locked() && active_ == 0)) cv_.notify_all();
   }
 }
@@ -580,19 +590,26 @@ void Solver::worker(std::size_t w, WorkerState& ws) {
 MipResult Solver::run() {
   MipResult result;
 
-  Node root;
-  root.lo.resize(int_vars_.size());
-  root.hi.resize(int_vars_.size());
-  for (std::size_t k = 0; k < int_vars_.size(); ++k) {
-    root.lo[k] = model_.variable(int_vars_[k]).lo;
-    root.hi[k] = model_.variable(int_vars_[k]).hi;
-  }
-  push_locked(std::move(root));
-
   std::size_t jobs = opt_.jobs;
   if (jobs == 0)
     jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  in_flight_.assign(jobs, kInf);
+
+  {
+    // No worker is running yet, but the frontier fields carry a
+    // compile-time "hold mtx_" contract with no single-threaded
+    // exemption — and the uncontended acquire is free.
+    MutexLock lock(mtx_);
+    Node root;
+    root.lo.resize(int_vars_.size());
+    root.hi.resize(int_vars_.size());
+    for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+      root.lo[k] = model_.variable(int_vars_[k]).lo;
+      root.hi[k] = model_.variable(int_vars_[k]).hi;
+    }
+    push_locked(std::move(root));
+    in_flight_.assign(jobs, kInf);
+  }
+
   std::vector<WorkerState> states;
   states.reserve(jobs);
   for (std::size_t w = 0; w < jobs; ++w) states.emplace_back(relaxation_);
@@ -606,6 +623,12 @@ MipResult Solver::run() {
     worker(0, states[0]);  // the caller participates
     group.wait();
   }
+
+  // All workers have joined (TaskGroup::wait above), so this lock is
+  // uncontended; it closes the epilogue reads under the same capability
+  // contract the workers used, instead of relying on the join for
+  // visibility.
+  MutexLock lock(mtx_);
   if (error_) std::rethrow_exception(error_);
 
   result.nodes_explored = nodes_count_.load(std::memory_order_relaxed);

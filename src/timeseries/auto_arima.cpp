@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "timeseries/acf.hpp"
 #include "timeseries/series.hpp"
@@ -80,7 +80,7 @@ AutoArimaResult auto_arima(std::span<const double> x,
   std::vector<double> scores(grid.size(),
                              std::numeric_limits<double>::infinity());
   std::vector<SarimaModel> models(grid.size());
-  std::mutex mu;
+  Mutex mu;
   std::size_t evaluated = 0;
   global_pool().parallel_for(grid.size(), [&](std::size_t i) {
     SarimaModel m;
@@ -95,7 +95,7 @@ AutoArimaResult auto_arima(std::span<const double> x,
       case AutoArimaOptions::Criterion::Aicc: score = m.aicc; break;
       case AutoArimaOptions::Criterion::Bic: score = m.bic; break;
     }
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     scores[i] = score;
     models[i] = std::move(m);
     ++evaluated;

@@ -1,0 +1,20 @@
+// A scope guard constructed without a name is destroyed at the end of
+// the full expression: the mutex unlocks immediately and the "critical
+// section" below runs unguarded.  MutexLock's constructor is
+// [[nodiscard]] precisely so this mistake cannot compile under
+// -Werror=unused-result (GCC and Clang both enforce it).
+#include "common/sync.hpp"
+
+namespace {
+rrp::Mutex mu;
+int counter = 0;
+}  // namespace
+
+int bump() {
+#if defined(RRP_NC_BAD)
+  rrp::MutexLock{mu};  // temporary: the lock is gone before ++counter
+#else
+  rrp::MutexLock lock(mu);
+#endif
+  return ++counter;
+}

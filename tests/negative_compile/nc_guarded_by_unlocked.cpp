@@ -1,0 +1,29 @@
+// Reading an RRP_GUARDED_BY member without holding its mutex must be
+// rejected by Clang's -Wthread-safety analysis (this TU is exercised
+// only under Clang; the annotations are no-ops elsewhere).
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int get() {
+#if defined(RRP_NC_BAD)
+    return value_;  // no lock held: -Wthread-safety error
+#else
+    rrp::MutexLock lock(mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  rrp::Mutex mu_;
+  int value_ RRP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int probe() {
+  Counter c;
+  return c.get();
+}

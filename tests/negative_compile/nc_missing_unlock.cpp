@@ -1,0 +1,21 @@
+// A manually acquired mutex that is still held when the function
+// returns is a leak Clang's -Wthread-safety analysis rejects ("mutex is
+// still held at the end of function").
+#include "common/sync.hpp"
+
+namespace {
+rrp::Mutex mu;
+int value RRP_GUARDED_BY(mu) = 0;
+}  // namespace
+
+int poke() {
+#if defined(RRP_NC_BAD)
+  mu.lock();
+  return value;  // never unlocked: error
+#else
+  mu.lock();
+  const int v = value;
+  mu.unlock();
+  return v;
+#endif
+}

@@ -1,0 +1,18 @@
+// rrp::Mutex is a capability object: copying one would silently split
+// a single critical section into two unrelated locks.  Copies must not
+// compile.
+#include "common/sync.hpp"
+
+namespace {
+rrp::Mutex mu;
+}  // namespace
+
+int observe() {
+#if defined(RRP_NC_BAD)
+  rrp::Mutex copy = mu;  // copying a capability is always a bug
+  rrp::MutexLock lock(copy);
+#else
+  rrp::MutexLock lock(mu);
+#endif
+  return 0;
+}

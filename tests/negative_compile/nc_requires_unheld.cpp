@@ -1,0 +1,31 @@
+// Calling an RRP_REQUIRES(mu) function without holding mu must be
+// rejected by Clang's -Wthread-safety analysis.  This is the contract
+// the *_locked() helpers in the branch & bound solver rely on.
+#include "common/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  int pop() {
+#if defined(RRP_NC_BAD)
+    return pop_locked();  // caller does not hold mu_: error
+#else
+    rrp::MutexLock lock(mu_);
+    return pop_locked();
+#endif
+  }
+
+ private:
+  int pop_locked() RRP_REQUIRES(mu_) { return --size_; }
+
+  rrp::Mutex mu_;
+  int size_ RRP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int probe() {
+  Queue q;
+  return q.pop();
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/deadline.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/demand.hpp"
@@ -115,6 +116,27 @@ TEST(Fleet, SingleClassSingleInstanceDegeneratesToDrrp) {
   inst.compute_price.assign(24, 0.4);
   const RentalPlan expected = solve_drrp_wagner_whitin(inst);
   EXPECT_NEAR(plan.total_cost(), expected.cost.total(), 1e-9);
+}
+
+TEST(FleetDeadline, ExpiredDeadlineThrowsAcrossThePool) {
+  // The per-class solves run on the global thread pool; an expired
+  // deadline must surface as TimeLimitExceeded on the calling thread.
+  const auto entries = paper_fleet(31);
+  rrp::common::FakeClock clock(100.0);
+  const auto d = rrp::common::Deadline::after(0.0, clock);
+  EXPECT_THROW(
+      plan_fleet(entries, rrp::market::CostModel::paper_defaults(), d),
+      rrp::TimeLimitExceeded);
+}
+
+TEST(FleetDeadline, GenerousDeadlineMatchesUnlimited) {
+  const auto entries = paper_fleet(32);
+  rrp::common::FakeClock clock;
+  const auto d = rrp::common::Deadline::after(1e9, clock);
+  const FleetPlan bounded =
+      plan_fleet(entries, rrp::market::CostModel::paper_defaults(), d);
+  const FleetPlan unbounded = plan_fleet(entries);
+  EXPECT_NEAR(bounded.total_cost(), unbounded.total_cost(), 1e-12);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "common/deadline.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/demand.hpp"
@@ -165,6 +166,22 @@ TEST(TreeDp, RejectsCapacitatedInstances) {
   inst.bottleneck_rate = 1.0;
   inst.bottleneck_capacity.assign(2, 1.0);
   EXPECT_THROW(solve_srrp_tree_dp(inst), rrp::InvalidArgument);
+}
+
+TEST(TreeDpDeadline, ExpiredDeadlineThrows) {
+  const auto inst = random_tree_instance(4901, 3, 2, 0.0);
+  rrp::common::FakeClock clock(100.0);
+  const auto d = rrp::common::Deadline::after(0.0, clock);
+  EXPECT_THROW(solve_srrp_tree_dp(inst, d), rrp::TimeLimitExceeded);
+}
+
+TEST(TreeDpDeadline, GenerousDeadlineMatchesUnlimited) {
+  const auto inst = random_tree_instance(4902, 3, 2, 0.2);
+  rrp::common::FakeClock clock;
+  const auto d = rrp::common::Deadline::after(1e9, clock);
+  const SrrpPolicy bounded = solve_srrp_tree_dp(inst, d);
+  const SrrpPolicy unbounded = solve_srrp_tree_dp(inst);
+  EXPECT_NEAR(bounded.expected_cost, unbounded.expected_cost, 1e-12);
 }
 
 }  // namespace

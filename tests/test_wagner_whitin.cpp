@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 
+#include "common/deadline.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/demand.hpp"
@@ -127,6 +129,36 @@ TEST(WagnerWhitin, LargeEpsilonCoversEverything) {
   const RentalPlan fl =
       solve_drrp(inst, {}, DrrpFormulation::FacilityLocation);
   EXPECT_NEAR(ww.cost.total(), fl.cost.total(), 1e-6);
+}
+
+TEST(WagnerWhitinDeadline, ExpiredDeadlineThrows) {
+  const auto inst = random_instance(901, 24);
+  rrp::common::FakeClock clock(100.0);
+  const auto d = rrp::common::Deadline::after(0.0, clock);
+  EXPECT_THROW(solve_drrp_wagner_whitin(inst, d), rrp::TimeLimitExceeded);
+}
+
+TEST(WagnerWhitinDeadline, GenerousDeadlineMatchesUnlimited) {
+  const auto inst = random_instance(902, 24);
+  rrp::common::FakeClock clock;
+  const auto d = rrp::common::Deadline::after(1e9, clock);
+  const RentalPlan bounded = solve_drrp_wagner_whitin(inst, d);
+  const RentalPlan unbounded = solve_drrp_wagner_whitin(inst);
+  EXPECT_NEAR(bounded.cost.total(), unbounded.cost.total(), 1e-12);
+}
+
+TEST(WagnerWhitinDeadline, TimeLimitExceededIsAnRrpError) {
+  // The DP has no sound partial answer, so expiry surfaces through the
+  // ordinary error hierarchy with a diagnosable message.
+  const auto inst = random_instance(903, 8);
+  rrp::common::FakeClock clock(1.0);
+  const auto d = rrp::common::Deadline::after(-1.0, clock);
+  try {
+    solve_drrp_wagner_whitin(inst, d);
+    FAIL() << "expected rrp::TimeLimitExceeded";
+  } catch (const rrp::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
 }
 
 }  // namespace

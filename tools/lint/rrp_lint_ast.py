@@ -1,0 +1,638 @@
+#!/usr/bin/env python3
+"""AST-aware semantic linter for the rrp codebase (libclang-based).
+
+Complements the regex linter (rrp_lint.py) with rules that need real
+type and scope information:
+
+  raw-sync-primitive     std::mutex / std::lock_guard / std::unique_lock /
+                         std::condition_variable and friends are forbidden
+                         everywhere except src/common/sync.hpp; all other
+                         code must use the annotated rrp::Mutex /
+                         rrp::MutexLock / rrp::CondVar wrappers so Clang's
+                         -Wthread-safety analysis sees every lock site.
+  unnamed-lock-temporary A lock object constructed as a discarded
+                         temporary (`MutexLock{mu};`) unlocks at the end
+                         of the full expression, not the scope — a
+                         classic silent race.  Locks must be named.
+  solver-deadline-param  Public solver entry points (free functions named
+                         solve_* / plan_* / simulate_* in src/core and
+                         src/milp headers) must accept a deadline-carrying
+                         parameter (Deadline, BnbOptions, SimplexOptions,
+                         PolicyConfig, or SimulationInputs) so no solver
+                         can be invoked unboundedly.
+  float-equality         Exact ==/!= between floating-point values in
+                         solver numerics (src/lp, src/milp) is almost
+                         always a tolerance bug.  Comparisons against a
+                         literal zero or the kInfinity/kInf sentinels are
+                         exempt (exact by construction).
+  naked-new-delete       No new/delete expressions in library code
+                         (src/); placement new is exempt.
+
+Suppression: append `rrp-lint: allow(<rule>[, <rule>...])` in a comment
+on any line covered by the offending expression.
+
+The linter degrades gracefully: when libclang (python3-clang) is not
+installed it prints a notice and exits 0, so local checkouts without
+LLVM tooling are not blocked; CI passes --require to turn the missing
+dependency into a hard failure (exit 3).
+
+Architecture note: libclang cursors are converted into plain `Node`
+records (kind / spelling / canonical type / location / opcode /
+tokens) and every rule operates only on that neutral tree.  This keeps
+rule logic unit-testable with synthetic trees on machines without
+libclang (see test_rrp_lint.py).
+
+Usage: rrp_lint_ast.py [ROOT] [--quiet] [--require] [--list-rules]
+Exit status: 0 clean, 1 violations, 2 parse failure, 3 libclang missing
+(with --require).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob as globmod
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+HEADER_EXTENSIONS = (".hpp", ".h", ".hh")
+
+LINT_DIRS = ("src", "tools", "tests", "bench", "examples")
+# Deliberately-broken negative-compile TUs live here.
+EXCLUDE_DIRS = ("tests/negative_compile",)
+SYNC_HOME = "src/common/sync.hpp"  # the one home of raw std primitives
+
+ALLOW_RE = re.compile(r"rrp-lint:\s*allow\(([a-z0-9_,\s-]+)\)")
+
+# ---------------------------------------------------------------------------
+# Neutral AST representation (libclang-independent).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    """One AST node, reduced to what the rules need.
+
+    `kind` is the libclang CursorKind name (e.g. "VAR_DECL");
+    `type` is the *canonical* type spelling ("" when absent);
+    `opcode` is the operator token for BINARY_OPERATOR nodes;
+    `tokens` is populated only for literals and new-expressions.
+    """
+
+    kind: str
+    spelling: str = ""
+    type: str = ""
+    line: int = 0
+    col: int = 0
+    end_line: int = 0
+    opcode: str = ""
+    tokens: tuple = ()
+    children: list = field(default_factory=list)
+    parent: Optional["Node"] = None
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+def link_parents(node: Node, parent: Optional[Node] = None) -> Node:
+    """Fills in parent pointers; returns `node` (test helper + walker)."""
+    node.parent = parent
+    for c in node.children:
+        link_parents(c, node)
+    return node
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    end_line: int = 0  # last line of the offending expression
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Per-file inputs shared by every rule."""
+
+    path: str  # repo-relative, forward slashes
+    # line number -> set of rule names suppressed on that line
+    allow: dict = field(default_factory=dict)
+
+    def suppressed(self, rule: str, start_line: int, end_line: int) -> bool:
+        # An allow() comment anywhere on the offending expression's
+        # lines suppresses it (capped so a huge extent cannot slurp an
+        # unrelated suppression).
+        hi = max(start_line, min(end_line, start_line + 4))
+        for line in range(start_line, hi + 1):
+            if rule in self.allow.get(line, ()):
+                return True
+        return False
+
+
+def parse_allow_comments(text: str) -> dict:
+    allow: dict = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            allow.setdefault(lineno, set()).update(rules)
+    return allow
+
+
+# ---------------------------------------------------------------------------
+# Rules.  Each is a pure function (root Node, FileContext) -> [Finding].
+# ---------------------------------------------------------------------------
+
+# std::mutex et al., tolerating implementation inline namespaces
+# (std::__1::mutex under libc++).
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(__\w+::)?("
+    r"mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|"
+    r"condition_variable|condition_variable_any|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock"
+    r")\b"
+)
+
+# Scope-guard lock types whose discarded temporaries are races.
+LOCK_TYPE_RE = re.compile(
+    r"\b(rrp::MutexLock|std::(__\w+::)?"
+    r"(lock_guard|unique_lock|scoped_lock|shared_lock))\b"
+)
+
+# Wrapper kinds libclang interposes between an expression and its
+# syntactic parent (implicit casts, ExprWithCleanups, parens).
+TRANSPARENT_KINDS = {"UNEXPOSED_EXPR", "PAREN_EXPR"}
+
+SOLVER_NAME_RE = re.compile(r"^(solve|plan|simulate)(_|$)")
+DEADLINE_CARRIER_RE = re.compile(
+    r"\b(Deadline|BnbOptions|SimplexOptions|PolicyConfig|SimulationInputs)\b"
+)
+
+FLOAT_TYPE_RE = re.compile(r"^(const\s+|volatile\s+)*(float|double|long\s+double)$")
+INFINITY_SENTINELS = {"kInfinity", "kInf", "infinity"}
+
+# Node kinds that carry a declared/used type worth checking for rule 1.
+TYPED_DECL_KINDS = {
+    "VAR_DECL",
+    "FIELD_DECL",
+    "PARM_DECL",
+    "TYPE_REF",
+    "TYPE_ALIAS_DECL",
+    "TYPEDEF_DECL",
+    "CXX_TEMPORARY_OBJECT_EXPR",
+    "CXX_FUNCTIONAL_CAST_EXPR",
+}
+
+
+def in_dirs(path: str, dirs: Iterable[str]) -> bool:
+    return any(path == d or path.startswith(d + "/") for d in dirs)
+
+
+def rule_raw_sync_primitive(root: Node, ctx: FileContext) -> list:
+    if ctx.path == SYNC_HOME:
+        return []
+    findings = []
+    seen_lines = set()
+    for node in root.walk():
+        if node.kind not in TYPED_DECL_KINDS:
+            continue
+        m = RAW_SYNC_RE.search(node.type)
+        if not m:
+            continue
+        if node.line in seen_lines:  # VAR_DECL + its TYPE_REF child
+            continue
+        seen_lines.add(node.line)
+        findings.append(
+            Finding(
+                "raw-sync-primitive",
+                ctx.path,
+                node.line,
+                f"raw std::{m.group(2)} is forbidden outside "
+                f"{SYNC_HOME}; use the annotated rrp::Mutex / "
+                "rrp::MutexLock / rrp::CondVar wrappers",
+                end_line=node.end_line,
+            )
+        )
+    return findings
+
+
+def _first_meaningful_ancestor(node: Node) -> Optional[Node]:
+    p = node.parent
+    while p is not None and p.kind in TRANSPARENT_KINDS:
+        p = p.parent
+    return p
+
+
+def rule_unnamed_lock_temporary(root: Node, ctx: FileContext) -> list:
+    findings = []
+    ctor_kinds = {
+        "CXX_TEMPORARY_OBJECT_EXPR",
+        "CXX_FUNCTIONAL_CAST_EXPR",
+        "CALL_EXPR",
+        "CXX_UNRESOLVED_CONSTRUCT_EXPR",
+    }
+    for node in root.walk():
+        if node.kind not in ctor_kinds:
+            continue
+        m = LOCK_TYPE_RE.search(node.type)
+        if not m:
+            continue
+        anc = _first_meaningful_ancestor(node)
+        # Expression-statement position: the construct is a discarded
+        # full expression, so the lock is released immediately.
+        if anc is not None and anc.kind == "COMPOUND_STMT":
+            findings.append(
+                Finding(
+                    "unnamed-lock-temporary",
+                    ctx.path,
+                    node.line,
+                    f"{m.group(1)} temporary is destroyed at the end of "
+                    "this statement, releasing the lock immediately; "
+                    "name the guard (e.g. `MutexLock lock(mu);`)",
+                    end_line=node.end_line,
+                )
+            )
+    return findings
+
+
+def rule_solver_deadline_param(root: Node, ctx: FileContext) -> list:
+    if not in_dirs(ctx.path, ("src/core", "src/milp")):
+        return []
+    if not ctx.path.endswith(HEADER_EXTENSIONS):
+        return []
+    findings = []
+    for node in root.walk():
+        if node.kind != "FUNCTION_DECL":
+            continue
+        if not SOLVER_NAME_RE.match(node.spelling):
+            continue
+        parent = node.parent
+        if parent is not None and parent.kind not in (
+            "NAMESPACE",
+            "TRANSLATION_UNIT",
+            "LINKAGE_SPEC",
+        ):
+            continue  # methods / local declarations are out of scope
+        params = [c for c in node.children if c.kind == "PARM_DECL"]
+        if any(DEADLINE_CARRIER_RE.search(p.type) for p in params):
+            continue
+        findings.append(
+            Finding(
+                "solver-deadline-param",
+                ctx.path,
+                node.line,
+                f"public solver entry point '{node.spelling}' must accept "
+                "a deadline-carrying parameter (Deadline, BnbOptions, "
+                "SimplexOptions, PolicyConfig, or SimulationInputs) so "
+                "callers can bound its runtime",
+                end_line=node.line,
+            )
+        )
+    return findings
+
+
+def _strip_wrappers(node: Node) -> Node:
+    while node.kind in TRANSPARENT_KINDS and node.children:
+        node = node.children[0]
+    return node
+
+
+def _literal_zero(node: Node) -> bool:
+    node = _strip_wrappers(node)
+    if node.kind == "UNARY_OPERATOR" and node.children:
+        node = _strip_wrappers(node.children[0])
+    if node.kind not in ("INTEGER_LITERAL", "FLOATING_LITERAL"):
+        return False
+    for tok in node.tokens:
+        try:
+            return float(tok.rstrip("fFlLuU")) == 0.0
+        except ValueError:
+            continue
+    return False
+
+
+def _mentions_infinity(node: Node) -> bool:
+    return any(
+        n.spelling in INFINITY_SENTINELS
+        for n in node.walk()
+        if n.kind in ("DECL_REF_EXPR", "CALL_EXPR", "MEMBER_REF_EXPR")
+    )
+
+
+def rule_float_equality(root: Node, ctx: FileContext) -> list:
+    if not in_dirs(ctx.path, ("src/lp", "src/milp")):
+        return []
+    findings = []
+    for node in root.walk():
+        if node.kind != "BINARY_OPERATOR" or node.opcode not in ("==", "!="):
+            continue
+        if len(node.children) != 2:
+            continue
+        lhs, rhs = node.children
+        if not (FLOAT_TYPE_RE.match(lhs.type) and FLOAT_TYPE_RE.match(rhs.type)):
+            continue
+        if _literal_zero(lhs) or _literal_zero(rhs):
+            continue
+        if _mentions_infinity(lhs) or _mentions_infinity(rhs):
+            continue
+        findings.append(
+            Finding(
+                "float-equality",
+                ctx.path,
+                node.line,
+                f"exact floating-point '{node.opcode}' in solver numerics; "
+                "compare against a tolerance, or mark intentional exact "
+                "equality with `// rrp-lint: allow(float-equality)`",
+                end_line=node.end_line,
+            )
+        )
+    return findings
+
+
+def _is_placement_new(node: Node) -> bool:
+    toks = list(node.tokens)
+    for i, t in enumerate(toks):
+        if t == "new":
+            return i + 1 < len(toks) and toks[i + 1] == "("
+    return False
+
+
+def rule_naked_new_delete(root: Node, ctx: FileContext) -> list:
+    if not in_dirs(ctx.path, ("src",)):
+        return []
+    findings = []
+    for node in root.walk():
+        if node.kind == "CXX_NEW_EXPR" and not _is_placement_new(node):
+            findings.append(
+                Finding(
+                    "naked-new-delete",
+                    ctx.path,
+                    node.line,
+                    "naked new expression in library code; use containers, "
+                    "std::make_unique, or values",
+                    end_line=node.end_line,
+                )
+            )
+        elif node.kind == "CXX_DELETE_EXPR":
+            findings.append(
+                Finding(
+                    "naked-new-delete",
+                    ctx.path,
+                    node.line,
+                    "naked delete expression in library code; ownership "
+                    "must live in RAII types",
+                    end_line=node.end_line,
+                )
+            )
+    return findings
+
+
+RULES: list = [
+    ("raw-sync-primitive", rule_raw_sync_primitive),
+    ("unnamed-lock-temporary", rule_unnamed_lock_temporary),
+    ("solver-deadline-param", rule_solver_deadline_param),
+    ("float-equality", rule_float_equality),
+    ("naked-new-delete", rule_naked_new_delete),
+]
+
+
+def run_rules(root: Node, ctx: FileContext) -> list:
+    """Runs every rule on one file's tree, honouring allow() comments."""
+    findings = []
+    for _, rule in RULES:
+        for f in rule(root, ctx):
+            end = f.end_line if f.end_line else f.line
+            if not ctx.suppressed(f.rule, f.line, end):
+                findings.append(f)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# libclang front end.
+# ---------------------------------------------------------------------------
+
+
+def find_libclang() -> Optional[str]:
+    env = os.environ.get("RRP_LIBCLANG")
+    if env and os.path.exists(env):
+        return env
+    for pattern in (
+        "/usr/lib/llvm-*/lib/libclang.so*",
+        "/usr/lib/*/libclang-*.so*",
+        "/usr/lib/*/libclang.so*",
+        "/usr/local/lib/libclang*.so*",
+    ):
+        hits = sorted(globmod.glob(pattern), reverse=True)
+        if hits:
+            return hits[0]
+    return None
+
+
+def load_cindex():
+    """Returns a usable clang.cindex module, or None when absent."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    # cindex loads the shared library lazily on first use and cannot
+    # re-point afterwards, so pick the library file up front.
+    if not getattr(cindex.Config, "loaded", False):
+        lib = find_libclang()
+        if lib is not None:
+            try:
+                cindex.Config.set_library_file(lib)
+            except Exception:
+                pass
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+# Kinds whose (small) token streams the rules inspect.
+TOKENIZED_KINDS = {"CXX_NEW_EXPR", "INTEGER_LITERAL", "FLOATING_LITERAL"}
+
+
+def _safe_tokens(cursor) -> tuple:
+    try:
+        return tuple(t.spelling for t in cursor.get_tokens())
+    except Exception:
+        return ()
+
+
+def _binary_opcode(cursor) -> str:
+    """The operator token: first token at/after the left operand's end."""
+    children = list(cursor.get_children())
+    if len(children) != 2:
+        return ""
+    try:
+        left_end = children[0].extent.end.offset
+        for tok in cursor.get_tokens():
+            if tok.extent.start.offset >= left_end:
+                return tok.spelling
+    except Exception:
+        pass
+    return ""
+
+
+def build_tree(cindex, path: str, args: list) -> Node:
+    """Parses `path` and converts the in-file cursors to a Node tree.
+
+    Raises RuntimeError on hard parse errors (missing headers, syntax
+    errors) so broken input cannot silently pass the lint.
+    """
+    index = cindex.Index.create()
+    tu = index.parse(path, args=args)
+    errors = [
+        d
+        for d in tu.diagnostics
+        if d.severity >= cindex.Diagnostic.Error
+    ]
+    if errors:
+        detail = "; ".join(str(e) for e in errors[:5])
+        raise RuntimeError(f"{path}: parse failed: {detail}")
+
+    target = os.path.realpath(path)
+
+    def in_target(cursor) -> bool:
+        f = cursor.location.file
+        return f is not None and os.path.realpath(f.name) == target
+
+    def convert(cursor) -> Node:
+        kind = cursor.kind.name
+        try:
+            type_spelling = cursor.type.get_canonical().spelling
+        except Exception:
+            type_spelling = ""
+        node = Node(
+            kind=kind,
+            spelling=cursor.spelling or "",
+            type=type_spelling or "",
+            line=cursor.location.line,
+            col=cursor.location.column,
+            end_line=cursor.extent.end.line,
+        )
+        if kind == "BINARY_OPERATOR":
+            node.opcode = _binary_opcode(cursor)
+        if kind in TOKENIZED_KINDS:
+            node.tokens = _safe_tokens(cursor)
+        for child in cursor.get_children():
+            # Declarations pulled in from #includes live in other
+            # files; skip their whole subtrees.
+            if child.location.file is not None and not in_target(child):
+                continue
+            node.children.append(convert(child))
+        return node
+
+    root = convert(tu.cursor)
+    root.kind = "TRANSLATION_UNIT"
+    return link_parents(root)
+
+
+def default_args(root: str) -> list:
+    args = ["-xc++", "-std=c++20"]
+    for inc in ("src", "tests", "bench"):
+        d = os.path.join(root, inc)
+        if os.path.isdir(d):
+            args.append("-I" + d)
+    return args
+
+
+def lint_files(root: str) -> list:
+    files = []
+    for top in LINT_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if in_dirs(rel_dir, EXCLUDE_DIRS):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def lint_one(cindex, root: str, path: str, args: list) -> list:
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    ctx = FileContext(path=rel, allow=parse_allow_comments(text))
+    tree = build_tree(cindex, path, args)
+    return run_rules(tree, ctx)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default=".", help="repo root")
+    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 3) when libclang is unavailable instead of skipping",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    opts = parser.parse_args(argv)
+
+    if opts.list_rules:
+        for name, _ in RULES:
+            print(name)
+        return 0
+
+    cindex = load_cindex()
+    if cindex is None:
+        msg = (
+            "rrp_lint_ast: libclang (python3-clang) not available; "
+            "AST lint skipped"
+        )
+        if opts.require:
+            print(msg + " (--require: failing)", file=sys.stderr)
+            return 3
+        print(msg, file=sys.stderr)
+        return 0
+
+    root = os.path.abspath(opts.root)
+    args = default_args(root)
+    findings = []
+    parse_errors = []
+    for path in lint_files(root):
+        try:
+            findings.extend(lint_one(cindex, root, path, args))
+        except RuntimeError as err:
+            parse_errors.append(str(err))
+
+    for err in parse_errors:
+        print(f"rrp_lint_ast: {err}", file=sys.stderr)
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(f)
+    if parse_errors:
+        return 2
+    if findings:
+        if not opts.quiet:
+            print(
+                f"rrp_lint_ast: {len(findings)} violation(s)",
+                file=sys.stderr,
+            )
+        return 1
+    if not opts.quiet:
+        print("rrp_lint_ast: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
-"""Unit tests for rrp_lint: each rule must fire on a seeded violation and
-stay quiet on clean input, so CI can trust a clean run."""
+"""Unit tests for rrp_lint and rrp_lint_ast: each rule must fire on a
+seeded violation and stay quiet on clean input, so CI can trust a clean
+run.  The AST rules are tested twice: rule logic on synthetic Node trees
+(runs everywhere, no libclang needed) and end-to-end on real parses
+(skipped when libclang is unavailable)."""
 
 import contextlib
 import io
@@ -12,6 +15,8 @@ import unittest
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import rrp_lint  # noqa: E402
+import rrp_lint_ast  # noqa: E402
+from rrp_lint_ast import FileContext, Node, link_parents  # noqa: E402
 
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
@@ -179,6 +184,435 @@ class RepoTests(unittest.TestCase):
         violations = rrp_lint.lint(REPO_ROOT)
         self.assertEqual(
             violations, [], "\n".join(str(v) for v in violations)
+        )
+
+
+# ---------------------------------------------------------------------------
+# AST lint: rule logic on synthetic Node trees (libclang-free).
+# ---------------------------------------------------------------------------
+
+
+def N(kind, *children, **kw):
+    """Shorthand Node constructor for synthetic trees."""
+    return Node(kind=kind, children=list(children), **kw)
+
+
+def fired(tree, path, allow=None):
+    root = link_parents(N("TRANSLATION_UNIT", tree))
+    ctx = FileContext(path=path, allow=allow or {})
+    return {f.rule for f in rrp_lint_ast.run_rules(root, ctx)}
+
+
+class AstRawSyncPrimitiveTests(unittest.TestCase):
+    def test_std_mutex_member_fires(self):
+        tree = N("FIELD_DECL", spelling="mu_", type="std::mutex", line=4)
+        self.assertIn("raw-sync-primitive", fired(tree, "src/milp/x.cpp"))
+
+    def test_libcxx_inline_namespace_fires(self):
+        tree = N(
+            "VAR_DECL",
+            spelling="lk",
+            type="std::__1::unique_lock<std::__1::mutex>",
+            line=2,
+        )
+        self.assertIn("raw-sync-primitive", fired(tree, "tests/t.cpp"))
+
+    def test_sync_home_is_exempt(self):
+        tree = N("FIELD_DECL", type="std::condition_variable", line=9)
+        self.assertNotIn(
+            "raw-sync-primitive", fired(tree, "src/common/sync.hpp")
+        )
+
+    def test_wrapped_types_pass(self):
+        tree = N("FIELD_DECL", spelling="mu_", type="rrp::Mutex", line=4)
+        self.assertNotIn("raw-sync-primitive", fired(tree, "src/milp/x.cpp"))
+
+    def test_lookalike_names_pass(self):
+        # my::mutex or a spelling containing "mutex" must not fire.
+        tree = N("VAR_DECL", spelling="m", type="rrpd::mutex_stats", line=1)
+        self.assertNotIn("raw-sync-primitive", fired(tree, "src/core/x.cpp"))
+
+    def test_decl_and_type_ref_same_line_reported_once(self):
+        tree = N(
+            "VAR_DECL",
+            N("TYPE_REF", type="std::mutex", line=7),
+            spelling="mu",
+            type="std::mutex",
+            line=7,
+        )
+        root = link_parents(N("TRANSLATION_UNIT", tree))
+        ctx = FileContext(path="src/lp/x.cpp")
+        hits = [
+            f
+            for f in rrp_lint_ast.run_rules(root, ctx)
+            if f.rule == "raw-sync-primitive"
+        ]
+        self.assertEqual(len(hits), 1)
+
+
+class AstUnnamedLockTemporaryTests(unittest.TestCase):
+    def _temporary(self, type_spelling):
+        # CompoundStmt > ExprWithCleanups (UNEXPOSED_EXPR) > ctor expr:
+        # the shape libclang gives `MutexLock{mu};` as a statement.
+        return N(
+            "COMPOUND_STMT",
+            N(
+                "UNEXPOSED_EXPR",
+                N(
+                    "CXX_FUNCTIONAL_CAST_EXPR",
+                    type=type_spelling,
+                    line=3,
+                ),
+            ),
+        )
+
+    def test_discarded_mutexlock_temporary_fires(self):
+        tree = self._temporary("rrp::MutexLock")
+        self.assertIn("unnamed-lock-temporary", fired(tree, "src/lp/x.cpp"))
+
+    def test_discarded_std_lock_guard_fires(self):
+        tree = self._temporary("std::lock_guard<std::mutex>")
+        self.assertIn("unnamed-lock-temporary", fired(tree, "tests/t.cpp"))
+
+    def test_named_lock_passes(self):
+        tree = N(
+            "COMPOUND_STMT",
+            N(
+                "DECL_STMT",
+                N(
+                    "VAR_DECL",
+                    N("CALL_EXPR", type="rrp::MutexLock", line=3),
+                    spelling="lock",
+                    type="rrp::MutexLock",
+                    line=3,
+                ),
+            ),
+        )
+        self.assertNotIn(
+            "unnamed-lock-temporary", fired(tree, "src/lp/x.cpp")
+        )
+
+    def test_lock_passed_as_argument_passes(self):
+        tree = N(
+            "COMPOUND_STMT",
+            N(
+                "CALL_EXPR",
+                N("CXX_TEMPORARY_OBJECT_EXPR", type="rrp::MutexLock", line=3),
+                spelling="with_lock",
+                line=3,
+            ),
+        )
+        self.assertNotIn(
+            "unnamed-lock-temporary", fired(tree, "src/lp/x.cpp")
+        )
+
+
+class AstSolverDeadlineParamTests(unittest.TestCase):
+    def _solver(self, name, *param_types):
+        params = [
+            N("PARM_DECL", type=t, line=2) for t in param_types
+        ]
+        fn = N("FUNCTION_DECL", *params, spelling=name, line=2)
+        return N("NAMESPACE", fn, spelling="core", line=1)
+
+    def test_solver_without_deadline_fires(self):
+        tree = self._solver("solve_fast", "const rrp::core::DrrpInstance &")
+        self.assertIn(
+            "solver-deadline-param", fired(tree, "src/core/fast.hpp")
+        )
+
+    def test_deadline_param_passes(self):
+        tree = self._solver(
+            "solve_fast",
+            "const rrp::core::DrrpInstance &",
+            "const rrp::common::Deadline &",
+        )
+        self.assertNotIn(
+            "solver-deadline-param", fired(tree, "src/core/fast.hpp")
+        )
+
+    def test_options_carrier_passes(self):
+        tree = self._solver(
+            "solve", "const rrp::milp::Model &", "const rrp::milp::BnbOptions &"
+        )
+        self.assertNotIn(
+            "solver-deadline-param", fired(tree, "src/milp/bnb.hpp")
+        )
+
+    def test_non_solver_names_pass(self):
+        tree = self._solver("no_plan_fleet", "const std::vector<int> &")
+        self.assertNotIn(
+            "solver-deadline-param", fired(tree, "src/core/fleet.hpp")
+        )
+
+    def test_source_files_and_other_dirs_pass(self):
+        tree = self._solver("solve_fast", "int")
+        self.assertNotIn(
+            "solver-deadline-param", fired(tree, "src/core/fast.cpp")
+        )
+        self.assertNotIn(
+            "solver-deadline-param", fired(tree, "src/lp/fast.hpp")
+        )
+
+    def test_method_named_solve_passes(self):
+        # Member functions are CXX_METHOD (and sit under CLASS_DECL);
+        # the rule targets free functions only.
+        fn = N(
+            "CXX_METHOD",
+            N("PARM_DECL", type="int", line=3),
+            spelling="solve",
+            line=3,
+        )
+        tree = N("CLASS_DECL", fn, spelling="Solver", line=1)
+        self.assertNotIn(
+            "solver-deadline-param", fired(tree, "src/milp/bnb.hpp")
+        )
+
+
+class AstFloatEqualityTests(unittest.TestCase):
+    def _cmp(self, opcode, lhs, rhs, line=5):
+        return N(
+            "BINARY_OPERATOR", lhs, rhs, opcode=opcode, line=line,
+            end_line=line,
+        )
+
+    def _ref(self, spelling="x", type="double"):
+        return N("DECL_REF_EXPR", spelling=spelling, type=type, line=5)
+
+    def test_exact_double_equality_fires(self):
+        tree = self._cmp("==", self._ref("a"), self._ref("b"))
+        self.assertIn("float-equality", fired(tree, "src/lp/simplex.cpp"))
+
+    def test_exact_double_inequality_fires(self):
+        tree = self._cmp("!=", self._ref("a"), self._ref("b"))
+        self.assertIn("float-equality", fired(tree, "src/milp/bnb.cpp"))
+
+    def test_literal_zero_is_exempt(self):
+        zero = N(
+            "UNEXPOSED_EXPR",
+            N("FLOATING_LITERAL", type="double", tokens=("0.0",), line=5),
+            type="double",
+            line=5,
+        )
+        tree = self._cmp("==", self._ref("coeff"), zero)
+        self.assertNotIn("float-equality", fired(tree, "src/lp/model.cpp"))
+
+    def test_nonzero_literal_fires(self):
+        one = N(
+            "UNEXPOSED_EXPR",
+            N("FLOATING_LITERAL", type="double", tokens=("1.0",), line=5),
+            type="double",
+            line=5,
+        )
+        tree = self._cmp("==", self._ref("ratio"), one)
+        self.assertIn("float-equality", fired(tree, "src/lp/model.cpp"))
+
+    def test_infinity_sentinel_is_exempt(self):
+        tree = self._cmp(
+            "==", self._ref("bound"), self._ref("kInfinity")
+        )
+        self.assertNotIn("float-equality", fired(tree, "src/lp/model.cpp"))
+
+    def test_negated_infinity_sentinel_is_exempt(self):
+        neg = N(
+            "UNARY_OPERATOR",
+            self._ref("kInfinity"),
+            type="double",
+            line=5,
+        )
+        tree = self._cmp("==", self._ref("lo"), neg)
+        self.assertNotIn("float-equality", fired(tree, "src/lp/model.cpp"))
+
+    def test_allow_comment_suppresses(self):
+        tree = self._cmp("==", self._ref("a"), self._ref("b"))
+        rules = fired(
+            tree, "src/milp/bnb.cpp", allow={5: {"float-equality"}}
+        )
+        self.assertNotIn("float-equality", rules)
+
+    def test_allow_comment_on_expression_tail_suppresses(self):
+        # Multi-line comparison: the allow() marker may sit on any line
+        # the expression covers.
+        tree = self._cmp("==", self._ref("a"), self._ref("b"), line=5)
+        tree.end_line = 6
+        rules = fired(
+            tree, "src/milp/bnb.cpp", allow={6: {"float-equality"}}
+        )
+        self.assertNotIn("float-equality", rules)
+
+    def test_integer_comparison_passes(self):
+        tree = self._cmp(
+            "==",
+            self._ref("n", type="unsigned long"),
+            self._ref("m", type="unsigned long"),
+        )
+        self.assertNotIn("float-equality", fired(tree, "src/lp/x.cpp"))
+
+    def test_ordering_comparison_passes(self):
+        tree = self._cmp("<", self._ref("a"), self._ref("b"))
+        self.assertNotIn("float-equality", fired(tree, "src/lp/x.cpp"))
+
+    def test_out_of_scope_dirs_pass(self):
+        tree = self._cmp("==", self._ref("a"), self._ref("b"))
+        self.assertNotIn(
+            "float-equality", fired(tree, "src/core/wagner_whitin.cpp")
+        )
+
+
+class AstNakedNewDeleteTests(unittest.TestCase):
+    def test_new_expression_fires(self):
+        tree = N(
+            "CXX_NEW_EXPR", tokens=("new", "int", "(", "3", ")"), line=2
+        )
+        self.assertIn("naked-new-delete", fired(tree, "src/core/x.cpp"))
+
+    def test_placement_new_is_exempt(self):
+        tree = N(
+            "CXX_NEW_EXPR",
+            tokens=("new", "(", "buf", ")", "Node", "(", ")"),
+            line=2,
+        )
+        self.assertNotIn("naked-new-delete", fired(tree, "src/core/x.cpp"))
+
+    def test_delete_expression_fires(self):
+        tree = N("CXX_DELETE_EXPR", tokens=("delete", "p"), line=2)
+        self.assertIn("naked-new-delete", fired(tree, "src/lp/x.cpp"))
+
+    def test_outside_library_passes(self):
+        tree = N(
+            "CXX_NEW_EXPR", tokens=("new", "int", "(", "3", ")"), line=2
+        )
+        self.assertNotIn("naked-new-delete", fired(tree, "tests/t.cpp"))
+
+
+class AstHelperTests(unittest.TestCase):
+    def test_parse_allow_comments(self):
+        allow = rrp_lint_ast.parse_allow_comments(
+            "double x;\n"
+            "x == y;  // rrp-lint: allow(float-equality)\n"
+            "// rrp-lint: allow(raw-sync-primitive, naked-new-delete)\n"
+        )
+        self.assertEqual(allow[2], {"float-equality"})
+        self.assertEqual(
+            allow[3], {"raw-sync-primitive", "naked-new-delete"}
+        )
+        self.assertNotIn(1, allow)
+
+    def test_rule_names_are_registered(self):
+        self.assertEqual(
+            [name for name, _ in rrp_lint_ast.RULES],
+            [
+                "raw-sync-primitive",
+                "unnamed-lock-temporary",
+                "solver-deadline-param",
+                "float-equality",
+                "naked-new-delete",
+            ],
+        )
+
+
+# ---------------------------------------------------------------------------
+# AST lint: end-to-end on real libclang parses (skipped without libclang).
+# ---------------------------------------------------------------------------
+
+CINDEX = rrp_lint_ast.load_cindex()
+
+
+@unittest.skipUnless(CINDEX is not None, "libclang not available")
+class AstEndToEndTests(unittest.TestCase):
+    def lint_snippet(self, code, pseudo_path, args=("-xc++", "-std=c++17")):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".cpp", delete=False
+        ) as f:
+            f.write(code)
+            path = f.name
+        self.addCleanup(os.unlink, path)
+        tree = rrp_lint_ast.build_tree(CINDEX, path, list(args))
+        ctx = FileContext(
+            path=pseudo_path,
+            allow=rrp_lint_ast.parse_allow_comments(code),
+        )
+        return rrp_lint_ast.run_rules(tree, ctx)
+
+    def test_raw_mutex_and_discarded_lock_fire(self):
+        findings = self.lint_snippet(
+            "#include <mutex>\n"
+            "std::mutex g_m;\n"
+            "void f() {\n"
+            "  std::lock_guard<std::mutex>{g_m};\n"
+            "}\n",
+            "src/milp/fake.cpp",
+        )
+        rules = {f.rule for f in findings}
+        self.assertIn("raw-sync-primitive", rules)
+        self.assertIn("unnamed-lock-temporary", rules)
+
+    def test_named_lock_does_not_fire_unnamed_rule(self):
+        findings = self.lint_snippet(
+            "#include <mutex>\n"
+            "std::mutex g_m;\n"
+            "void f() {\n"
+            "  std::lock_guard<std::mutex> lock(g_m);\n"
+            "}\n",
+            "src/milp/fake.cpp",
+        )
+        rules = {f.rule for f in findings}
+        self.assertNotIn("unnamed-lock-temporary", rules)
+
+    def test_float_equality_and_exemptions(self):
+        findings = self.lint_snippet(
+            "constexpr double kInfinity = 1e300;\n"
+            "bool f(double a, double b) {\n"
+            "  bool x = (a == b);\n"
+            "  bool y = (a == 0.0);\n"
+            "  bool z = (a == kInfinity);\n"
+            "  bool w = (a == b);  // rrp-lint: allow(float-equality)\n"
+            "  return x && y && z && w;\n"
+            "}\n",
+            "src/lp/fake.cpp",
+        )
+        lines = [f.line for f in findings if f.rule == "float-equality"]
+        self.assertEqual(lines, [3])
+
+    def test_solver_without_deadline_param_fires(self):
+        findings = self.lint_snippet(
+            "namespace rrp::common { struct Deadline {}; }\n"
+            "namespace rrp::core {\n"
+            "int solve_thing(int horizon);\n"
+            "int solve_bounded(int horizon,\n"
+            "                  const rrp::common::Deadline& deadline);\n"
+            "}\n",
+            "src/core/fake.hpp",
+        )
+        hits = [f for f in findings if f.rule == "solver-deadline-param"]
+        self.assertEqual([f.line for f in hits], [3])
+
+    def test_naked_new_fires_and_placement_is_exempt(self):
+        findings = self.lint_snippet(
+            "#include <new>\n"
+            "alignas(int) char buf[sizeof(int)];\n"
+            "int* leak() { return new int(3); }\n"
+            "int* place() { return new (buf) int(4); }\n"
+            "void free_it(int* p) { delete p; }\n",
+            "src/core/fake.cpp",
+        )
+        hits = sorted(
+            f.line for f in findings if f.rule == "naked-new-delete"
+        )
+        self.assertEqual(hits, [3, 5])
+
+
+@unittest.skipUnless(CINDEX is not None, "libclang not available")
+class AstRepoTests(unittest.TestCase):
+    def test_repository_is_ast_clean(self):
+        args = rrp_lint_ast.default_args(REPO_ROOT)
+        findings = []
+        for path in rrp_lint_ast.lint_files(REPO_ROOT):
+            findings.extend(
+                rrp_lint_ast.lint_one(CINDEX, REPO_ROOT, path, args)
+            )
+        self.assertEqual(
+            findings, [], "\n".join(str(f) for f in findings)
         )
 
 
