@@ -70,6 +70,58 @@ void FaultInjector::inject_price_delay(std::size_t slot) {
   price_faults_[slot] = PriceFault{PriceFaultKind::Delayed, 1.0};
 }
 
+void FaultInjector::inject_revocation(std::size_t slot) {
+  double fraction;
+  {
+    MutexLock lock(mutex_);
+    fraction = rng_.uniform(0.05, 0.95);
+  }
+  inject_revocation(slot, fraction);
+}
+
+void FaultInjector::inject_revocation(std::size_t slot, double fraction) {
+  RRP_EXPECTS(std::isfinite(fraction) && fraction > 0.0 && fraction < 1.0);
+  MutexLock lock(mutex_);
+  revocation_faults_[slot] = RevocationFault{false, fraction};
+}
+
+void FaultInjector::inject_revocation_storm(std::size_t slot) {
+  double fraction;
+  {
+    MutexLock lock(mutex_);
+    fraction = rng_.uniform(0.05, 0.95);
+  }
+  inject_revocation_storm(slot, fraction);
+}
+
+void FaultInjector::inject_revocation_storm(std::size_t slot,
+                                            double fraction) {
+  RRP_EXPECTS(std::isfinite(fraction) && fraction > 0.0 && fraction < 1.0);
+  MutexLock lock(mutex_);
+  revocation_faults_[slot] = RevocationFault{true, fraction};
+}
+
+std::size_t FaultInjector::schedule_revocations(std::size_t horizon,
+                                                double rate,
+                                                double storm_rate) {
+  RRP_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  RRP_EXPECTS(storm_rate >= 0.0 && storm_rate <= 1.0);
+  MutexLock lock(mutex_);
+  std::size_t armed = 0;
+  for (std::size_t slot = 0; slot < horizon; ++slot) {
+    // Fixed draw count per slot: the timeline for slot t never depends
+    // on which earlier slots were armed.
+    const double u_hit = rng_.uniform();
+    const double u_storm = rng_.uniform();
+    const double fraction = rng_.uniform(0.05, 0.95);
+    if (u_hit >= rate) continue;
+    revocation_faults_[slot] =
+        RevocationFault{u_storm < storm_rate, fraction};
+    ++armed;
+  }
+  return armed;
+}
+
 std::optional<SolverFaultKind> FaultInjector::solver_fault(
     std::size_t slot) const {
   MutexLock lock(mutex_);
@@ -82,6 +134,14 @@ std::optional<PriceFault> FaultInjector::price_fault(std::size_t slot) const {
   MutexLock lock(mutex_);
   const auto it = price_faults_.find(slot);
   if (it == price_faults_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RevocationFault> FaultInjector::revocation_fault(
+    std::size_t slot) const {
+  MutexLock lock(mutex_);
+  const auto it = revocation_faults_.find(slot);
+  if (it == revocation_faults_.end()) return std::nullopt;
   return it->second;
 }
 

@@ -51,6 +51,14 @@ struct PriceFault {
   double spike_factor = 1.0;
 };
 
+/// Armed revocation of a held spot instance (ISSUE 7).  Fires when the
+/// rolling-horizon loop holds a won spot instance at the armed slot;
+/// slots without a spot acquisition ignore the fault.
+struct RevocationFault {
+  bool storm = false;      ///< class-wide storm vs single reclaim
+  double fraction = 0.5;   ///< slot fraction at which the revocation hits
+};
+
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
@@ -75,6 +83,22 @@ class FaultInjector {
   void inject_price_spike(std::size_t slot);
   void inject_price_spike(std::size_t slot, double factor);
   void inject_price_delay(std::size_t slot);
+
+  // -- revocation faults (one per slot; re-injecting overwrites) --------
+  /// Arms a single-instance revocation with a seeded interruption
+  /// fraction drawn uniformly from [0.05, 0.95).
+  void inject_revocation(std::size_t slot);
+  void inject_revocation(std::size_t slot, double fraction);
+  /// Arms a class-wide revocation storm (seeded fraction).
+  void inject_revocation_storm(std::size_t slot);
+  void inject_revocation_storm(std::size_t slot, double fraction);
+  /// Seeded bulk schedule over slots [0, horizon): each slot is armed
+  /// with a single revocation with probability `rate` and upgraded to a
+  /// storm with probability `storm_rate` (independent draws from the
+  /// injector seed, so the timeline is a pure function of seed +
+  /// arguments).  Returns the number of slots armed.
+  std::size_t schedule_revocations(std::size_t horizon, double rate,
+                                   double storm_rate = 0.0);
 
   // -- LP-level failures -----------------------------------------------
   /// Arms the next `count` calls into rrp::lp::solve (via
@@ -106,6 +130,7 @@ class FaultInjector {
   // -- queries -----------------------------------------------------------
   std::optional<SolverFaultKind> solver_fault(std::size_t slot) const;
   std::optional<PriceFault> price_fault(std::size_t slot) const;
+  std::optional<RevocationFault> revocation_fault(std::size_t slot) const;
 
   std::size_t num_solver_faults() const {
     MutexLock lock(mutex_);
@@ -115,12 +140,18 @@ class FaultInjector {
     MutexLock lock(mutex_);
     return price_faults_.size();
   }
+  std::size_t num_revocation_faults() const {
+    MutexLock lock(mutex_);
+    return revocation_faults_.size();
+  }
 
  private:
   mutable Mutex mutex_;
   std::map<std::size_t, SolverFaultKind> solver_faults_
       RRP_GUARDED_BY(mutex_);
   std::map<std::size_t, PriceFault> price_faults_ RRP_GUARDED_BY(mutex_);
+  std::map<std::size_t, RevocationFault> revocation_faults_
+      RRP_GUARDED_BY(mutex_);
   Rng rng_ RRP_GUARDED_BY(mutex_);
   mutable std::atomic<std::size_t> armed_lp_failures_{0};
 };

@@ -42,14 +42,19 @@ struct DrrpInstance {
   void validate() const;
 };
 
-/// Cost decomposition in the terms of paper Figure 10 (lower panel).
+/// Cost decomposition in the terms of paper Figure 10 (lower panel),
+/// plus the interruption term of the revocation-aware simulator.
 struct CostBreakdown {
   double compute = 0.0;       ///< sum Cp * chi
   double holding = 0.0;       ///< sum (Cs + Cio) * beta — "I/O+Storage"
   double transfer_in = 0.0;   ///< sum C+f * Phi * alpha
   double transfer_out = 0.0;  ///< sum C-f * D
+  /// Revocation consequences (checkpoint overhead, restart and
+  /// migration fees); always 0 for planned schedules — only the
+  /// rolling-horizon simulator realises interruptions (ISSUE 7).
+  double interruption = 0.0;
   double total() const {
-    return compute + holding + transfer_in + transfer_out;
+    return compute + holding + transfer_in + transfer_out + interruption;
   }
   /// "Transfer" as plotted by the paper: in + out.
   double transfer() const { return transfer_in + transfer_out; }

@@ -24,6 +24,10 @@ struct EvaluationConfig {
   DemandConfig demand;
   double initial_storage = 0.0;
   std::uint64_t seed = 2012;
+  /// Revocation regime the trials run under (default: disabled, which
+  /// reproduces the pre-revocation evaluation bit for bit).  Each trial
+  /// derives its own model seed from this config's seed + trial index.
+  market::RevocationConfig revocation;
 };
 
 struct PolicyStats {
@@ -33,6 +37,10 @@ struct PolicyStats {
   double mean_overpay = 0.0;     ///< vs the per-trial ideal case
   double ci_half_width = 0.0;    ///< 95% CI on the mean cost
   double mean_out_of_bid = 0.0;
+  // --- Interruption-aware columns (all zero with revocations off) ---
+  double mean_revocations = 0.0;        ///< revoked slots per trial
+  double mean_work_lost = 0.0;          ///< slot-fractions redone per trial
+  double mean_interruption_cost = 0.0;  ///< checkpoint + restart + migration
   std::vector<double> per_trial_cost;
 };
 
@@ -53,5 +61,28 @@ SimulationInputs make_trial_inputs(const EvaluationConfig& config,
 /// differences are paired).
 EvaluationResult evaluate_policies(const EvaluationConfig& config,
                                    const std::vector<PolicyConfig>& policies);
+
+/// One named interruption regime of the hostile-market study.
+struct InterruptionRegime {
+  std::string name;
+  market::RevocationConfig config;
+};
+
+/// The three regimes of the revocation evaluation: "calm" (bid-crossing
+/// only), "bid-cross" (plus out-of-band hazards) and "storm" (plus
+/// correlated storms).
+std::vector<InterruptionRegime> standard_interruption_regimes();
+
+struct RegimeResult {
+  std::string regime;
+  EvaluationResult result;
+};
+
+/// Runs evaluate_policies once per regime (same trials, same market
+/// windows — only the revocation process changes), so the table isolates
+/// how each policy degrades as the market turns hostile.
+std::vector<RegimeResult> evaluate_under_regimes(
+    const EvaluationConfig& config, const std::vector<PolicyConfig>& policies,
+    const std::vector<InterruptionRegime>& regimes);
 
 }  // namespace rrp::core

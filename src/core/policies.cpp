@@ -93,4 +93,12 @@ std::vector<PolicyConfig> figure12a_policies() {
           det_exp_mean_policy(), sto_exp_mean_policy()};
 }
 
+std::vector<PolicyConfig> interruption_policies() {
+  PolicyConfig ww = det_exp_mean_policy();
+  ww.name = "wagner-whitin";
+  ww.replan_every = 6;  // committed schedule rides through revocations
+  return {no_plan_policy(), on_demand_policy(), det_exp_mean_policy(),
+          std::move(ww), sto_exp_mean_policy()};
+}
+
 }  // namespace rrp::core

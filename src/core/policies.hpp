@@ -104,4 +104,11 @@ PolicyConfig sto_markov_policy();
 /// All five evaluated policies of Figure 12(a), in plot order.
 std::vector<PolicyConfig> figure12a_policies();
 
+/// The hostile-market comparison set (revocation-aware evaluation):
+/// no-plan, on-demand, DRRP and SRRP with expected-mean bids, plus a
+/// "wagner-whitin" cadence variant that commits its DRRP schedule for 6
+/// slots — maximally exposed to mid-plan revocations, which is exactly
+/// what the interruption table is meant to surface.
+std::vector<PolicyConfig> interruption_policies();
+
 }  // namespace rrp::core

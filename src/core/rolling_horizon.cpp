@@ -54,6 +54,17 @@ void SimulationInputs::validate() const {
   }
   check_prices(actual_spot, "actual_spot");
   check_prices(history, "history");
+  if (!intra_slot_max.empty() && intra_slot_max.size() != demand.size())
+    reject("SimulationInputs: intra_slot_max has " +
+           std::to_string(intra_slot_max.size()) +
+           " slots but demand has " + std::to_string(demand.size()));
+  check_prices(intra_slot_max, "intra_slot_max");
+  if (!trace_revocations.empty() &&
+      trace_revocations.size() != demand.size())
+    reject("SimulationInputs: trace_revocations has " +
+           std::to_string(trace_revocations.size()) +
+           " slots but demand has " + std::to_string(demand.size()));
+  revocation.validate();
   if (std::isnan(initial_storage))
     reject("SimulationInputs: initial_storage is NaN");
   if (initial_storage < 0.0 || !std::isfinite(initial_storage))
@@ -80,6 +91,15 @@ const char* to_string(FallbackAction action) {
   return "unknown";
 }
 
+const char* to_string(RevocationRecovery recovery) {
+  switch (recovery) {
+    case RevocationRecovery::ReacquiredSpot: return "reacquired-spot";
+    case RevocationRecovery::MigratedType: return "migrated-type";
+    case RevocationRecovery::OnDemandBackstop: return "on-demand-backstop";
+  }
+  return "unknown";
+}
+
 namespace {
 
 constexpr double kPriceFloor = 1e-4;
@@ -95,6 +115,12 @@ class PolicyRunner {
         lambda_(market::info(inputs.vm).on_demand_hourly) {
     in_.validate();
     cfg_.validate();
+
+    // Constructed even when the model is disabled: injector-armed
+    // revocations still need the per-slot interruption fractions and the
+    // checkpoint arithmetic, and an unconditional member keeps the
+    // decision stream a pure function of (revocation config, horizon).
+    revocation_.emplace(in_.revocation, in_.horizon());
 
     // Fit window: the tail of the pre-evaluation history.
     const std::size_t window = std::min(cfg_.fit_window, in_.history.size());
@@ -164,8 +190,19 @@ class PolicyRunner {
   bool needs_replan(std::size_t t) const;
 
   /// Settles acquisition of one instance-slot given the decision to
-  /// rent; fills rented/won/bid/price_paid.
+  /// rent; fills rented/won/spot/bid/price_paid.
   void settle_rental(SlotRecord& rec, std::size_t t, double bid);
+
+  /// Revocation consequences for slot t's acquisition: charges the
+  /// checkpoint insurance on held spot instances, asks the model (or an
+  /// injector-armed fault) whether the instance dies mid-slot, and if so
+  /// reprices the slot through the interruption-recovery ladder
+  /// (re-acquire spot -> migrate type -> on-demand backstop).
+  void apply_revocation(std::size_t t, SlotRecord& rec);
+
+  /// Cross-type migration target: the first evaluation class that is
+  /// not the instance's own (Shastri & Irwin style diversification).
+  market::VmClass migration_target() const;
 
   /// Appends slot t's price tick to the observed series, routing it
   /// through the injector (feed faults) and the sanitiser.  Settlement
@@ -186,6 +223,7 @@ class PolicyRunner {
   EmpiricalPriceDistribution base_dist_{{1.0}, {1.0}};
   std::optional<ts::SarimaModel> sarima_;
   std::optional<MarkovPriceModel> markov_;
+  std::optional<market::RevocationModel> revocation_;
   SimulationResult result_;
 
   // --- Cached plan state (replan_every > 1, paper Section V-D). ---
@@ -252,12 +290,14 @@ void PolicyRunner::settle_rental(SlotRecord& rec, std::size_t t,
   rec.rented = true;
   if (cfg_.bids == BidStrategy::OnDemandAlways) {
     rec.won = true;  // no auction: a guaranteed on-demand rental
+    rec.spot = false;
     rec.bid = lambda_;
     rec.price_paid = lambda_;
     return;
   }
   if (cfg_.bids == BidStrategy::Oracle) {
     rec.won = true;  // perfect foresight never loses
+    rec.spot = true;
     rec.bid = in_.actual_spot[t];
     rec.price_paid = in_.actual_spot[t];
     return;
@@ -265,6 +305,7 @@ void PolicyRunner::settle_rental(SlotRecord& rec, std::size_t t,
   const auto outcome =
       market::settle(bid, in_.actual_spot[t], lambda_);
   rec.won = outcome.won;
+  rec.spot = outcome.won;  // a lost auction rents on demand instead
   rec.bid = bid;
   rec.price_paid = outcome.price_paid;
 }
@@ -411,6 +452,7 @@ void PolicyRunner::degrade(std::size_t t, std::size_t w, double store,
   FallbackEvent ev;
   ev.slot = t;
   ev.reason = reason;
+  bool handled = false;
 
   // Rung 1: the previous plan's tail still serves this slot (exactly the
   // cadence > 1 execution path, so the inventory trajectory stays
@@ -418,32 +460,38 @@ void PolicyRunner::degrade(std::size_t t, std::size_t w, double store,
   if (plan_covers(t)) {
     ev.action = FallbackAction::ReusedPlanTail;
     ++result_.fallback_reused_tail;
-    result_.fallbacks.push_back(ev);
-    return;
+    handled = true;
   }
 
   // Rung 2: Wagner-Whitin on the current estimates — exact for the
   // uncapacitated lot-sizing shape and runs in microseconds, so it
   // cannot itself time out.
-  try {
-    RentalPlan plan =
-        solve_drrp_wagner_whitin(drrp_instance(t, w, store, estimates));
-    if (plan.feasible()) {
-      commit_schedule(t, std::move(plan), estimates);
-      ev.action = FallbackAction::HeuristicPlan;
-      ++result_.fallback_heuristic;
-      result_.fallbacks.push_back(ev);
-      return;
+  if (!handled) {
+    try {
+      RentalPlan plan =
+          solve_drrp_wagner_whitin(drrp_instance(t, w, store, estimates));
+      if (plan.feasible()) {
+        commit_schedule(t, std::move(plan), estimates);
+        ev.action = FallbackAction::HeuristicPlan;
+        ++result_.fallback_heuristic;
+        handled = true;
+      }
+    } catch (const Error&) {
+      // Fall through to the last rung.
     }
-  } catch (const Error&) {
-    // Fall through to the last rung.
   }
 
   // Rung 3: serve this slot's net demand on demand; planning is retried
   // at the next slot.
-  mode_ = PlanMode::None;
-  ev.action = FallbackAction::OnDemand;
-  ++result_.fallback_on_demand;
+  if (!handled) {
+    mode_ = PlanMode::None;
+    ev.action = FallbackAction::OnDemand;
+    ++result_.fallback_on_demand;
+  }
+
+  // Single exit: exactly one FallbackEvent per degraded re-plan, no
+  // matter how many faults (say a timeout and a revocation) coincide at
+  // the same slot.
   result_.fallbacks.push_back(ev);
 }
 
@@ -511,12 +559,117 @@ SlotRecord PolicyRunner::execute_tree(std::size_t t) {
     if (cached_policy_.chi[u]) {
       rec.rented = true;
       rec.won = won;
+      rec.spot = won;  // a lost auction rents on demand instead
       rec.bid = bid;
       rec.price_paid = won ? spot : lambda_;
     }
   }
   tree_cursor_ = u;
   return rec;
+}
+
+market::VmClass PolicyRunner::migration_target() const {
+  for (market::VmClass vm : market::evaluation_classes())
+    if (vm != in_.vm) return vm;
+  return in_.vm;  // unreachable: evaluation_classes() has three entries
+}
+
+void PolicyRunner::apply_revocation(std::size_t t, SlotRecord& rec) {
+  if (!rec.rented || !rec.spot) return;
+  const market::RevocationConfig& rcfg = in_.revocation;
+
+  // Checkpoint insurance accrues on every held spot slot while the
+  // layer is on, struck or not — that is the cost of being revocable.
+  if (rcfg.enabled && rcfg.checkpoint_overhead > 0.0) {
+    const double overhead = rcfg.checkpoint_overhead * rec.price_paid;
+    result_.cost.interruption += overhead;
+    result_.checkpoint_overhead_cost += overhead;
+  }
+
+  // Decide whether (and why) the instance dies mid-slot.  An
+  // injector-armed fault is authoritative — chaos schedules must fire
+  // regardless of the model's own draws — then trace-carried storms,
+  // then the seeded model, then trace-carried single reclaims.
+  std::optional<market::RevocationKind> kind;
+  double fraction = 0.0;
+  std::optional<testing::RevocationFault> armed;
+  if (injector_ != nullptr) armed = injector_->revocation_fault(t);
+  if (armed.has_value()) {
+    kind = armed->storm ? market::RevocationKind::Storm
+                        : market::RevocationKind::Hazard;
+    fraction = armed->fraction;
+  } else if (rcfg.enabled) {
+    if (t < in_.trace_revocations.size() &&
+        in_.trace_revocations[t] == market::HourlyRevocation::Storm) {
+      kind = market::RevocationKind::Storm;
+    } else {
+      // Without an intra-slot view the settled price stands in for the
+      // slot maximum; a winning bid then never crosses, which is
+      // exactly the documented "bid-cross disabled" behaviour.
+      const double slot_max =
+          t < in_.intra_slot_max.size()
+              ? std::max(in_.intra_slot_max[t], in_.actual_spot[t])
+              : in_.actual_spot[t];
+      kind = revocation_->revocation(t, rec.bid, slot_max);
+      if (!kind.has_value() && t < in_.trace_revocations.size() &&
+          in_.trace_revocations[t] == market::HourlyRevocation::Single) {
+        kind = market::RevocationKind::Hazard;
+      }
+    }
+    if (kind.has_value()) fraction = revocation_->interruption_fraction(t);
+  }
+  if (!kind.has_value()) return;
+
+  const double preserved = revocation_->preserved_work(fraction);
+  const double lost = fraction - preserved;
+  const double remaining = 1.0 - preserved;
+
+  // Interruption-recovery ladder.  Re-acquiring spot is only credible
+  // for out-of-band reclaims: a crossed bid or an emptied pool cannot
+  // be re-bought at the same bid within the slot.
+  RevocationRecovery recovery = RevocationRecovery::OnDemandBackstop;
+  double replacement_price = lambda_;
+  double fixed_fee = rcfg.restart_cost;
+  if (*kind == market::RevocationKind::Hazard &&
+      rcfg.allow_spot_reacquire) {
+    recovery = RevocationRecovery::ReacquiredSpot;
+    replacement_price = in_.actual_spot[t];
+    ++result_.recovered_spot;
+  } else if (rcfg.allow_migration) {
+    recovery = RevocationRecovery::MigratedType;
+    const market::VmClassInfo& alt = market::info(migration_target());
+    replacement_price = alt.on_demand_hourly * alt.spot_mean_ratio;
+    fixed_fee = rcfg.migration_cost;
+    ++result_.recovered_migration;
+    result_.migrations.push_back(
+        MigrationEvent{t, in_.vm, alt.id, rcfg.migration_cost});
+  } else {
+    ++result_.recovered_on_demand;
+  }
+
+  // The interrupted instance bills its partial slot; the replacement
+  // bills the remaining work including the redo of the un-checkpointed
+  // part.  Both are compute spend, so the inventory-balance invariant
+  // (compute == sum of price_paid) holds untouched; only the fixed fees
+  // land in the interruption bucket.  The replacement itself is never
+  // re-revoked within the same slot.
+  rec.revoked = true;
+  rec.price_paid = fraction * rec.price_paid + remaining * replacement_price;
+  result_.cost.interruption += fixed_fee;
+  result_.work_lost += lost;
+  switch (*kind) {
+    case market::RevocationKind::BidCross:
+      ++result_.revoked_bid_cross;
+      break;
+    case market::RevocationKind::Hazard:
+      ++result_.revoked_hazard;
+      break;
+    case market::RevocationKind::Storm:
+      ++result_.revoked_storm;
+      break;
+  }
+  result_.revocations.push_back(
+      RevocationEvent{t, *kind, fraction, lost, recovery});
 }
 
 double PolicyRunner::sanitize_tick(double tick, double last) const {
@@ -583,6 +736,12 @@ SimulationResult PolicyRunner::run() {
           break;
       }
     }
+
+    // Mid-slot revocation of a held spot instance: the recovery ladder
+    // finishes the slot, so alpha is still fully generated and the
+    // inventory trajectory is unchanged — only the price and telemetry
+    // move.
+    apply_revocation(t, rec);
 
     // Inventory update; the planners guarantee coverage.
     store += rec.alpha - in_.demand[t];

@@ -17,6 +17,8 @@
 #include "core/policies.hpp"
 #include "market/cost_model.hpp"
 #include "market/instance_types.hpp"
+#include "market/revocation.hpp"
+#include "market/spot_trace.hpp"
 
 namespace rrp::core {
 
@@ -28,19 +30,38 @@ struct SimulationInputs {
   market::CostModel costs = market::CostModel::paper_defaults();
   double initial_storage = 0.0;
 
+  // --- Revocation risk (ISSUE 7) -------------------------------------
+  /// Interruption model and consequence parameters.  `enabled` gates
+  /// the hazard/storm/bid-cross processes; the consequence knobs
+  /// (checkpoint, restart, migration) also govern injector-armed
+  /// revocations when the model itself is off.
+  market::RevocationConfig revocation;
+  /// Per-slot maximum intra-slot spot price (SpotTrace::hourly_max);
+  /// empty means "no intra-slot view" and disables bid-cross
+  /// revocations (the settled price never exceeds a winning bid).
+  std::vector<double> intra_slot_max;
+  /// Per-slot revocation events carried by the trace
+  /// (SpotTrace::hourly_revocations); empty means none.  Honoured only
+  /// while revocation.enabled.
+  std::vector<market::HourlyRevocation> trace_revocations;
+
   std::size_t horizon() const { return demand.size(); }
 
   /// Throws rrp::InvalidArgument with a message naming the offending
   /// field/slot when: demand is empty, NaN, negative or infinite; a
-  /// price (actual_spot or history) is NaN, non-positive or infinite;
-  /// the price horizon does not match the demand horizon; the history
-  /// is empty; or initial_storage is NaN, negative or infinite.
+  /// price (actual_spot, history or intra_slot_max) is NaN,
+  /// non-positive or infinite; a price/revocation series does not match
+  /// the demand horizon; the history is empty; initial_storage is NaN,
+  /// negative or infinite; or a revocation parameter is outside its
+  /// domain.
   void validate() const;
 };
 
 struct SlotRecord {
   bool rented = false;
   bool won = false;          ///< auction outcome (true if no auction ran)
+  bool spot = false;         ///< acquisition was a won spot instance
+  bool revoked = false;      ///< the spot instance was revoked mid-slot
   double bid = 0.0;
   double price_paid = 0.0;   ///< 0 when not rented
   double alpha = 0.0;
@@ -84,6 +105,35 @@ struct PriceFeedEvent {
   double used = 0.0;  ///< sanitised value fed to the models
 };
 
+/// Which interruption-recovery rung replaced a revoked spot instance,
+/// in preference order (re-acquire spot → migrate type → on-demand).
+enum class RevocationRecovery {
+  ReacquiredSpot,    ///< same class, same bid (hazard reclaims only)
+  MigratedType,      ///< checkpoint moved to another instance type
+  OnDemandBackstop,  ///< guaranteed on-demand finishes the slot
+};
+
+const char* to_string(RevocationRecovery recovery);
+
+/// One mid-slot revocation of a held spot instance: why it struck, how
+/// far into the slot, how much un-checkpointed work was lost, and which
+/// recovery rung finished the slot.
+struct RevocationEvent {
+  std::size_t slot = 0;
+  market::RevocationKind kind = market::RevocationKind::Hazard;
+  double fraction = 0.0;   ///< slot fraction at which the instance died
+  double lost_work = 0.0;  ///< slot fraction of work redone (f - preserved)
+  RevocationRecovery recovery = RevocationRecovery::OnDemandBackstop;
+};
+
+/// One cross-type migration performed by the recovery ladder.
+struct MigrationEvent {
+  std::size_t slot = 0;
+  market::VmClass from = market::VmClass::C1Medium;
+  market::VmClass to = market::VmClass::C1Medium;
+  double cost = 0.0;  ///< fixed migration fee paid (checkpoint transfer)
+};
+
 struct SimulationResult {
   CostBreakdown cost;        ///< realised, not planned
   std::vector<SlotRecord> slots;
@@ -105,7 +155,22 @@ struct SimulationResult {
   std::size_t solver_warm_started_nodes = 0;
   std::size_t solver_cold_solved_nodes = 0;
 
+  // --- Revocation telemetry (one RevocationEvent per revoked slot). ---
+  std::vector<RevocationEvent> revocations;
+  std::vector<MigrationEvent> migrations;
+  std::size_t revoked_bid_cross = 0;
+  std::size_t revoked_hazard = 0;
+  std::size_t revoked_storm = 0;
+  std::size_t recovered_spot = 0;       ///< rung 1: spot re-acquired
+  std::size_t recovered_migration = 0;  ///< rung 2: migrated type
+  std::size_t recovered_on_demand = 0;  ///< rung 3: on-demand backstop
+  double work_lost = 0.0;               ///< slot-fraction units redone
+  double checkpoint_overhead_cost = 0.0;
+
   std::size_t degraded_replans() const { return fallbacks.size(); }
+  std::size_t revoked_slots() const { return revocations.size(); }
+  /// Realised interruption spend (checkpoint + restart + migration).
+  double interruption_cost() const { return cost.interruption; }
 
   double total_cost() const { return cost.total(); }
 };

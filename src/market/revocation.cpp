@@ -1,0 +1,146 @@
+#include "market/revocation.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrp::market {
+
+const char* to_string(RevocationKind kind) {
+  switch (kind) {
+    case RevocationKind::BidCross: return "bid-cross";
+    case RevocationKind::Hazard: return "hazard";
+    case RevocationKind::Storm: return "storm";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void check_probability(double v, const char* field) {
+  if (std::isnan(v))
+    throw InvalidArgument(std::string("RevocationConfig: ") + field +
+                          " is NaN");
+  if (v < 0.0 || v > 1.0 || !std::isfinite(v))
+    throw InvalidArgument(std::string("RevocationConfig: ") + field +
+                          " must be in [0, 1], got " + std::to_string(v));
+}
+
+void check_cost(double v, const char* field) {
+  if (std::isnan(v))
+    throw InvalidArgument(std::string("RevocationConfig: ") + field +
+                          " is NaN");
+  if (v < 0.0 || !std::isfinite(v))
+    throw InvalidArgument(std::string("RevocationConfig: ") + field +
+                          " must be non-negative and finite, got " +
+                          std::to_string(v));
+}
+
+}  // namespace
+
+void RevocationConfig::validate() const {
+  check_probability(hazard_per_slot, "hazard_per_slot");
+  check_probability(storm_rate, "storm_rate");
+  check_probability(storm_severity, "storm_severity");
+  check_probability(checkpoint_overhead, "checkpoint_overhead");
+  if (std::isnan(checkpoint_interval) || checkpoint_interval <= 0.0 ||
+      checkpoint_interval > 1.0)
+    throw InvalidArgument(
+        "RevocationConfig: checkpoint_interval must be in (0, 1], got " +
+        std::to_string(checkpoint_interval));
+  check_cost(restart_cost, "restart_cost");
+  check_cost(migration_cost, "migration_cost");
+}
+
+RevocationConfig RevocationConfig::calm() {
+  RevocationConfig cfg;
+  cfg.enabled = true;
+  cfg.hazard_per_slot = 0.0;
+  cfg.storm_rate = 0.0;
+  return cfg;
+}
+
+RevocationConfig RevocationConfig::bid_crossing() {
+  RevocationConfig cfg;
+  cfg.enabled = true;
+  cfg.hazard_per_slot = 0.04;
+  cfg.storm_rate = 0.0;
+  return cfg;
+}
+
+RevocationConfig RevocationConfig::storm() {
+  RevocationConfig cfg;
+  cfg.enabled = true;
+  cfg.hazard_per_slot = 0.04;
+  cfg.storm_rate = 0.08;
+  cfg.storm_severity = 1.0;
+  return cfg;
+}
+
+RevocationConfig RevocationConfig::regime(const std::string& name) {
+  if (name == "calm") return calm();
+  if (name == "bid-cross" || name == "bid-crossing") return bid_crossing();
+  if (name == "storm") return storm();
+  throw InvalidArgument(
+      "RevocationConfig: unknown regime \"" + name +
+      "\" (want calm | bid-cross | storm)");
+}
+
+RevocationModel::RevocationModel(const RevocationConfig& config,
+                                 std::size_t horizon)
+    : cfg_(config) {
+  cfg_.validate();
+  hazard_u_.reserve(horizon);
+  storm_u_.reserve(horizon);
+  severity_u_.reserve(horizon);
+  fraction_.reserve(horizon);
+  // One stream per process keeps each slot's draw independent of how
+  // many draws the other processes consume.
+  Rng rng(cfg_.seed ^ 0x5e70ca7105ULL);
+  Rng hazard_rng = rng.split();
+  Rng storm_rng = rng.split();
+  Rng severity_rng = rng.split();
+  Rng fraction_rng = rng.split();
+  for (std::size_t t = 0; t < horizon; ++t) {
+    hazard_u_.push_back(hazard_rng.uniform());
+    storm_u_.push_back(storm_rng.uniform());
+    severity_u_.push_back(severity_rng.uniform());
+    // Keep the interruption point away from the slot edges: a crash in
+    // the first or last instants degenerates to "lost nothing" /
+    // "lost the whole slot" and hides checkpoint arithmetic bugs.
+    fraction_.push_back(fraction_rng.uniform(0.05, 0.95));
+  }
+}
+
+bool RevocationModel::storm_at(std::size_t t) const {
+  RRP_EXPECTS(t < storm_u_.size());
+  return cfg_.enabled && storm_u_[t] < cfg_.storm_rate;
+}
+
+std::optional<RevocationKind> RevocationModel::revocation(
+    std::size_t t, double bid, double intra_slot_max) const {
+  RRP_EXPECTS(t < fraction_.size());
+  if (!cfg_.enabled) return std::nullopt;
+  if (storm_at(t) && severity_u_[t] < cfg_.storm_severity)
+    return RevocationKind::Storm;
+  if (intra_slot_max > bid) return RevocationKind::BidCross;
+  if (hazard_u_[t] < cfg_.hazard_per_slot) return RevocationKind::Hazard;
+  return std::nullopt;
+}
+
+double RevocationModel::interruption_fraction(std::size_t t) const {
+  RRP_EXPECTS(t < fraction_.size());
+  return fraction_[t];
+}
+
+double RevocationModel::preserved_work(double fraction) const {
+  RRP_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  const double preserved =
+      std::floor(fraction / cfg_.checkpoint_interval) *
+      cfg_.checkpoint_interval;
+  return std::min(preserved, fraction);
+}
+
+}  // namespace rrp::market

@@ -1,0 +1,136 @@
+// Spot-instance revocation risk (ISSUE 7; PAPERS.md: Voorsluys et al.,
+// Shastri & Irwin).
+//
+// The paper's planners price *price* risk — an out-of-bid slot simply
+// falls back to on-demand — but assume that a won spot instance survives
+// the whole slot.  Real spot markets revoke instances mid-slot.  This
+// module models three revocation sources:
+//
+//  1. bid-crossing — the spot price rises above the effective bid
+//     *inside* the slot (detected against the intra-slot maximum tick);
+//  2. hazard — seeded out-of-band revocations (capacity reclaim) that
+//     strike a held instance even while its bid clears the price;
+//  3. storms — seeded correlated events that revoke spot capacity for a
+//     whole class in one slot (the "revocation storm" of spot folklore:
+//     a demand surge empties the pool, everyone is evicted at once).
+//
+// Consequences are parameterised by the same config: work since the
+// last checkpoint is lost, every rented spot slot pays a checkpoint
+// overhead, and the replacement instance pays a restart or migration
+// cost.  All randomness is drawn up-front from the config seed, so a
+// model's decisions are a pure function of (config, horizon) — identical
+// across runs, thread counts, and policies sharing the config.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rrp::market {
+
+/// Why a held spot instance was revoked.
+enum class RevocationKind {
+  BidCross,  ///< intra-slot price crossed above the effective bid
+  Hazard,    ///< out-of-band single-instance reclaim
+  Storm,     ///< correlated class-wide revocation event
+};
+
+const char* to_string(RevocationKind kind);
+
+struct RevocationConfig {
+  /// Gates the *model* (hazard/storm/bid-cross processes).  The
+  /// consequence parameters below are consulted whenever a revocation
+  /// fires, including injector-armed revocations with enabled == false.
+  bool enabled = false;
+
+  /// Per-held-slot probability of an out-of-band (hazard) revocation.
+  double hazard_per_slot = 0.0;
+  /// Per-slot probability that a revocation storm hits the class.
+  double storm_rate = 0.0;
+  /// Probability that a given held instance is taken out by a storm
+  /// (1.0 = the storm empties the whole pool).
+  double storm_severity = 1.0;
+
+  /// Fraction of a slot between checkpoints, in (0, 1].  On a
+  /// revocation at slot fraction f, the work preserved is
+  /// floor(f / interval) * interval; 1.0 means no intra-slot
+  /// checkpoints, so the whole partial slot is lost.
+  double checkpoint_interval = 0.25;
+  /// Per-rented-spot-slot overhead of writing checkpoints, as a
+  /// fraction of that slot's price (the `--checkpoint-cost` CLI knob).
+  double checkpoint_overhead = 0.02;
+  /// Fixed cost of restarting on a replacement instance of the same
+  /// class (re-acquired spot or the on-demand backstop).
+  double restart_cost = 0.01;
+  /// Fixed cost of migrating the checkpoint to another instance type.
+  double migration_cost = 0.02;
+
+  /// Interruption-aware degradation rungs (tried in order; the
+  /// on-demand backstop is always available):
+  bool allow_spot_reacquire = true;  ///< rung 1, hazard revocations only
+  bool allow_migration = true;       ///< rung 2, cross-type diversification
+
+  std::uint64_t seed = 0;
+
+  /// Throws rrp::InvalidArgument naming the offending field when any
+  /// rate/fraction is outside its documented domain or non-finite.
+  void validate() const;
+
+  // --- Named regimes for the hostile-market evaluation ---------------
+  /// Revocation layer on, but no hazard or storms: only bid-crossing
+  /// can interrupt, and only when intra-slot prices actually cross.
+  static RevocationConfig calm();
+  /// Elevated volatility consequences: frequent single-instance
+  /// revocations (hazard + bid-crossing), no storms.
+  static RevocationConfig bid_crossing();
+  /// Correlated storms on top of the bid-crossing regime.
+  static RevocationConfig storm();
+  /// Looks up a regime by name ("calm" | "bid-cross" | "storm");
+  /// throws rrp::InvalidArgument for unknown names.
+  static RevocationConfig regime(const std::string& name);
+};
+
+/// Deterministic per-slot revocation decisions for one simulation.  All
+/// draws happen at construction from config.seed, so two models built
+/// from the same (config, horizon) agree slot for slot regardless of
+/// what the policy does in between.
+class RevocationModel {
+ public:
+  RevocationModel(const RevocationConfig& config, std::size_t horizon);
+
+  const RevocationConfig& config() const { return cfg_; }
+  std::size_t horizon() const { return fraction_.size(); }
+
+  /// True when a storm sweeps the class at slot t (independent of
+  /// whether anything is held; storms exist market-wide).
+  bool storm_at(std::size_t t) const;
+
+  /// The authoritative decision for a held spot instance at slot t.
+  /// `bid` is the effective bid the instance is held at;
+  /// `intra_slot_max` the maximum spot price observed inside the slot
+  /// (pass the settled slot price when no intra-slot view exists).
+  /// Priority when several sources fire at once: Storm > BidCross >
+  /// Hazard.  Returns nullopt when the instance survives the slot.
+  std::optional<RevocationKind> revocation(std::size_t t, double bid,
+                                           double intra_slot_max) const;
+
+  /// The slot fraction at which slot t's revocation strikes, in
+  /// (0, 1).  Seeded per slot; meaningful whether or not the model
+  /// itself revoked (injector-armed revocations reuse it).
+  double interruption_fraction(std::size_t t) const;
+
+  /// Work preserved by checkpointing when revoked at slot fraction f:
+  /// floor(f / checkpoint_interval) * checkpoint_interval.
+  double preserved_work(double fraction) const;
+
+ private:
+  RevocationConfig cfg_;
+  std::vector<double> hazard_u_;    ///< per-slot uniform vs hazard_per_slot
+  std::vector<double> storm_u_;     ///< per-slot uniform vs storm_rate
+  std::vector<double> severity_u_;  ///< per-slot uniform vs storm_severity
+  std::vector<double> fraction_;    ///< per-slot interruption point
+};
+
+}  // namespace rrp::market

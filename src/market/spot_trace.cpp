@@ -9,14 +9,24 @@
 
 namespace rrp::market {
 
-SpotTrace::SpotTrace(VmClass vm, std::vector<ts::Tick> ticks)
-    : vm_(vm), ticks_(std::move(ticks)) {
+SpotTrace::SpotTrace(VmClass vm, std::vector<ts::Tick> ticks,
+                     std::vector<RevocationMarker> revocations)
+    : vm_(vm),
+      ticks_(std::move(ticks)),
+      revocations_(std::move(revocations)) {
   RRP_EXPECTS(!ticks_.empty());
   RRP_EXPECTS(std::is_sorted(ticks_.begin(), ticks_.end(),
                              [](const ts::Tick& a, const ts::Tick& b) {
                                return a.time_hours < b.time_hours;
                              }));
   for (const ts::Tick& t : ticks_) RRP_EXPECTS(t.value > 0.0);
+  RRP_EXPECTS(std::is_sorted(
+      revocations_.begin(), revocations_.end(),
+      [](const RevocationMarker& a, const RevocationMarker& b) {
+        return a.tick_index < b.tick_index;
+      }));
+  for (const RevocationMarker& m : revocations_)
+    RRP_EXPECTS(m.tick_index < ticks_.size());
 }
 
 double SpotTrace::duration_hours() const {
@@ -41,38 +51,155 @@ std::vector<double> SpotTrace::hourly() const {
                 last);
 }
 
+std::vector<double> SpotTrace::hourly_max(long first_hour,
+                                          long last_hour) const {
+  std::vector<double> out = hourly(first_hour, last_hour);
+  for (const ts::Tick& t : ticks_) {
+    const double h = std::floor(t.time_hours);
+    if (h < static_cast<double>(first_hour) ||
+        h >= static_cast<double>(last_hour))
+      continue;
+    const auto idx = static_cast<std::size_t>(
+        static_cast<long>(h) - first_hour);
+    out[idx] = std::max(out[idx], t.value);
+  }
+  return out;
+}
+
+std::vector<HourlyRevocation> SpotTrace::hourly_revocations(
+    long first_hour, long last_hour) const {
+  RRP_EXPECTS(first_hour <= last_hour);
+  std::vector<HourlyRevocation> out(
+      static_cast<std::size_t>(last_hour - first_hour),
+      HourlyRevocation::None);
+  for (const RevocationMarker& m : revocations_) {
+    const double h = std::floor(ticks_[m.tick_index].time_hours);
+    if (h < static_cast<double>(first_hour) ||
+        h >= static_cast<double>(last_hour))
+      continue;
+    auto& slot = out[static_cast<std::size_t>(
+        static_cast<long>(h) - first_hour)];
+    if (m.storm)
+      slot = HourlyRevocation::Storm;
+    else if (slot == HourlyRevocation::None)
+      slot = HourlyRevocation::Single;
+  }
+  return out;
+}
+
 std::vector<std::size_t> SpotTrace::daily_update_counts() const {
   return ts::daily_update_counts(ticks_);
 }
 
+namespace {
+
+/// Parses one numeric CSV field; throws InvalidArgument naming the row
+/// (1-based, as in the file) and field on any malformed value.
+double parse_field(const std::string& raw, const std::string& path,
+                   std::size_t row, const char* field) {
+  const std::string at = "spot trace CSV " + path + " row " +
+                         std::to_string(row) + ": " + field;
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(raw, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgument(at + " is not numeric: \"" + raw + "\"");
+  }
+  if (consumed != raw.size())
+    throw InvalidArgument(at + " has trailing characters: \"" + raw + "\"");
+  if (std::isnan(value)) throw InvalidArgument(at + " is NaN");
+  if (!std::isfinite(value))
+    throw InvalidArgument(at + " is not finite: \"" + raw + "\"");
+  return value;
+}
+
+bool looks_like_header(const std::vector<std::string>& row) {
+  if (row.empty()) return false;
+  try {
+    std::size_t consumed = 0;
+    (void)std::stod(row[0], &consumed);
+    return consumed != row[0].size();
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
+}  // namespace
+
 SpotTrace SpotTrace::load_csv(const std::string& path, VmClass vm) {
   const auto doc = csv::read_file(path, /*has_header=*/false);
   std::vector<ts::Tick> ticks;
+  std::vector<RevocationMarker> revocations;
   ticks.reserve(doc.rows.size());
   for (std::size_t i = 0; i < doc.rows.size(); ++i) {
     const auto& row = doc.rows[i];
-    if (row.size() < 2) throw Error("spot trace CSV: short row in " + path);
-    try {
-      ticks.push_back(ts::Tick{std::stod(row[0]), std::stod(row[1])});
-    } catch (const std::exception&) {
-      if (i == 0) continue;  // tolerate a header line
-      throw Error("spot trace CSV: bad numeric field in " + path);
+    const std::size_t row_no = i + 1;
+    if (i == 0 && looks_like_header(row)) continue;
+    if (row.size() < 2)
+      throw InvalidArgument("spot trace CSV " + path + " row " +
+                            std::to_string(row_no) + ": expected "
+                            "time_hours,price[,event], got " +
+                            std::to_string(row.size()) + " field(s)");
+    const double time = parse_field(row[0], path, row_no, "time_hours");
+    const double price = parse_field(row[1], path, row_no, "price");
+    if (time < 0.0)
+      throw InvalidArgument("spot trace CSV " + path + " row " +
+                            std::to_string(row_no) +
+                            ": time_hours must be non-negative, got " +
+                            std::to_string(time));
+    if (price <= 0.0)
+      throw InvalidArgument("spot trace CSV " + path + " row " +
+                            std::to_string(row_no) +
+                            ": price must be positive, got " +
+                            std::to_string(price));
+    if (!ticks.empty() && time <= ticks.back().time_hours)
+      throw InvalidArgument(
+          "spot trace CSV " + path + " row " + std::to_string(row_no) +
+          ": time_hours " + std::to_string(time) +
+          (time == ticks.back().time_hours ? " duplicates" : " precedes") +
+          " the previous row's " +
+          std::to_string(ticks.back().time_hours) +
+          " (rows must be strictly increasing in time)");
+    if (row.size() >= 3 && !row[2].empty()) {
+      if (row[2] == "revoke")
+        revocations.push_back(RevocationMarker{ticks.size(), false});
+      else if (row[2] == "storm")
+        revocations.push_back(RevocationMarker{ticks.size(), true});
+      else
+        throw InvalidArgument("spot trace CSV " + path + " row " +
+                              std::to_string(row_no) +
+                              ": event must be empty, \"revoke\" or "
+                              "\"storm\", got \"" + row[2] + "\"");
     }
+    ticks.push_back(ts::Tick{time, price});
   }
-  std::sort(ticks.begin(), ticks.end(),
-            [](const ts::Tick& a, const ts::Tick& b) {
-              return a.time_hours < b.time_hours;
-            });
-  return SpotTrace(vm, std::move(ticks));
+  if (ticks.empty())
+    throw InvalidArgument("spot trace CSV " + path +
+                          ": no data rows (empty file or header only)");
+  return SpotTrace(vm, std::move(ticks), std::move(revocations));
 }
 
 void SpotTrace::save_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw Error("spot trace CSV: cannot write " + path);
-  out << "time_hours,price\n";
   out.precision(10);
-  for (const ts::Tick& t : ticks_) out << t.time_hours << ',' << t.value
-                                       << '\n';
+  if (revocations_.empty()) {
+    out << "time_hours,price\n";
+    for (const ts::Tick& t : ticks_)
+      out << t.time_hours << ',' << t.value << '\n';
+    return;
+  }
+  out << "time_hours,price,event\n";
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < ticks_.size(); ++i) {
+    out << ticks_[i].time_hours << ',' << ticks_[i].value << ',';
+    if (next < revocations_.size() && revocations_[next].tick_index == i) {
+      out << (revocations_[next].storm ? "storm" : "revoke");
+      ++next;
+    }
+    out << '\n';
+  }
 }
 
 }  // namespace rrp::market

@@ -1,8 +1,14 @@
 // Spot-price trace container: the irregular update stream published by
 // the provider (the cloudexchange.org format the paper collected), plus
 // conversions to the hourly decision-point series used everywhere else.
+//
+// Traces may additionally carry *revocation events* — out-of-band
+// instance reclaims and correlated revocation storms observed in the
+// market (ISSUE 7) — attached to the tick at which they struck, so both
+// generated and CSV traces can drive the interruption-aware simulator.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,12 +17,30 @@
 
 namespace rrp::market {
 
+/// One out-of-band revocation event recorded in a trace, attached to
+/// the tick published at (or immediately after) the reclaim.
+struct RevocationMarker {
+  std::size_t tick_index = 0;  ///< index into SpotTrace::ticks()
+  bool storm = false;          ///< correlated class-wide storm vs single
+};
+
+/// Per-hour revocation view of a trace window (see hourly_revocations).
+enum class HourlyRevocation : std::uint8_t {
+  None = 0,
+  Single = 1,  ///< at least one single-instance reclaim in the hour
+  Storm = 2,   ///< at least one storm in the hour (dominates Single)
+};
+
 class SpotTrace {
  public:
-  SpotTrace(VmClass vm, std::vector<ts::Tick> ticks);
+  SpotTrace(VmClass vm, std::vector<ts::Tick> ticks,
+            std::vector<RevocationMarker> revocations = {});
 
   VmClass vm_class() const { return vm_; }
   const std::vector<ts::Tick>& ticks() const { return ticks_; }
+  const std::vector<RevocationMarker>& revocations() const {
+    return revocations_;
+  }
   double duration_hours() const;
 
   /// All update prices, one per tick (the raw sample Figure 3/5 uses).
@@ -29,19 +53,37 @@ class SpotTrace {
   /// Whole-trace hourly series starting at hour 0.
   std::vector<double> hourly() const;
 
+  /// Per-hour *maximum* tick price over [first_hour, last_hour): the
+  /// highest price published inside each hour, floored at the LOCF
+  /// hourly value for hours without updates.  This is the intra-slot
+  /// view the revocation model checks bids against — a bid can clear
+  /// the hour-start price yet be crossed by an update mid-hour.
+  std::vector<double> hourly_max(long first_hour, long last_hour) const;
+
+  /// Per-hour revocation events over [first_hour, last_hour); a storm
+  /// in an hour dominates any single reclaim in the same hour.
+  std::vector<HourlyRevocation> hourly_revocations(long first_hour,
+                                                   long last_hour) const;
+
   /// Updates per day (Figure 4).
   std::vector<std::size_t> daily_update_counts() const;
 
-  /// Loads "time_hours,price" CSV rows (header optional, detected by a
-  /// non-numeric first field).  Ticks are sorted by time.
+  /// Loads "time_hours,price[,event]" CSV rows (header optional,
+  /// detected by a non-numeric first field; event is empty, "revoke" or
+  /// "storm").  Malformed input — short rows, non-numeric fields, NaN /
+  /// non-positive / non-finite prices, negative times, unsorted or
+  /// duplicate timestamps, unknown event labels — throws
+  /// rrp::InvalidArgument naming the offending row and field.
   static SpotTrace load_csv(const std::string& path, VmClass vm);
 
-  /// Writes "time_hours,price" rows with a header.
+  /// Writes "time_hours,price" rows with a header; traces carrying
+  /// revocation markers write "time_hours,price,event" instead.
   void save_csv(const std::string& path) const;
 
  private:
   VmClass vm_;
   std::vector<ts::Tick> ticks_;
+  std::vector<RevocationMarker> revocations_;  ///< sorted by tick_index
 };
 
 }  // namespace rrp::market

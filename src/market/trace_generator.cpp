@@ -27,9 +27,13 @@ SpotTrace generate_trace(VmClass vm, const TraceGeneratorConfig& cfg,
   RRP_EXPECTS(cfg.spike_min_factor >= 1.0);
   RRP_EXPECTS(cfg.spike_max_factor >= cfg.spike_min_factor);
   RRP_EXPECTS(cfg.quantum > 0.0);
+  RRP_EXPECTS(cfg.revocations_per_day >= 0.0);
+  RRP_EXPECTS(cfg.storms_per_day >= 0.0);
+  RRP_EXPECTS(cfg.storm_spike_factor >= 1.0);
 
   const auto n_days = static_cast<std::size_t>(std::ceil(cfg.days));
   std::vector<ts::Tick> ticks;
+  std::vector<RevocationMarker> revocations;
   ticks.reserve(n_days *
                 static_cast<std::size_t>(cfg.mean_updates_per_day + 1));
 
@@ -49,11 +53,29 @@ SpotTrace generate_trace(VmClass vm, const TraceGeneratorConfig& cfg,
     if (rng.uniform() < cfg.spike_probability) {
       price *= rng.uniform(cfg.spike_min_factor, cfg.spike_max_factor);
     }
+    // Revocation processes (rate 0 consumes no randomness, keeping
+    // default-config traces bit-identical to pre-revocation builds).
+    bool storm = false;
+    bool revoke = false;
+    if (cfg.storms_per_day > 0.0 &&
+        rng.uniform() <
+            std::min(cfg.storms_per_day / cfg.mean_updates_per_day, 1.0)) {
+      storm = true;
+      price *= cfg.storm_spike_factor;  // the pool emptied: price jumps
+    }
+    if (!storm && cfg.revocations_per_day > 0.0 &&
+        rng.uniform() <
+            std::min(cfg.revocations_per_day / cfg.mean_updates_per_day,
+                     1.0)) {
+      revoke = true;
+    }
     price = std::max(price, cfg.floor_factor * cfg.base_price);
     price = std::round(price / cfg.quantum) * cfg.quantum;
     // Strictly increasing timestamps keep downstream invariants simple.
     if (hours <= last_time) hours = last_time + 1e-4;
     last_time = hours;
+    if (storm || revoke)
+      revocations.push_back(RevocationMarker{ticks.size(), storm});
     ticks.push_back(ts::Tick{hours, price});
   };
 
@@ -86,7 +108,7 @@ SpotTrace generate_trace(VmClass vm, const TraceGeneratorConfig& cfg,
       emit(t);
     }
   }
-  return SpotTrace(vm, std::move(ticks));
+  return SpotTrace(vm, std::move(ticks), std::move(revocations));
 }
 
 SpotTrace generate_trace(VmClass vm, std::uint64_t seed) {

@@ -39,6 +39,18 @@ struct TraceGeneratorConfig {
   double spike_max_factor = 4.0;
   double floor_factor = 0.55;    ///< price floor relative to base
   double quantum = 0.001;        ///< prices quantised like EC2 ($0.001)
+
+  // --- Revocation events carried by the trace (ISSUE 7) --------------
+  /// Expected out-of-band single-instance reclaims per day; each is
+  /// attached to an update tick as a RevocationMarker.  0 disables the
+  /// process (and consumes no randomness, so traces generated with the
+  /// default config are bit-identical to pre-revocation builds).
+  double revocations_per_day = 0.0;
+  /// Expected correlated revocation storms per day.  A storm marks a
+  /// tick as a class-wide reclaim and pushes its price up by
+  /// storm_spike_factor (the pool emptied: the clearing price jumps).
+  double storms_per_day = 0.0;
+  double storm_spike_factor = 2.5;
 };
 
 /// Default configuration for a VM class: level = on-demand price times

@@ -71,6 +71,68 @@ TEST(Evaluation, PairedTrialsShareInputs) {
     EXPECT_LE(det.per_trial_cost[t], naive.per_trial_cost[t] + 1e-6);
 }
 
+TEST(EvaluationRevocation, TrialInputsWireTheRegime) {
+  auto cfg = small_config();
+  cfg.revocation = rrp::market::RevocationConfig::storm();
+  const auto in = make_trial_inputs(cfg, 0);
+  EXPECT_TRUE(in.revocation.enabled);
+  EXPECT_EQ(in.intra_slot_max.size(), cfg.eval_hours);
+  EXPECT_EQ(in.trace_revocations.size(), cfg.eval_hours);
+  for (std::size_t t = 0; t < cfg.eval_hours; ++t)
+    EXPECT_GE(in.intra_slot_max[t], in.actual_spot[t]) << "slot " << t;
+  // Different trials get different model seeds, same consequence knobs.
+  const auto in1 = make_trial_inputs(cfg, 1);
+  EXPECT_NE(in.revocation.seed, in1.revocation.seed);
+  EXPECT_EQ(in.revocation.checkpoint_overhead,
+            in1.revocation.checkpoint_overhead);
+}
+
+TEST(EvaluationRevocation, DisabledRegimeLeavesInputsBare) {
+  const auto in = make_trial_inputs(small_config(), 0);
+  EXPECT_FALSE(in.revocation.enabled);
+  EXPECT_TRUE(in.intra_slot_max.empty());
+  EXPECT_TRUE(in.trace_revocations.empty());
+}
+
+TEST(EvaluationRevocation, StandardRegimesAreOrderedByHostility) {
+  const auto regimes = standard_interruption_regimes();
+  ASSERT_EQ(regimes.size(), 3u);
+  EXPECT_EQ(regimes[0].name, "calm");
+  EXPECT_EQ(regimes[1].name, "bid-cross");
+  EXPECT_EQ(regimes[2].name, "storm");
+  for (const auto& r : regimes) EXPECT_TRUE(r.config.enabled);
+  EXPECT_LT(regimes[0].config.hazard_per_slot,
+            regimes[1].config.hazard_per_slot + 1e-12);
+  EXPECT_LT(regimes[1].config.storm_rate, regimes[2].config.storm_rate);
+}
+
+TEST(EvaluationRevocation, RegimeTableReportsInterruptionColumns) {
+  auto cfg = small_config();
+  cfg.trials = 2;
+  const auto results = evaluate_under_regimes(
+      cfg, interruption_policies(), standard_interruption_regimes());
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& rr : results) {
+    ASSERT_EQ(rr.result.policies.size(), interruption_policies().size());
+    for (const auto& p : rr.result.policies) {
+      EXPECT_TRUE(std::isfinite(p.mean_cost)) << rr.regime << " " << p.policy;
+      EXPECT_GE(p.mean_revocations, 0.0);
+      EXPECT_GE(p.mean_work_lost, 0.0);
+      EXPECT_GE(p.mean_interruption_cost, 0.0);
+      // On-demand never holds spot, so it can never be revoked.
+      if (p.policy == "on-demand" || p.policy == "no-plan") {
+        EXPECT_EQ(p.mean_revocations, 0.0);
+        EXPECT_EQ(p.mean_work_lost, 0.0);
+      }
+    }
+  }
+  // The storm regime must interrupt the spot-using policies somewhere.
+  const auto& storm = results[2].result;
+  double revoked = 0.0;
+  for (const auto& p : storm.policies) revoked += p.mean_revocations;
+  EXPECT_GT(revoked, 0.0);
+}
+
 TEST(Evaluation, Validation) {
   auto cfg = small_config();
   cfg.trials = 1;

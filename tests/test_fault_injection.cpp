@@ -102,6 +102,83 @@ TEST(FaultInjector, ArmedLpFailuresConsumeOneAtATime) {
   EXPECT_EQ(inj.armed_lp_failures(), 0u);
 }
 
+TEST(FaultInjectorRevocation, QueriesReturnArmedSlotsOnly) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.revocation_fault(0).has_value());
+  EXPECT_EQ(inj.num_revocation_faults(), 0u);
+  inj.inject_revocation(2, 0.4);
+  inj.inject_revocation_storm(5, 0.7);
+  ASSERT_TRUE(inj.revocation_fault(2).has_value());
+  EXPECT_FALSE(inj.revocation_fault(2)->storm);
+  EXPECT_DOUBLE_EQ(inj.revocation_fault(2)->fraction, 0.4);
+  ASSERT_TRUE(inj.revocation_fault(5).has_value());
+  EXPECT_TRUE(inj.revocation_fault(5)->storm);
+  EXPECT_DOUBLE_EQ(inj.revocation_fault(5)->fraction, 0.7);
+  EXPECT_FALSE(inj.revocation_fault(3).has_value());
+  EXPECT_EQ(inj.num_revocation_faults(), 2u);
+}
+
+TEST(FaultInjectorRevocation, ReinjectingASlotOverwrites) {
+  FaultInjector inj;
+  inj.inject_revocation(4, 0.2);
+  inj.inject_revocation_storm(4, 0.8);
+  EXPECT_EQ(inj.num_revocation_faults(), 1u);
+  EXPECT_TRUE(inj.revocation_fault(4)->storm);
+  EXPECT_DOUBLE_EQ(inj.revocation_fault(4)->fraction, 0.8);
+}
+
+TEST(FaultInjectorRevocation, ExplicitFractionValidated) {
+  FaultInjector inj;
+  EXPECT_THROW(inj.inject_revocation(0, 0.0), rrp::ContractViolation);
+  EXPECT_THROW(inj.inject_revocation(0, 1.0), rrp::ContractViolation);
+  EXPECT_THROW(inj.inject_revocation(0, std::nan("")),
+               rrp::ContractViolation);
+  EXPECT_THROW(inj.inject_revocation_storm(0, -0.5),
+               rrp::ContractViolation);
+}
+
+TEST(FaultInjectorRevocation, SeededFractionsStayInsideTheSlot) {
+  FaultInjector inj(77);
+  for (std::size_t t = 0; t < 50; ++t) inj.inject_revocation(t);
+  for (std::size_t t = 0; t < 50; ++t) {
+    const auto f = inj.revocation_fault(t);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_GE(f->fraction, 0.05);
+    EXPECT_LT(f->fraction, 0.95);
+  }
+}
+
+TEST(FaultInjectorRevocation, ScheduleIsAPureFunctionOfSeed) {
+  FaultInjector a(123), b(123), c(456);
+  const std::size_t armed_a = a.schedule_revocations(200, 0.3, 0.5);
+  const std::size_t armed_b = b.schedule_revocations(200, 0.3, 0.5);
+  EXPECT_EQ(armed_a, armed_b);
+  EXPECT_GT(armed_a, 0u);
+  (void)c.schedule_revocations(200, 0.3, 0.5);
+  bool any_differs = false;
+  for (std::size_t t = 0; t < 200; ++t) {
+    const auto fa = a.revocation_fault(t);
+    const auto fb = b.revocation_fault(t);
+    ASSERT_EQ(fa.has_value(), fb.has_value()) << "slot " << t;
+    if (fa.has_value()) {
+      EXPECT_EQ(fa->storm, fb->storm) << "slot " << t;
+      EXPECT_DOUBLE_EQ(fa->fraction, fb->fraction) << "slot " << t;
+    }
+    if (fa.has_value() != c.revocation_fault(t).has_value())
+      any_differs = true;
+  }
+  EXPECT_TRUE(any_differs) << "different seeds should diverge";
+}
+
+TEST(FaultInjectorRevocation, ScheduleRatesValidated) {
+  FaultInjector inj;
+  EXPECT_THROW(inj.schedule_revocations(10, -0.1, 0.0),
+               rrp::ContractViolation);
+  EXPECT_THROW(inj.schedule_revocations(10, 0.5, 1.5),
+               rrp::ContractViolation);
+  EXPECT_EQ(inj.schedule_revocations(10, 0.0, 0.0), 0u);
+}
+
 TEST(FaultInjector, ToStringNamesEveryKind) {
   using rrp::testing::to_string;
   EXPECT_STREQ(to_string(SolverFaultKind::Timeout), "solver-timeout");

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -34,6 +36,84 @@ TEST(SpotTrace, AccessorsAndHourlyConversion) {
   ASSERT_EQ(h.size(), 5u);
   EXPECT_DOUBLE_EQ(h[2], 0.05);
   EXPECT_DOUBLE_EQ(h[3], 0.07);
+}
+
+/// Writes `content` to a temp CSV, expects load_csv to throw an
+/// InvalidArgument whose message contains `needle` (row/field naming).
+void expect_load_fails(const std::string& content,
+                       const std::string& needle) {
+  const std::string path = ::testing::TempDir() + "rrp_trace_malformed.csv";
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  try {
+    (void)SpotTrace::load_csv(path, VmClass::C1Medium);
+    std::remove(path.c_str());
+    FAIL() << "expected InvalidArgument mentioning \"" << needle << "\"";
+  } catch (const rrp::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SpotTraceCsvHardening, RejectsShortRows) {
+  expect_load_fails("time_hours,price\n1.0\n", "row 2");
+}
+
+TEST(SpotTraceCsvHardening, RejectsNonNumericFields) {
+  // Row 1 with a non-numeric first field reads as a header (tolerated);
+  // anywhere else it is an error naming the field.
+  expect_load_fails("0.0,0.05\nabc,0.06\n", "time_hours is not numeric");
+  expect_load_fails("1.0,cheap\n", "price is not numeric");
+  expect_load_fails("0.0,0.05\n1.0x,0.06\n", "trailing characters");
+}
+
+TEST(SpotTraceCsvHardening, RejectsNanAndInfinitePrices) {
+  expect_load_fails("0.0,nan\n", "price is NaN");
+  expect_load_fails("0.0,inf\n", "price is not finite");
+  expect_load_fails("nan,0.05\n", "time_hours is NaN");
+}
+
+TEST(SpotTraceCsvHardening, RejectsNonPositivePricesAndNegativeTimes) {
+  expect_load_fails("0.0,0.0\n", "price must be positive");
+  expect_load_fails("0.0,-0.1\n", "price must be positive");
+  expect_load_fails("-1.0,0.05\n", "time_hours must be non-negative");
+}
+
+TEST(SpotTraceCsvHardening, RejectsUnsortedAndDuplicateTimestamps) {
+  expect_load_fails("0.0,0.05\n2.0,0.06\n1.0,0.07\n", "precedes");
+  expect_load_fails("0.0,0.05\n1.0,0.06\n1.0,0.07\n", "duplicates");
+}
+
+TEST(SpotTraceCsvHardening, RejectsUnknownEventLabels) {
+  expect_load_fails("0.0,0.05,evicted\n", "event must be empty");
+}
+
+TEST(SpotTraceCsvHardening, RejectsEmptyFiles) {
+  expect_load_fails("", "no data rows");
+  expect_load_fails("time_hours,price\n", "no data rows");
+}
+
+TEST(SpotTraceCsvHardening, ErrorsNameRowAsInFile) {
+  // Row numbering is 1-based and counts the header, matching what the
+  // user sees in an editor.
+  expect_load_fails("time_hours,price\n0.0,0.05\n1.0,bad\n", "row 3");
+}
+
+TEST(SpotTraceCsvHardening, AcceptsHeaderlessAndEventColumns) {
+  const std::string path = ::testing::TempDir() + "rrp_trace_ok.csv";
+  {
+    std::ofstream out(path);
+    out << "0.0,0.05\n1.5,0.06,revoke\n2.5,0.07,storm\n";
+  }
+  const SpotTrace t = SpotTrace::load_csv(path, VmClass::C1Medium);
+  std::remove(path.c_str());
+  ASSERT_EQ(t.ticks().size(), 3u);
+  ASSERT_EQ(t.revocations().size(), 2u);
+  EXPECT_FALSE(t.revocations()[0].storm);
+  EXPECT_TRUE(t.revocations()[1].storm);
 }
 
 TEST(SpotTrace, CsvRoundTrip) {

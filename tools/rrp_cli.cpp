@@ -18,6 +18,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/demand.hpp"
+#include "core/evaluation.hpp"
 #include "core/rolling_horizon.hpp"
 #include "core/wagner_whitin.hpp"
 #include "market/auction.hpp"
@@ -219,6 +220,65 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+/// Applies the revocation flags on top of a named regime's defaults.
+market::RevocationConfig revocation_from_args(const Args& args,
+                                              const std::string& regime) {
+  market::RevocationConfig cfg = market::RevocationConfig::regime(regime);
+  cfg.checkpoint_overhead =
+      args.get_double("checkpoint-cost", cfg.checkpoint_overhead);
+  cfg.storm_rate = args.get_double("storm-rate", cfg.storm_rate);
+  cfg.hazard_per_slot = args.get_double("hazard", cfg.hazard_per_slot);
+  cfg.seed = args.get_u64("seed", 42);
+  cfg.validate();
+  return cfg;
+}
+
+/// `rrp simulate --revocations REGIME` without --policy: the paper's
+/// policy comparison re-run under hostile market regimes, on realised
+/// cost AND work lost.
+int simulate_regime_table(const Args& args, market::VmClass vm,
+                          std::size_t hours) {
+  const std::string regime = args.get("revocations", "storm");
+  core::EvaluationConfig cfg;
+  cfg.vm = vm;
+  cfg.eval_hours = hours;
+  cfg.trials = static_cast<std::size_t>(args.get_u64("trials", 4));
+  cfg.seed = args.get_u64("seed", 2012);
+
+  std::vector<core::InterruptionRegime> regimes;
+  if (regime == "all") {
+    regimes = core::standard_interruption_regimes();
+    for (core::InterruptionRegime& r : regimes) {
+      core::InterruptionRegime overridden{r.name,
+                                          revocation_from_args(args, r.name)};
+      r = std::move(overridden);
+    }
+  } else {
+    regimes.push_back(
+        core::InterruptionRegime{regime, revocation_from_args(args, regime)});
+  }
+
+  const auto policies = core::interruption_policies();
+  const auto results = core::evaluate_under_regimes(cfg, policies, regimes);
+  for (const core::RegimeResult& rr : results) {
+    Table table("Regime \"" + rr.regime + "\" on " +
+                std::string(market::info(vm).name) + " (" +
+                std::to_string(cfg.trials) + " trials, " +
+                std::to_string(hours) + "h)");
+    table.set_header({"policy", "cost", "overpay", "revoked", "work lost",
+                      "interruption $"});
+    for (const core::PolicyStats& s : rr.result.policies) {
+      table.add_row({s.policy, Table::num(s.mean_cost, 3),
+                     Table::pct(s.mean_overpay),
+                     Table::num(s.mean_revocations, 1),
+                     Table::num(s.mean_work_lost, 2),
+                     Table::num(s.mean_interruption_cost, 3)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
 int cmd_simulate(const Args& args) {
   if (args.help()) {
     std::cout << "rrp simulate [--class c1.medium] [--hours 48] "
@@ -226,17 +286,28 @@ int cmd_simulate(const Args& args) {
                  "det-predict|on-demand|no-plan] [--replan N] "
                  "[--time-limit SECONDS] [--jobs N] [--seed N] "
                  "[--trace FILE]\n"
+                 "            [--revocations calm|bid-cross|storm|all] "
+                 "[--hazard P] [--storm-rate P]\n"
+                 "            [--checkpoint-cost F] [--trials N]\n"
                  "  --time-limit caps each re-plan solve (0 = unlimited); "
                  "on expiry the best\n  incumbent is used and failed "
                  "re-plans degrade via the recovery ladder.\n"
                  "  --jobs sets the branch & bound worker threads per "
                  "re-plan solve\n  (0 = all cores; only the MILP backend "
-                 "parallelises).\n";
+                 "parallelises).\n"
+                 "  --revocations turns on mid-slot spot interruptions. "
+                 "Without --policy it\n  prints the policy comparison "
+                 "table under the chosen regime(s) (--trials\n  windows, "
+                 "<= 10); with --policy it runs one interruption-aware "
+                 "simulation.\n  --hazard / --storm-rate / "
+                 "--checkpoint-cost override the regime defaults.\n";
     return 0;
   }
   const market::VmClass vm = market::from_name(args.get("class",
                                                         "c1.medium"));
   const auto hours = static_cast<std::size_t>(args.get_u64("hours", 48));
+  if (args.has("revocations") && !args.has("policy"))
+    return simulate_regime_table(args, vm, hours);
   const auto trace = load_or_generate(args, vm);
   const auto hourly = trace.hourly();
   const std::size_t history = std::min<std::size_t>(
@@ -253,6 +324,19 @@ int cmd_simulate(const Args& args) {
                         hourly.end());
   Rng rng(args.get_u64("seed", 42));
   in.demand = core::generate_demand(hours, core::DemandConfig{}, rng);
+  if (args.has("revocations")) {
+    const std::string regime = args.get("revocations", "storm");
+    if (regime == "all") {
+      std::cerr << "--revocations all needs the comparison table; drop "
+                   "--policy\n";
+      return 2;
+    }
+    in.revocation = revocation_from_args(args, regime);
+    const auto last = static_cast<long>(hourly.size());
+    const auto first = last - static_cast<long>(hours);
+    in.intra_slot_max = trace.hourly_max(first, last);
+    in.trace_revocations = trace.hourly_revocations(first, last);
+  }
 
   const std::string name = args.get("policy", "sto-exp-mean");
   core::PolicyConfig policy;
@@ -325,6 +409,25 @@ int cmd_simulate(const Args& args) {
   if (!result.price_faults.empty())
     table.add_row({"price-feed faults",
                    std::to_string(result.price_faults.size())});
+  if (in.revocation.enabled || result.revoked_slots() > 0) {
+    table.add_row({"revoked slots",
+                   std::to_string(result.revoked_slots())});
+    table.add_row({"  bid-cross",
+                   std::to_string(result.revoked_bid_cross)});
+    table.add_row({"  hazard", std::to_string(result.revoked_hazard)});
+    table.add_row({"  storm", std::to_string(result.revoked_storm)});
+    table.add_row({"  re-acquired spot",
+                   std::to_string(result.recovered_spot)});
+    table.add_row({"  migrated type",
+                   std::to_string(result.recovered_migration)});
+    table.add_row({"  on-demand backstop",
+                   std::to_string(result.recovered_on_demand)});
+    table.add_row({"work lost (slots)", Table::num(result.work_lost, 2)});
+    table.add_row({"checkpoint overhead",
+                   Table::num(result.checkpoint_overhead_cost, 3)});
+    table.add_row({"interruption cost",
+                   Table::num(result.interruption_cost(), 3)});
+  }
   table.print(std::cout);
   return 0;
 }
