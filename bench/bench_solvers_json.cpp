@@ -54,6 +54,11 @@ struct Record {
   std::size_t nodes = 0;
   double nodes_per_second = 0.0;
   double warm_hit_rate = 0.0;
+  // Root-cut and sparse-LU factorisation telemetry.
+  std::size_t cuts_added = 0;
+  double root_gap_closed = 0.0;
+  double mean_fill_ratio = 0.0;
+  double refactor_cadence = 0.0;
 };
 
 std::string fmt(double v) {
@@ -65,7 +70,7 @@ std::string fmt(double v) {
 void write_json(const std::vector<Record>& records, double srrp_warm_speedup,
                 std::ostream& out) {
   out << "{\n";
-  out << "  \"schema\": \"rrp-bench-solvers-v1\",\n";
+  out << "  \"schema\": \"rrp-bench-solvers-v2\",\n";
   out << "  \"repeats\": " << kRepeats << ",\n";
   out << "  \"srrp_warm_speedup\": " << fmt(srrp_warm_speedup) << ",\n";
   out << "  \"results\": [\n";
@@ -76,7 +81,11 @@ void write_json(const std::vector<Record>& records, double srrp_warm_speedup,
     if (r.has_tree_stats) {
       out << ", \"nodes\": " << r.nodes
           << ", \"nodes_per_second\": " << fmt(r.nodes_per_second)
-          << ", \"warm_hit_rate\": " << fmt(r.warm_hit_rate);
+          << ", \"warm_hit_rate\": " << fmt(r.warm_hit_rate)
+          << ", \"cuts_added\": " << r.cuts_added
+          << ", \"root_gap_closed\": " << fmt(r.root_gap_closed)
+          << ", \"mean_fill_ratio\": " << fmt(r.mean_fill_ratio)
+          << ", \"refactor_cadence\": " << fmt(r.refactor_cadence);
     }
     out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
@@ -139,6 +148,10 @@ Record bench_milp(std::string name, Solve&& solve) {
     nodes = r.nodes_explored;
     warm = r.warm_started_nodes;
     cold = r.cold_solved_nodes;
+    rec.cuts_added = r.cuts_added;
+    rec.root_gap_closed = r.root_gap_closed;
+    rec.mean_fill_ratio = r.factor_stats.mean_fill_ratio();
+    rec.refactor_cadence = r.factor_stats.refactor_cadence();
   });
   rec.has_tree_stats = true;
   rec.nodes = nodes;
@@ -151,15 +164,33 @@ Record bench_milp(std::string name, Solve&& solve) {
       lps > 0 ? static_cast<double>(warm) / static_cast<double>(lps) : 0.0;
   std::cerr << rec.name << ": " << fmt(rec.median_seconds * 1e3) << " ms, "
             << nodes << " nodes, " << fmt(rec.nodes_per_second)
-            << " nodes/s, warm " << fmt(100.0 * rec.warm_hit_rate) << "%\n";
+            << " nodes/s, warm " << fmt(100.0 * rec.warm_hit_rate)
+            << "%, cuts " << rec.cuts_added << " (gap closed "
+            << fmt(100.0 * rec.root_gap_closed) << "%), fill "
+            << fmt(rec.mean_fill_ratio) << ", refactor cadence "
+            << fmt(rec.refactor_cadence) << "\n";
   return rec;
 }
 
+/// Throughput-probe options: node-limited, root cuts off so nodes/sec
+/// keeps measuring raw per-node LP cost (cuts would collapse the tree
+/// and turn the metric into a cut-quality measurement).
 milp::BnbOptions tree_options(bool warm_start, std::size_t jobs) {
   milp::BnbOptions opt;
   opt.warm_start = warm_start;
   opt.jobs = jobs;
   opt.max_nodes = 300;  // throughput probe; optimality not required
+  opt.root_cuts = false;
+  return opt;
+}
+
+/// Solve-to-optimality options for the cut-effectiveness entries: the
+/// node counts (not wall time) are the gated metric.
+milp::BnbOptions opt_options(bool cuts) {
+  milp::BnbOptions opt;
+  opt.warm_start = true;
+  opt.jobs = 1;
+  opt.root_cuts = cuts;
   return opt;
 }
 
@@ -187,6 +218,23 @@ int main() {
           std::string("drrp_aggregated_h24_") + (warm ? "warm" : "cold"),
           [&] {
             return core::solve_drrp(inst, tree_options(warm, 1),
+                                    core::DrrpFormulation::Aggregated);
+          }));
+    }
+  }
+
+  // DRRP aggregated solved to optimality with root (l,S) cuts on vs
+  // off: the node counts are the gated metric (check_perf.py enforces
+  // per-entry max_nodes caps), demonstrating the cut-driven search
+  // collapse on a real lot-sizing tree.
+  {
+    const auto inst = drrp_instance(16);
+    for (const bool cuts : {false, true}) {
+      records.push_back(bench_milp(
+          std::string("drrp_aggregated_h16_opt_") +
+              (cuts ? "cuts" : "nocuts"),
+          [&] {
+            return core::solve_drrp(inst, opt_options(cuts),
                                     core::DrrpFormulation::Aggregated);
           }));
     }

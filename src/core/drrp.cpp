@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/invariant.hpp"
+#include "milp/cuts.hpp"
 
 namespace rrp::core {
 
@@ -245,13 +246,29 @@ RentalPlan solve_drrp_aggregated(const DrrpInstance& inst,
                                  const milp::BnbOptions& options) {
   DrrpVariables vars;
   const milp::Model model = build_drrp(inst, &vars);
-  const milp::MipResult result = milp::solve(model, options);
+
+  // The aggregated formulation is single-item lot-sizing, so (l,S)
+  // inequalities separated at the root tighten its weak relaxation.
+  milp::LotSizingCutGenerator lot_cuts;
+  milp::BnbOptions opt = options;
+  if (opt.root_cuts && opt.cut_generator == nullptr) {
+    std::vector<milp::LotSlot> slots(inst.horizon());
+    for (std::size_t t = 0; t < inst.horizon(); ++t)
+      slots[t] = milp::LotSlot{vars.alpha[t].id, vars.chi[t].id,
+                               inst.demand[t]};
+    lot_cuts.add_chain(std::move(slots), inst.initial_storage);
+    opt.cut_generator = &lot_cuts;
+  }
+  const milp::MipResult result = milp::solve(model, opt);
 
   RentalPlan plan;
   plan.status = result.status;
   plan.nodes_explored = result.nodes_explored;
   plan.warm_started_nodes = result.warm_started_nodes;
   plan.cold_solved_nodes = result.cold_solved_nodes;
+  plan.factor_stats = result.factor_stats;
+  plan.cuts_added = result.cuts_added;
+  plan.root_gap_closed = result.root_gap_closed;
   if (result.x.empty()) return plan;
 
   const std::size_t T = inst.horizon();
@@ -281,6 +298,7 @@ RentalPlan solve_drrp_fl(const DrrpInstance& inst,
   plan.nodes_explored = result.nodes_explored;
   plan.warm_started_nodes = result.warm_started_nodes;
   plan.cold_solved_nodes = result.cold_solved_nodes;
+  plan.factor_stats = result.factor_stats;
   if (result.x.empty()) return plan;
 
   const std::size_t T = inst.horizon();

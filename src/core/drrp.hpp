@@ -72,6 +72,13 @@ struct RentalPlan {
   /// milp::MipResult); zero for non-MILP backends (Wagner-Whitin, DP).
   std::size_t warm_started_nodes = 0;
   std::size_t cold_solved_nodes = 0;
+  /// Root-node (l,S) lot-sizing cuts added to the MILP and the fraction
+  /// of the root gap they closed (milp::MipResult); zero for non-MILP
+  /// backends.
+  std::size_t cuts_added = 0;
+  double root_gap_closed = 0.0;
+  /// Sparse-LU telemetry aggregated over every node LP solver.
+  lp::FactorizationStats factor_stats;
 
   bool feasible() const {
     return status == milp::MipStatus::Optimal ||

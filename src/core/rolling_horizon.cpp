@@ -384,6 +384,7 @@ void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
         result_.solver_nodes_explored += plan.nodes_explored;
         result_.solver_warm_started_nodes += plan.warm_started_nodes;
         result_.solver_cold_solved_nodes += plan.cold_solved_nodes;
+        result_.solver_cuts_added += plan.cuts_added;
         if (plan.feasible()) {
           commit_schedule(t, std::move(plan), estimates);
           return;
@@ -416,6 +417,7 @@ void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
         result_.solver_nodes_explored += policy.nodes_explored;
         result_.solver_warm_started_nodes += policy.warm_started_nodes;
         result_.solver_cold_solved_nodes += policy.cold_solved_nodes;
+        result_.solver_cuts_added += policy.cuts_added;
         if (policy.feasible()) {
           commit_tree(t, std::move(policy), std::move(inst.tree), estimates);
           return;

@@ -154,6 +154,7 @@ struct SimulationResult {
   std::size_t solver_nodes_explored = 0;   ///< summed over all re-plans
   std::size_t solver_warm_started_nodes = 0;
   std::size_t solver_cold_solved_nodes = 0;
+  std::size_t solver_cuts_added = 0;       ///< root (l,S) cuts, summed
 
   // --- Revocation telemetry (one RevocationEvent per revoked slot). ---
   std::vector<RevocationEvent> revocations;

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/invariant.hpp"
+#include "milp/cuts.hpp"
 
 namespace rrp::core {
 
@@ -340,13 +341,38 @@ SrrpPolicy solve_srrp_aggregated(const SrrpInstance& inst,
                                  const milp::BnbOptions& options) {
   SrrpVariables vars;
   const milp::Model model = build_srrp(inst, &vars);
-  const milp::MipResult result = milp::solve(model, options);
+
+  // Each root-to-leaf path of the scenario tree is one single-item
+  // lot-sizing chain (the (l,S) cuts only involve that scenario's
+  // variables, so they are valid per path); chains sharing a tree
+  // prefix separate duplicate cuts, which the B&B cut pool drops.
+  milp::LotSizingCutGenerator lot_cuts;
+  milp::BnbOptions opt = options;
+  if (opt.root_cuts && opt.cut_generator == nullptr) {
+    for (std::size_t leaf : inst.tree.leaves()) {
+      const auto path = inst.tree.path_from_root(leaf);
+      std::vector<milp::LotSlot> slots;
+      slots.reserve(path.size());
+      for (std::size_t u : path) {
+        if (u == inst.tree.root()) continue;
+        slots.push_back(milp::LotSlot{vars.alpha[u].id, vars.chi[u].id,
+                                      inst.demand_at_vertex(u)});
+      }
+      if (!slots.empty()) lot_cuts.add_chain(std::move(slots),
+                                             inst.initial_storage);
+    }
+    opt.cut_generator = &lot_cuts;
+  }
+  const milp::MipResult result = milp::solve(model, opt);
 
   SrrpPolicy policy;
   policy.status = result.status;
   policy.nodes_explored = result.nodes_explored;
   policy.warm_started_nodes = result.warm_started_nodes;
   policy.cold_solved_nodes = result.cold_solved_nodes;
+  policy.factor_stats = result.factor_stats;
+  policy.cuts_added = result.cuts_added;
+  policy.root_gap_closed = result.root_gap_closed;
   if (result.x.empty()) return policy;
 
   const std::size_t V = inst.tree.num_vertices();
@@ -376,6 +402,7 @@ SrrpPolicy solve_srrp_fl(const SrrpInstance& inst,
   policy.nodes_explored = result.nodes_explored;
   policy.warm_started_nodes = result.warm_started_nodes;
   policy.cold_solved_nodes = result.cold_solved_nodes;
+  policy.factor_stats = result.factor_stats;
   if (result.x.empty()) return policy;
 
   const std::size_t V = inst.tree.num_vertices();

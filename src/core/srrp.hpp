@@ -60,6 +60,13 @@ struct SrrpPolicy {
   /// milp::MipResult); zero for the tree-DP backend.
   std::size_t warm_started_nodes = 0;
   std::size_t cold_solved_nodes = 0;
+  /// Root-node (l,S) lot-sizing cuts (one chain per scenario path) and
+  /// the root-gap fraction they closed; zero outside the aggregated
+  /// MILP backend.
+  std::size_t cuts_added = 0;
+  double root_gap_closed = 0.0;
+  /// Sparse-LU telemetry aggregated over every node LP solver.
+  lp::FactorizationStats factor_stats;
 
   bool feasible() const {
     return status == milp::MipStatus::Optimal ||

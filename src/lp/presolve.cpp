@@ -1,5 +1,6 @@
 #include "lp/presolve.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "lp/simplex.hpp"
@@ -9,6 +10,12 @@ namespace rrp::lp {
 namespace {
 
 constexpr double kFeasTol = 1e-9;
+/// Minimum improvement for an activity-derived bound to be applied —
+/// keeps marginal tightenings from ping-ponging the fixpoint loop.
+constexpr double kTightenTol = 1e-7;
+/// Fixpoint sweep cap (bound tightening converges geometrically on
+/// pathological cyclic programs; 100 sweeps is far past useful).
+constexpr int kMaxSweeps = 100;
 
 struct WorkingState {
   std::vector<double> lo, hi, obj;       // per original variable
@@ -16,10 +23,57 @@ struct WorkingState {
   std::vector<double> row_lo, row_hi;
   std::vector<bool> row_live;
   std::vector<bool> var_live;
+  /// Variables removed as zero-cost column singletons (value recovered
+  /// by PresolvedLp::restore, not by a fixed value).
+  std::vector<bool> var_singleton;
+  std::vector<PresolvedLp::SingletonRestore> singletons;
   double offset = 0.0;
+  /// +1 for Minimize, -1 for Maximize (orients empty-column fixing).
+  double sense_sign = 1.0;
   bool infeasible = false;
   std::size_t rows_removed = 0;
 };
+
+/// Min/max achievable value of `coeff * x` for x in [lo, hi].
+struct TermRange {
+  double min = 0.0, max = 0.0;
+};
+
+TermRange term_range(double coeff, double lo, double hi) {
+  const double a = coeff * lo;
+  const double b = coeff * hi;
+  return coeff >= 0.0 ? TermRange{a, b} : TermRange{b, a};
+}
+
+/// Row activity bounds with infinite contributions tracked separately,
+/// so "activity excluding variable j" never computes inf - inf.
+struct ActivityBounds {
+  double min_finite = 0.0, max_finite = 0.0;
+  int min_inf = 0, max_inf = 0;
+
+  double min(int drop_inf = 0, double drop_finite = 0.0) const {
+    return min_inf > drop_inf ? -kInfinity : min_finite - drop_finite;
+  }
+  double max(int drop_inf = 0, double drop_finite = 0.0) const {
+    return max_inf > drop_inf ? kInfinity : max_finite - drop_finite;
+  }
+};
+
+ActivityBounds row_activity(const WorkingState& s, std::size_t r) {
+  ActivityBounds act;
+  for (const Entry& e : s.rows[r]) {
+    const TermRange t = term_range(e.coeff, s.lo[e.col], s.hi[e.col]);
+    if (t.min <= -kInfinity)
+      ++act.min_inf;
+    else
+      act.min_finite += t.min;
+    if (t.max >= kInfinity)
+      ++act.max_inf;
+    else
+      act.max_finite += t.max;
+  }
+  return act;
+}
 
 /// Fixes variable j at value v: moves its contribution into row bounds
 /// and the objective offset.
@@ -93,7 +147,144 @@ bool sweep(WorkingState& s) {
       s.row_live[r] = false;
       ++s.rows_removed;
       changed = true;
+      continue;
     }
+    // Multi-entry rows: activity analysis.
+    const ActivityBounds act = row_activity(s, r);
+    const double act_min = act.min();
+    const double act_max = act.max();
+    if (act_min > s.row_hi[r] + kFeasTol || act_max < s.row_lo[r] - kFeasTol) {
+      s.infeasible = true;
+      return false;
+    }
+    if (act_min >= s.row_lo[r] - kFeasTol && act_max <= s.row_hi[r] + kFeasTol) {
+      // Redundant: every point within variable bounds satisfies it.
+      s.row_live[r] = false;
+      ++s.rows_removed;
+      changed = true;
+      continue;
+    }
+    const bool force_min = act_min > -kInfinity && s.row_hi[r] < kInfinity &&
+                           act_min >= s.row_hi[r] - kFeasTol;
+    const bool force_max = act_max < kInfinity && s.row_lo[r] > -kInfinity &&
+                           act_max <= s.row_lo[r] + kFeasTol;
+    if (force_min || force_max) {
+      // Forcing constraint: the row is only satisfiable at one extreme
+      // activity, pinning every variable to the bound achieving it.
+      const std::vector<Entry> entries = s.rows[r];
+      for (const Entry& e : entries) {
+        const bool at_lo = (e.coeff > 0.0) == force_min;
+        fix_variable(s, e.col, at_lo ? s.lo[e.col] : s.hi[e.col]);
+      }
+      s.row_live[r] = false;
+      ++s.rows_removed;
+      changed = true;
+      continue;
+    }
+    // Implied variable bounds: a_j x_j must fit between the row bounds
+    // minus the extreme activity of the OTHER variables.
+    for (const Entry& e : s.rows[r]) {
+      const TermRange t = term_range(e.coeff, s.lo[e.col], s.hi[e.col]);
+      const double others_min =
+          act.min(t.min <= -kInfinity ? 1 : 0,
+                  t.min <= -kInfinity ? 0.0 : t.min);
+      const double others_max =
+          act.max(t.max >= kInfinity ? 1 : 0,
+                  t.max >= kInfinity ? 0.0 : t.max);
+      // a_j x_j <= row_hi - others_min and a_j x_j >= row_lo - others_max.
+      double term_hi = kInfinity, term_lo = -kInfinity;
+      if (s.row_hi[r] < kInfinity && others_min > -kInfinity)
+        term_hi = s.row_hi[r] - others_min;
+      if (s.row_lo[r] > -kInfinity && others_max < kInfinity)
+        term_lo = s.row_lo[r] - others_max;
+      double new_lo = -kInfinity, new_hi = kInfinity;
+      if (e.coeff > 0.0) {
+        if (term_lo > -kInfinity) new_lo = term_lo / e.coeff;
+        if (term_hi < kInfinity) new_hi = term_hi / e.coeff;
+      } else {
+        if (term_hi < kInfinity) new_lo = term_hi / e.coeff;
+        if (term_lo > -kInfinity) new_hi = term_lo / e.coeff;
+      }
+      if (new_lo > s.lo[e.col] + kTightenTol * (1.0 + std::fabs(new_lo))) {
+        s.lo[e.col] = new_lo;
+        changed = true;
+      }
+      if (new_hi < s.hi[e.col] - kTightenTol * (1.0 + std::fabs(new_hi))) {
+        s.hi[e.col] = new_hi;
+        changed = true;
+      }
+      if (s.lo[e.col] > s.hi[e.col] + kFeasTol) {
+        s.infeasible = true;
+        return false;
+      }
+    }
+  }
+  // Column pass: occurrence counts over the live rows.
+  std::vector<std::size_t> col_count(s.var_live.size(), 0);
+  std::vector<std::size_t> col_row(s.var_live.size(), 0);
+  for (std::size_t r = 0; r < s.rows.size(); ++r) {
+    if (!s.row_live[r]) continue;
+    for (const Entry& e : s.rows[r]) {
+      ++col_count[e.col];
+      col_row[e.col] = r;
+    }
+  }
+  for (std::size_t j = 0; j < s.var_live.size(); ++j) {
+    if (!s.var_live[j]) continue;
+    if (col_count[j] == 0) {
+      // Empty column: fix at the objective-optimising bound.  An
+      // infinite optimising bound means the LP is unbounded in x_j;
+      // leave it for the simplex to report.
+      const double c = s.sense_sign * s.obj[j];
+      const double v = c > 0.0   ? s.lo[j]
+                       : c < 0.0 ? s.hi[j]
+                                 : std::min(std::max(0.0, s.lo[j]), s.hi[j]);
+      if (std::isfinite(v)) {
+        fix_variable(s, j, v);
+        changed = true;
+      }
+      continue;
+    }
+    if (col_count[j] != 1 || s.obj[j] != 0.0) continue;
+    // Zero-cost column singleton: eliminate the variable AND its row
+    // when a_j x_j can absorb any feasible activity of the rest.
+    const std::size_t r = col_row[j];
+    double coeff = 0.0;
+    ActivityBounds rest;
+    std::vector<Entry> others;
+    for (const Entry& e : s.rows[r]) {
+      if (e.col == j) {
+        coeff = e.coeff;
+        continue;
+      }
+      others.push_back(e);
+      const TermRange t = term_range(e.coeff, s.lo[e.col], s.hi[e.col]);
+      if (t.min <= -kInfinity)
+        ++rest.min_inf;
+      else
+        rest.min_finite += t.min;
+      if (t.max >= kInfinity)
+        ++rest.max_inf;
+      else
+        rest.max_finite += t.max;
+    }
+    const TermRange span = term_range(coeff, s.lo[j], s.hi[j]);
+    // Need row_lo - rest <= span.max and row_hi - rest >= span.min for
+    // every reachable rest, i.e. at the extreme rests.
+    const bool lo_ok = s.row_lo[r] <= -kInfinity || span.max >= kInfinity ||
+                       (rest.min() > -kInfinity &&
+                        s.row_lo[r] - rest.min() <= span.max + kFeasTol);
+    const bool hi_ok = s.row_hi[r] >= kInfinity || span.min <= -kInfinity ||
+                       (rest.max() < kInfinity &&
+                        s.row_hi[r] - rest.max() >= span.min - kFeasTol);
+    if (!lo_ok || !hi_ok) continue;
+    s.singletons.push_back({j, coeff, s.lo[j], s.hi[j], s.row_lo[r],
+                            s.row_hi[r], std::move(others)});
+    s.var_live[j] = false;
+    s.var_singleton[j] = true;
+    s.row_live[r] = false;
+    ++s.rows_removed;
+    changed = true;
   }
   return changed;
 }
@@ -108,6 +299,21 @@ std::vector<double> PresolvedLp::restore(
     if (fixed[j].has_value()) x[j] = *fixed[j];
   for (std::size_t k = 0; k < var_map.size(); ++k)
     x[var_map[k]] = reduced_x[k];
+  // Recompute eliminated column singletons in reverse elimination
+  // order: a record's `others` may reference variables recovered by a
+  // later record.
+  for (auto it = singletons.rbegin(); it != singletons.rend(); ++it) {
+    double rest = 0.0;
+    for (const Entry& e : it->others) rest += e.coeff * x[e.col];
+    const TermRange span = term_range(it->coeff, it->var_lo, it->var_hi);
+    double t_lo = span.min, t_hi = span.max;
+    if (it->row_lo > -kInfinity) t_lo = std::max(t_lo, it->row_lo - rest);
+    if (it->row_hi < kInfinity) t_hi = std::min(t_hi, it->row_hi - rest);
+    // Elimination guaranteed [t_lo, t_hi] nonempty (up to tolerance);
+    // prefer 0 for a tidy solution vector.
+    const double t = std::min(std::max(0.0, t_lo), std::max(t_lo, t_hi));
+    x[it->var] = t / it->coeff;
+  }
   return x;
 }
 
@@ -118,6 +324,8 @@ PresolvedLp presolve(const LinearProgram& lp) {
   s.hi.resize(n);
   s.obj.resize(n);
   s.var_live.assign(n, true);
+  s.var_singleton.assign(n, false);
+  s.sense_sign = lp.sense() == Sense::Minimize ? 1.0 : -1.0;
   for (std::size_t j = 0; j < n; ++j) {
     s.lo[j] = lp.variable(j).lo;
     s.hi[j] = lp.variable(j).hi;
@@ -130,7 +338,7 @@ PresolvedLp presolve(const LinearProgram& lp) {
     s.row_live.push_back(true);
   }
 
-  while (sweep(s)) {
+  for (int pass = 0; pass < kMaxSweeps && sweep(s); ++pass) {
   }
 
   PresolvedLp out;
@@ -141,13 +349,16 @@ PresolvedLp presolve(const LinearProgram& lp) {
   }
   out.objective_offset = s.offset;
   out.rows_removed = s.rows_removed;
+  out.singletons = std::move(s.singletons);
 
   // Rebuild the reduced program over the surviving variables/rows.
   std::vector<std::size_t> new_index(n, static_cast<std::size_t>(-1));
   out.reduced.set_sense(lp.sense());
   for (std::size_t j = 0; j < n; ++j) {
     if (!s.var_live[j]) {
-      out.fixed[j] = s.lo[j];
+      // Singleton-eliminated variables are recovered by restore(), not
+      // by a fixed value.
+      if (!s.var_singleton[j]) out.fixed[j] = s.lo[j];
       ++out.vars_removed;
       continue;
     }

@@ -4,8 +4,19 @@
 //  * singleton rows — converted into variable-bound tightenings;
 //  * fixed variables (lo == hi) — substituted into rows and the
 //    objective, shrinking the problem;
+//  * activity bound tightening — each row's min/max activity implies
+//    bounds on every participating variable (and proves rows redundant
+//    or infeasible);
+//  * forcing constraints — a row whose minimum activity equals its
+//    upper bound (or maximum equals its lower) pins every variable in
+//    it to the corresponding extreme bound;
+//  * empty columns — fixed at the objective-minimising finite bound;
+//  * zero-cost column singletons — when the variable's range can absorb
+//    any feasible activity of the rest of its only row, both the column
+//    and the row are removed; `restore()` recomputes the value from the
+//    surviving variables (records replayed in reverse order).
 // iterated to a fixpoint (a singleton row may fix a variable, whose
-// substitution creates new singletons).
+// substitution creates new singletons), capped at 100 sweeps.
 //
 // Presolve is opt-in: `presolve()` produces a reduced program plus the
 // bookkeeping needed to map a reduced solution back to the original
@@ -35,6 +46,20 @@ struct PresolvedLp {
   double objective_offset = 0.0;
   std::size_t rows_removed = 0;
   std::size_t vars_removed = 0;
+
+  /// A zero-cost column singleton eliminated together with its row; the
+  /// variable's value is recomputed during restore() from the values of
+  /// the row's other variables (original indices, bounds as of the
+  /// elimination).  Replayed in REVERSE creation order, so a record may
+  /// reference variables eliminated by later records.
+  struct SingletonRestore {
+    std::size_t var = 0;
+    double coeff = 0.0;          ///< the singleton's row coefficient
+    double var_lo = 0.0, var_hi = 0.0;
+    double row_lo = 0.0, row_hi = 0.0;
+    std::vector<Entry> others;   ///< remaining row entries
+  };
+  std::vector<SingletonRestore> singletons;
 
   /// Lifts a reduced-space solution vector back to original indices.
   std::vector<double> restore(const std::vector<double>& reduced_x) const;

@@ -7,7 +7,6 @@
 
 #include "common/fault_injection.hpp"
 #include "common/invariant.hpp"
-#include "common/matrix.hpp"
 
 namespace rrp::lp {
 
@@ -50,9 +49,9 @@ SimplexSolver::SimplexSolver(const LinearProgram& lp) {
   value_.assign(total_, 0.0);
   basis_.resize(m_);
   xb_.resize(m_);
-  binv_ = Matrix(m_, m_);
   w_.resize(m_);
   y_.resize(m_);
+  rho_.resize(m_);
   rhs_.resize(m_);
   cost_.assign(total_, 0.0);
 }
@@ -71,21 +70,16 @@ void SimplexSolver::set_objective(std::size_t j, double coeff) {
 }
 
 void SimplexSolver::ftran(std::size_t j) const {
+  // w = Binv * A_j, via the sparse solve B w = A_j.
   std::fill(w_.begin(), w_.end(), 0.0);
-  for (const Entry& e : cols_[j]) {
-    const double c = e.coeff;
-    for (std::size_t i = 0; i < m_; ++i) w_[i] += c * binv_(i, e.col);
-  }
+  for (const Entry& e : cols_[j]) w_[e.col] += e.coeff;
+  lu_.ftran(w_);
 }
 
 void SimplexSolver::compute_duals(const std::vector<double>& cost) const {
-  // y = c_B^T * Binv.
-  std::fill(y_.begin(), y_.end(), 0.0);
-  for (std::size_t i = 0; i < m_; ++i) {
-    const double cb = cost[basis_[i]];
-    if (cb == 0.0) continue;
-    for (std::size_t k = 0; k < m_; ++k) y_[k] += cb * binv_(i, k);
-  }
+  // y = c_B^T * Binv, via the sparse solve B^T y = c_B.
+  for (std::size_t i = 0; i < m_; ++i) y_[i] = cost[basis_[i]];
+  lu_.btran(y_);
 }
 
 double SimplexSolver::reduced_cost(std::size_t j,
@@ -96,11 +90,13 @@ double SimplexSolver::reduced_cost(std::size_t j,
 }
 
 void SimplexSolver::refactorize() {
-  Matrix b(m_, m_);
-  for (std::size_t pos = 0; pos < m_; ++pos) {
-    for (const Entry& e : cols_[basis_[pos]]) b(e.col, pos) = e.coeff;
-  }
-  binv_ = b.inverse();
+  lu_.factorize(m_, cols_, basis_);  // throws NumericalError if singular
+  ++factor_stats_.refactorizations;
+  factor_stats_.fill_ratio_sum += lu_.fill_ratio();
+  // Fill trigger for the eta file: once the accumulated eta nonzeros
+  // outgrow the factor itself, replaying them costs more than a fresh
+  // factorisation would.
+  eta_nnz_cap_ = std::max<std::size_t>(4 * m_, 2 * lu_.factor_nonzeros());
   pivots_since_refactor_ = 0;
   recompute_basic_values();
 #if RRP_INVARIANTS_ENABLED
@@ -117,11 +113,8 @@ void SimplexSolver::recompute_basic_values() {
     if (status_[j] == BasisStatus::Basic || value_[j] == 0.0) continue;
     for (const Entry& e : cols_[j]) rhs_[e.col] -= e.coeff * value_[j];
   }
-  for (std::size_t i = 0; i < m_; ++i) {
-    double acc = 0.0;
-    for (std::size_t k = 0; k < m_; ++k) acc += binv_(i, k) * rhs_[k];
-    xb_[i] = acc;
-  }
+  xb_ = rhs_;
+  lu_.ftran(xb_);
 }
 
 void SimplexSolver::check_basis() const {
@@ -134,8 +127,17 @@ void SimplexSolver::check_basis() const {
                     std::to_string(basic_count) + " variables marked basic");
   for (std::size_t i = 0; i < m_; ++i)
     RRP_INVARIANT(status_[basis_[i]] == BasisStatus::Basic);
-  // Expensive factorization dcheck: Binv * B ~= I column by column.
-  for (std::size_t pos = 0; pos < m_; ++pos) {
+  // Factorization dcheck: Binv * B ~= I, verified column by column via
+  // FTRAN.  The full sweep is O(m^2) solves — prohibitive at the sparse
+  // solver's problem sizes — so by default a deterministic sample of at
+  // most 8 columns is checked; define RRP_EXPENSIVE_INVARIANTS to
+  // opt in to the exhaustive sweep.
+#if defined(RRP_EXPENSIVE_INVARIANTS)
+  const std::size_t stride = 1;
+#else
+  const std::size_t stride = std::max<std::size_t>(1, m_ / 8);
+#endif
+  for (std::size_t pos = 0; pos < m_; pos += stride) {
     ftran(basis_[pos]);
     for (std::size_t i = 0; i < m_; ++i) {
       const double expect = i == pos ? 1.0 : 0.0;
@@ -317,19 +319,15 @@ SimplexSolver::PhaseResult SimplexSolver::run_phase(
       basis_[leave_pos] = enter;
       status_[enter] = BasisStatus::Basic;
       xb_[leave_pos] = enter_val;
-      // Eta update of the basis inverse.
+      // Product-form eta update of the factorisation.
       const double piv = w_[leave_pos];
       if (std::fabs(piv) < kPivotTol)
         throw NumericalError("simplex: vanishing pivot element");
-      auto prow = binv_.row(leave_pos);
-      for (double& v : prow) v /= piv;
-      for (std::size_t i = 0; i < m_; ++i) {
-        if (i == leave_pos || w_[i] == 0.0) continue;
-        const double f = w_[i];
-        auto irow = binv_.row(i);
-        for (std::size_t k = 0; k < m_; ++k) irow[k] -= f * prow[k];
-      }
-      if (++pivots_since_refactor_ >= opt_->refactor_every) refactorize();
+      lu_.update(leave_pos, w_);
+      ++factor_stats_.eta_updates;
+      if (++pivots_since_refactor_ >= opt_->refactor_every ||
+          lu_.eta_nonzeros() > eta_nnz_cap_)
+        refactorize();
     }
 
     // --- Stall detection -> Bland fallback. ---
@@ -382,7 +380,10 @@ SimplexSolver::DualResult SimplexSolver::run_dual(
     const double target = below ? lb_[leave] : ub_[leave];
     const double sigma = below ? +1.0 : -1.0;  // required sign of d xb_r
     compute_duals(cost);
-    const auto rho = binv_.row(r);
+    // Row r of the basis inverse: BTRAN of the r-th unit vector.
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[r] = 1.0;
+    lu_.btran(rho_);
 
     // --- Entering column: dual ratio test over eligible nonbasics. ---
     std::size_t enter = total_;
@@ -394,7 +395,7 @@ SimplexSolver::DualResult SimplexSolver::run_dual(
       if (lb_[j] == ub_[j])  // rrp-lint: allow(float-equality)
         continue;  // fixed (includes pinned artificials)
       double alpha = 0.0;
-      for (const Entry& e : cols_[j]) alpha += rho[e.col] * e.coeff;
+      for (const Entry& e : cols_[j]) alpha += rho_[e.col] * e.coeff;
       if (std::fabs(alpha) <= kPivotTol) continue;
       int dir = 0;
       switch (status_[j]) {
@@ -422,9 +423,20 @@ SimplexSolver::DualResult SimplexSolver::run_dual(
     if (enter == total_) return DualResult::Infeasible;
 
     // --- Pivot: land xb_r exactly on its violated bound. ---
-    const double denom = -enter_alpha * static_cast<double>(enter_dir);
-    const double t = std::max((target - xb_[r]) / denom, 0.0);
     ftran(enter);
+    // Accuracy trigger: the FTRAN pivot and the BTRAN-derived alpha are
+    // the same number through exact arithmetic; disagreement means the
+    // eta file has drifted, so rebuild the factorisation and retry.
+    if (std::fabs(w_[r] - enter_alpha) >
+        1e-7 * (1.0 + std::fabs(enter_alpha))) {
+      refactorize();
+      ftran(enter);
+    }
+    const double piv = w_[r];
+    if (std::fabs(piv) < kPivotTol)
+      throw NumericalError("dual simplex: vanishing pivot element");
+    const double denom = -piv * static_cast<double>(enter_dir);
+    const double t = std::max((target - xb_[r]) / denom, 0.0);
     for (std::size_t i = 0; i < m_; ++i)
       xb_[i] -= static_cast<double>(enter_dir) * t * w_[i];
     value_[leave] = target;
@@ -434,18 +446,11 @@ SimplexSolver::DualResult SimplexSolver::run_dual(
     basis_[r] = enter;
     status_[enter] = BasisStatus::Basic;
     xb_[r] = enter_val;
-    const double piv = w_[r];
-    if (std::fabs(piv) < kPivotTol)
-      throw NumericalError("dual simplex: vanishing pivot element");
-    auto prow = binv_.row(r);
-    for (double& v : prow) v /= piv;
-    for (std::size_t i = 0; i < m_; ++i) {
-      if (i == r || w_[i] == 0.0) continue;
-      const double f = w_[i];
-      auto irow = binv_.row(i);
-      for (std::size_t k = 0; k < m_; ++k) irow[k] -= f * prow[k];
-    }
-    if (++pivots_since_refactor_ >= opt_->refactor_every) refactorize();
+    lu_.update(r, w_);
+    ++factor_stats_.eta_updates;
+    if (++pivots_since_refactor_ >= opt_->refactor_every ||
+        lu_.eta_nonzeros() > eta_nnz_cap_)
+      refactorize();
   }
   return DualResult::Stalled;
 }
@@ -455,11 +460,15 @@ void SimplexSolver::pivot_out_artificials() {
     if (basis_[pos] < art_begin_) continue;
     // Find a non-artificial, non-basic column with a usable pivot element
     // in this basis row and swap it in (a degenerate pivot: the primal
-    // point is unchanged because the artificial sits at zero).
+    // point is unchanged because the artificial sits at zero).  Row `pos`
+    // of the basis inverse is the BTRAN of the pos-th unit vector.
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[pos] = 1.0;
+    lu_.btran(rho_);
     for (std::size_t j = 0; j < art_begin_; ++j) {
       if (status_[j] == BasisStatus::Basic) continue;
       double wpos = 0.0;
-      for (const Entry& e : cols_[j]) wpos += binv_(pos, e.col) * e.coeff;
+      for (const Entry& e : cols_[j]) wpos += rho_[e.col] * e.coeff;
       if (std::fabs(wpos) < 1e-7) continue;
       const std::size_t art = basis_[pos];
       status_[art] = BasisStatus::AtLower;
@@ -555,7 +564,6 @@ Solution SimplexSolver::cold_solve() {
     if (value_[j] == 0.0) continue;
     for (const Entry& e : cols_[j]) rhs_[e.col] -= e.coeff * value_[j];
   }
-  binv_ = Matrix(m_, m_);
   for (std::size_t r = 0; r < m_; ++r) {
     const double sign = rhs_[r] >= 0.0 ? 1.0 : -1.0;
     const std::size_t a = art_begin_ + r;
@@ -565,10 +573,8 @@ Solution SimplexSolver::cold_solve() {
     basis_[r] = a;
     status_[a] = BasisStatus::Basic;
     value_[a] = 0.0;
-    xb_[r] = std::fabs(rhs_[r]);
-    binv_(r, r) = sign;  // inverse of diag(sign)
   }
-  pivots_since_refactor_ = 0;
+  refactorize();  // diagonal basis; also recomputes xb_ = |rhs_|
 
   Solution sol;
   // Phase 1: minimise the artificial mass.

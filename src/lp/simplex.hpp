@@ -4,9 +4,13 @@
 // bounded by [lo, hi] so the system becomes Ax = 0 with box-constrained
 // variables; feasibility is established by a phase-1 minimisation of
 // artificial variables, after which the original objective is optimised
-// (phase 2).  The basis inverse is kept explicitly and refactorised
-// periodically; Dantzig pricing switches to Bland's rule during stalls
-// to guarantee finiteness under degeneracy.
+// (phase 2).  The basis is held as a sparse LU factorisation
+// (lp::SparseLu) with product-form eta updates per pivot; FTRAN/BTRAN
+// are sparse triangular solves, and refactorisation is triggered by
+// eta-file fill-in and a dual-pivot accuracy check in addition to the
+// SimplexOptions::refactor_every pivot cap.  Dantzig pricing switches
+// to Bland's rule during stalls to guarantee finiteness under
+// degeneracy.
 //
 // Two entry points share that engine:
 //
@@ -35,8 +39,8 @@
 #include <vector>
 
 #include "common/deadline.hpp"
-#include "common/matrix.hpp"
 #include "lp/model.hpp"
+#include "lp/sparse_lu.hpp"
 
 namespace rrp::testing {
 class FaultInjector;
@@ -52,7 +56,10 @@ enum class Pricing {
 struct SimplexOptions {
   Pricing pricing = Pricing::Dantzig;
   std::size_t max_iterations = 50000;
-  /// Rebuild the basis inverse from scratch every this many pivots.
+  /// Upper bound on eta updates between sparse-LU refactorisations.
+  /// Fill-in growth and the dual-pivot accuracy check can refactorise
+  /// earlier; this cap is the recovery lever (the branch & bound
+  /// ladder sets it to 1 to eliminate eta drift entirely).
   std::size_t refactor_every = 64;
   /// Consecutive non-improving pivots before falling back to Bland.
   std::size_t stall_limit = 200;
@@ -103,10 +110,41 @@ Solution solve(const LinearProgram& lp, const SimplexOptions& options = {});
 void verify_basis(std::size_t num_rows, std::size_t num_columns,
                   std::span<const std::size_t> basis);
 
+/// Cumulative sparse-factorisation telemetry over a SimplexSolver's
+/// lifetime; aggregated across B&B workers into milp::MipResult and
+/// surfaced by bench_solvers_json (fill-in ratio, refactor cadence).
+struct FactorizationStats {
+  std::size_t refactorizations = 0;  ///< sparse LU rebuilds
+  std::size_t eta_updates = 0;       ///< pivots absorbed as eta updates
+
+  double fill_ratio_sum = 0.0;  ///< sum of nnz(L+U)/nnz(B) over rebuilds
+
+  /// Mean fill-in ratio per refactorisation (1.0 = no fill).
+  double mean_fill_ratio() const {
+    return refactorizations == 0
+               ? 0.0
+               : fill_ratio_sum / static_cast<double>(refactorizations);
+  }
+  /// Mean eta updates absorbed between consecutive refactorisations.
+  double refactor_cadence() const {
+    return refactorizations == 0
+               ? 0.0
+               : static_cast<double>(eta_updates) /
+                     static_cast<double>(refactorizations);
+  }
+
+  FactorizationStats& operator+=(const FactorizationStats& o) {
+    refactorizations += o.refactorizations;
+    eta_updates += o.eta_updates;
+    fill_ratio_sum += o.fill_ratio_sum;
+    return *this;
+  }
+};
+
 /// Persistent simplex solver: copies the problem structure once at
 /// construction and reuses every working array across solves.  Not
 /// thread safe — give each thread its own instance (cheap: one copy of
-/// the column structure plus O(rows^2) for the basis inverse).
+/// the column structure plus the sparse basis factorisation).
 class SimplexSolver {
  public:
   /// Snapshots the program (columns, bounds, objective, sense); the
@@ -147,6 +185,9 @@ class SimplexSolver {
   /// warm-start path (no phase 1); false for cold solves and fallbacks.
   bool last_solve_was_warm() const { return last_warm_; }
 
+  /// Cumulative factorisation telemetry since construction.
+  const FactorizationStats& factor_stats() const { return factor_stats_; }
+
  private:
   enum class PhaseResult { Optimal, Unbounded, IterationLimit, TimeLimit };
   enum class DualResult { Feasible, Infeasible, Stalled, TimeLimit };
@@ -184,7 +225,11 @@ class SimplexSolver {
   std::vector<double> value_;       ///< meaningful for nonbasic variables
   std::vector<std::size_t> basis_;  ///< variable index per basis position
   std::vector<double> xb_;          ///< basic variable values
-  Matrix binv_;
+  SparseLu lu_;                     ///< B = P^T L U Q^T + eta file
+  /// Eta-file fill trigger: refactorise when the eta nonzeros outgrow
+  /// this cap (set from the factor size at each refactorisation).
+  std::size_t eta_nnz_cap_ = 0;
+  FactorizationStats factor_stats_;
   std::size_t pivots_since_refactor_ = 0;
   std::size_t iterations_ = 0;
   bool last_optimal_ = false;
@@ -194,6 +239,7 @@ class SimplexSolver {
   // Preallocated work buffers (one allocation for the solver lifetime).
   mutable std::vector<double> w_;  ///< ftran result
   mutable std::vector<double> y_;  ///< duals
+  std::vector<double> rho_;        ///< btran of a unit vector (dual row)
   std::vector<double> rhs_;
   std::vector<double> cost_;       ///< phase-2 cost cache
 };

@@ -16,6 +16,7 @@
 #include "common/invariant.hpp"
 #include "common/sync.hpp"
 #include "common/thread_pool.hpp"
+#include "milp/cuts.hpp"
 
 namespace rrp::milp {
 
@@ -148,10 +149,17 @@ class Solver {
     // dedicated per-LP budget.
     lp_opt_ = opt.lp;
     if (lp_opt_.deadline.is_unlimited()) lp_opt_.deadline = opt.deadline;
+    compute_incumbent_feas_tol();
+  }
+
+  MipResult run();
+
+ private:
+  /// Recomputed after root cuts extend the relaxation: snapping each
+  /// integer variable moves it by at most integrality_tol, so a row can
+  /// drift by at most its L1 coefficient norm times that.
+  void compute_incumbent_feas_tol() {
 #if RRP_INVARIANTS_ENABLED
-    // Feasibility tolerance for incumbent checks: snapping each integer
-    // variable moves it by at most integrality_tol, so a row can drift
-    // by at most its L1 coefficient norm times that.
     double max_row_l1 = 0.0;
     for (std::size_t r = 0; r < relaxation_.num_rows(); ++r) {
       double l1 = 0.0;
@@ -164,9 +172,16 @@ class Solver {
 #endif
   }
 
-  MipResult run();
+  /// Root cut loop: solve the root relaxation, separate violated valid
+  /// inequalities, append them as rows, and re-optimise from the
+  /// extended parent basis (new cut slacks enter basic — the extension
+  /// is block triangular, hence nonsingular and dual feasible) until no
+  /// cut is violated or the round limit is hit.  Runs strictly before
+  /// any worker copies the relaxation.  Returns the final root basis
+  /// for seeding the tree (null when unusable) and sets `root_bound` to
+  /// the strengthened relaxation value (internal minimisation space).
+  std::shared_ptr<const lp::Basis> run_root_cuts(double& root_bound);
 
- private:
   // -- tree search ------------------------------------------------------
   void worker(std::size_t w, WorkerState& ws);
   void process_node(WorkerState& ws, Node& node, std::size_t node_number);
@@ -235,7 +250,9 @@ class Solver {
 
   const Model& model_;
   const BnbOptions& opt_;
-  const lp::LinearProgram relaxation_;  ///< immutable; workers copy it
+  /// The LP relaxation.  Extended by root cuts before the tree search
+  /// starts; immutable from the moment workers copy it.
+  lp::LinearProgram relaxation_;
   lp::SimplexOptions lp_opt_;  ///< opt_.lp with the inherited deadline
   double sense_mult_;
   std::vector<std::size_t> int_vars_;
@@ -270,7 +287,82 @@ class Solver {
 #if RRP_INVARIANTS_ENABLED
   double incumbent_feas_tol_ = 1e-6;
 #endif
+
+  // Root cut telemetry, written before the workers start (internal
+  // minimisation space) and read in the single-threaded epilogue.
+  std::size_t cuts_added_ = 0;
+  double root_lp_obj_ = kInf;   ///< root relaxation value before cuts
+  double root_cut_obj_ = kInf;  ///< root relaxation value after cuts
+  lp::FactorizationStats root_factor_stats_;
 };
+
+std::shared_ptr<const lp::Basis> Solver::run_root_cuts(double& root_bound) {
+  lp::SimplexSolver solver(relaxation_);
+  lp::Solution sol;
+  try {
+    sol = solver.solve(lp_opt_);
+  } catch (const NumericalError&) {
+    root_factor_stats_ += solver.factor_stats();
+    return nullptr;
+  }
+  if (sol.status != lp::SolveStatus::Optimal) {
+    root_factor_stats_ += solver.factor_stats();
+    return nullptr;
+  }
+  root_lp_obj_ = root_cut_obj_ = sense_mult_ * model_.objective_value(sol.x);
+
+  CutPool pool;
+  bool usable = true;
+  for (std::size_t round = 0; round < opt_.max_cut_rounds; ++round) {
+    const std::vector<Cut> cuts =
+        opt_.cut_generator->separate(sol.x, opt_.cut_violation_tol);
+    const std::size_t old_rows = relaxation_.num_rows();
+    lp::Basis parent = solver.basis();
+    std::size_t added = 0;
+    for (const Cut& c : cuts) {
+      if (!pool.add(c)) continue;
+      relaxation_.add_row(c.entries, c.lo, c.hi);
+      ++added;
+    }
+    if (added == 0) break;
+    cuts_added_ += added;
+
+    // Rebuild the solver over the extended program; the parent basis
+    // plus the new cut slacks (basic) warm starts the dual simplex.
+    root_factor_stats_ += solver.factor_stats();
+    solver = lp::SimplexSolver(relaxation_);
+    lp::Basis start;
+    if (!parent.empty()) {
+      const std::size_t n = model_.num_variables();
+      start = std::move(parent);
+      for (std::size_t r = old_rows; r < relaxation_.num_rows(); ++r) {
+        start.basic.push_back(n + r);
+        start.status.push_back(lp::BasisStatus::Basic);
+      }
+    }
+    try {
+      sol = start.empty() ? solver.solve(lp_opt_)
+                          : solver.solve_from(start, lp_opt_);
+    } catch (const NumericalError&) {
+      usable = false;  // the added rows stay (they are valid); bound from
+      break;           // the weaker relaxation remains proven
+    }
+    if (sol.status != lp::SolveStatus::Optimal) {
+      usable = false;
+      break;
+    }
+    root_cut_obj_ = sense_mult_ * model_.objective_value(sol.x);
+  }
+  root_factor_stats_ += solver.factor_stats();
+  compute_incumbent_feas_tol();  // cut rows change the max row L1 norm
+
+  if (!usable) return nullptr;
+  root_bound = root_cut_obj_;
+  lp::Basis b = solver.basis();
+  if (opt_.warm_start && !b.empty())
+    return std::make_shared<const lp::Basis>(std::move(b));
+  return nullptr;
+}
 
 lp::Solution Solver::solve_node_lp(WorkerState& ws, const Node& node) {
   for (std::size_t k = 0; k < int_vars_.size(); ++k)
@@ -594,6 +686,13 @@ MipResult Solver::run() {
   if (jobs == 0)
     jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
+  // Strengthen the shared relaxation with root cuts before any worker
+  // copies it; the final root basis and bound seed the root node.
+  std::shared_ptr<const lp::Basis> root_start;
+  double root_bound = -kInf;
+  if (opt_.root_cuts && opt_.cut_generator != nullptr && !int_vars_.empty())
+    root_start = run_root_cuts(root_bound);
+
   {
     // No worker is running yet, but the frontier fields carry a
     // compile-time "hold mtx_" contract with no single-threaded
@@ -606,6 +705,8 @@ MipResult Solver::run() {
       root.lo[k] = model_.variable(int_vars_[k]).lo;
       root.hi[k] = model_.variable(int_vars_[k]).hi;
     }
+    root.bound = root_bound;
+    root.start = std::move(root_start);
     push_locked(std::move(root));
     in_flight_.assign(jobs, kInf);
   }
@@ -637,6 +738,15 @@ MipResult Solver::run() {
     result.lp_failures_recovered += ws.recoveries;
     result.warm_started_nodes += ws.warm_nodes;
     result.cold_solved_nodes += ws.cold_nodes;
+    result.factor_stats += ws.solver.factor_stats();
+  }
+  result.factor_stats += root_factor_stats_;
+  result.cuts_added = cuts_added_;
+  if (cuts_added_ > 0 && have_incumbent_ && std::isfinite(root_lp_obj_)) {
+    const double denom = incumbent_obj_ - root_lp_obj_;
+    if (denom > 1e-12)
+      result.root_gap_closed =
+          std::clamp((root_cut_obj_ - root_lp_obj_) / denom, 0.0, 1.0);
   }
 
   if (unbounded_) {

@@ -31,6 +31,8 @@
 
 namespace rrp::milp {
 
+class CutGenerator;  // milp/cuts.hpp
+
 enum class NodeSelection {
   BestBound,   ///< explore the node with the most promising relaxation
   DepthFirst,  ///< dive; finds incumbents fast, default for rolling use
@@ -74,6 +76,17 @@ struct BnbOptions {
   /// incumbent and a valid proven bound are returned with status
   /// TimeLimit (NoIncumbent when nothing feasible was found in time).
   common::Deadline deadline;
+  /// Optional root-node cut separator (borrowed, not owned; must outlive
+  /// the solve).  Null = no cutting planes.
+  const CutGenerator* cut_generator = nullptr;
+  /// Master switch for root-node cut separation; with a generator set,
+  /// separation runs in rounds on the root relaxation before the tree
+  /// search starts, re-optimising with the dual simplex per round.
+  bool root_cuts = true;
+  /// Separation rounds at the root (each round re-solves the LP).
+  std::size_t max_cut_rounds = 8;
+  /// Minimum violation for a separated cut to be added.
+  double cut_violation_tol = 1e-6;
   lp::SimplexOptions lp;
 };
 
@@ -92,6 +105,14 @@ struct MipResult {
   /// all nodes when BnbOptions::warm_start is off).
   std::size_t warm_started_nodes = 0;
   std::size_t cold_solved_nodes = 0;
+  /// Root-node cutting planes appended to the relaxation.
+  std::size_t cuts_added = 0;
+  /// Fraction of the root-LP-to-incumbent gap closed by the root cuts,
+  /// in [0, 1]; 0 when no cuts were separated or no incumbent exists.
+  double root_gap_closed = 0.0;
+  /// Sparse-factorisation telemetry aggregated over the root cut loop
+  /// and every worker's node solver.
+  lp::FactorizationStats factor_stats;
 
   /// Relative optimality gap; 0 when proven optimal, +infinity when
   /// there is no incumbent or the proven bound is not finite.

@@ -1,0 +1,237 @@
+// SparseLu validated against the dense rrp::Matrix reference: FTRAN /
+// BTRAN solves, product-form eta updates, fill accounting, and the
+// singular-basis throw, over random sparse bases and the staircase
+// shapes the simplex actually produces on DRRP/SRRP relaxations.
+#include "lp/sparse_lu.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rrp::Matrix;
+using rrp::lp::Entry;
+using rrp::lp::SparseLu;
+
+/// Column-sparse system: cols[j] holds (row, coeff) entries.
+struct System {
+  std::size_t m = 0;
+  std::vector<std::vector<Entry>> cols;
+  std::vector<std::size_t> basis;
+
+  Matrix dense() const {
+    Matrix b(m, m);
+    for (std::size_t pos = 0; pos < m; ++pos)
+      for (const Entry& e : cols[basis[pos]]) b(e.col, pos) += e.coeff;
+    return b;
+  }
+};
+
+/// Random sparse nonsingular basis: a guaranteed diagonal plus a few
+/// off-diagonal entries per column.
+System random_system(std::size_t m, rrp::Rng& rng) {
+  System sys;
+  sys.m = m;
+  sys.cols.resize(m);
+  sys.basis.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    sys.basis[j] = j;
+    sys.cols[j].push_back(Entry{j, rng.uniform(1.0, 3.0)});
+    const std::size_t extra = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    for (std::size_t k = 0; k < extra; ++k) {
+      const std::size_t r = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+      if (r != j) sys.cols[j].push_back(Entry{r, rng.uniform(-1.0, 1.0)});
+    }
+  }
+  return sys;
+}
+
+/// Staircase basis shaped like the DRRP deterministic equivalent:
+/// column t couples rows t and t-1 (carry-over), plus slack singletons.
+System staircase_system(std::size_t m) {
+  System sys;
+  sys.m = m;
+  sys.cols.resize(m);
+  sys.basis.resize(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    sys.basis[t] = t;
+    if (t % 3 == 2) {
+      sys.cols[t].push_back(Entry{t, -1.0});  // slack singleton
+    } else {
+      sys.cols[t].push_back(Entry{t, 1.0});
+      if (t > 0) sys.cols[t].push_back(Entry{t - 1, -0.9});
+    }
+  }
+  return sys;
+}
+
+std::vector<double> random_vector(std::size_t m, rrp::Rng& rng) {
+  std::vector<double> v(m);
+  for (double& x : v) x = rng.uniform(-5.0, 5.0);
+  return v;
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  return d;
+}
+
+void expect_solves_match(const System& sys, const SparseLu& lu,
+                         rrp::Rng& rng, double tol = 1e-9) {
+  const Matrix b = sys.dense();
+  const Matrix binv = b.inverse();
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::vector<double> rhs = random_vector(sys.m, rng);
+    std::vector<double> x = rhs;
+    lu.ftran(x);
+    const std::vector<double> want = binv.multiply(rhs);
+    EXPECT_LT(max_abs_diff(x, want), tol) << "ftran mismatch";
+
+    std::vector<double> y = rhs;
+    lu.btran(y);
+    const std::vector<double> want_t = binv.multiply_transpose(rhs);
+    EXPECT_LT(max_abs_diff(y, want_t), tol) << "btran mismatch";
+  }
+}
+
+TEST(SparseLu, MatchesDenseInverseOnRandomBases) {
+  rrp::Rng rng(20260809);
+  for (std::size_t m : {1u, 2u, 5u, 17u, 40u}) {
+    System sys = random_system(m, rng);
+    SparseLu lu;
+    lu.factorize(sys.m, sys.cols, sys.basis);
+    EXPECT_TRUE(lu.factorized());
+    expect_solves_match(sys, lu, rng);
+  }
+}
+
+TEST(SparseLu, StaircaseBasisFactorsWithoutFill) {
+  System sys = staircase_system(30);
+  SparseLu lu;
+  lu.factorize(sys.m, sys.cols, sys.basis);
+  // The staircase needs no elimination fill: nnz(L+U) == nnz(B).
+  EXPECT_DOUBLE_EQ(lu.fill_ratio(), 1.0);
+  rrp::Rng rng(7);
+  expect_solves_match(sys, lu, rng);
+}
+
+TEST(SparseLu, DuplicateEntriesWithinColumnAreSummed) {
+  System sys;
+  sys.m = 2;
+  sys.cols.resize(2);
+  sys.basis = {0, 1};
+  sys.cols[0] = {Entry{0, 1.0}, Entry{0, 1.5}, Entry{1, 0.5}};  // row 0: 2.5
+  sys.cols[1] = {Entry{1, 2.0}};
+  SparseLu lu;
+  lu.factorize(sys.m, sys.cols, sys.basis);
+  std::vector<double> x = {2.5, 4.5};  // B * (1, 2)^T
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLu, UpdateMatchesRefactorisation) {
+  rrp::Rng rng(42);
+  System sys = random_system(25, rng);
+  SparseLu lu;
+  lu.factorize(sys.m, sys.cols, sys.basis);
+
+  // Replace a few basis columns by spare columns via product-form
+  // updates, mirroring what the simplex does per pivot.
+  for (std::size_t pivot = 0; pivot < 5; ++pivot) {
+    const std::size_t pos = 3 * pivot + 1;
+    // New column: dense-ish random with a solid diagonal entry.
+    std::vector<Entry> col{Entry{pos, rng.uniform(1.5, 2.5)}};
+    col.push_back(
+        Entry{(pos + 7) % sys.m, rng.uniform(-1.0, 1.0)});
+    const std::size_t j = sys.cols.size();
+    sys.cols.push_back(col);
+
+    // w = Binv * A_j through the current factorisation.
+    std::vector<double> w(sys.m, 0.0);
+    for (const Entry& e : col) w[e.col] += e.coeff;
+    lu.ftran(w);
+    ASSERT_GT(std::fabs(w[pos]), 1e-9);
+    lu.update(pos, w);
+    sys.basis[pos] = j;
+  }
+  EXPECT_EQ(lu.eta_count(), 5u);
+
+  // The updated factorisation must agree with a fresh one (and with the
+  // dense inverse) on the new basis.
+  rrp::Rng probe(99);
+  expect_solves_match(sys, lu, probe, 1e-8);
+
+  SparseLu fresh;
+  fresh.factorize(sys.m, sys.cols, sys.basis);
+  EXPECT_EQ(fresh.eta_count(), 0u);
+  rrp::Rng probe2(99);
+  expect_solves_match(sys, fresh, probe2, 1e-8);
+}
+
+TEST(SparseLu, SingularBasisThrows) {
+  System sys;
+  sys.m = 3;
+  sys.cols.resize(3);
+  sys.basis = {0, 1, 2};
+  sys.cols[0] = {Entry{0, 1.0}, Entry{1, 1.0}};
+  sys.cols[1] = {Entry{0, 2.0}, Entry{1, 2.0}};  // parallel to column 0
+  sys.cols[2] = {Entry{2, 1.0}};
+  SparseLu lu;
+  EXPECT_THROW(lu.factorize(sys.m, sys.cols, sys.basis),
+               rrp::NumericalError);
+  EXPECT_FALSE(lu.factorized());
+
+  // The object must stay usable: refactorising a good basis succeeds.
+  sys.cols[1] = {Entry{1, 1.0}};
+  lu.factorize(sys.m, sys.cols, sys.basis);
+  EXPECT_TRUE(lu.factorized());
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+  EXPECT_NEAR(x[2], 1.0, 1e-12);
+}
+
+TEST(SparseLu, EmptyBasisIsTrivial) {
+  SparseLu lu;
+  std::vector<std::vector<Entry>> cols;
+  std::vector<std::size_t> basis;
+  lu.factorize(0, cols, basis);
+  std::vector<double> x;
+  lu.ftran(x);
+  lu.btran(x);
+  EXPECT_EQ(lu.eta_count(), 0u);
+}
+
+TEST(SparseLu, EtaNonzeroAccountingTracksUpdates) {
+  rrp::Rng rng(5);
+  System sys = random_system(10, rng);
+  SparseLu lu;
+  lu.factorize(sys.m, sys.cols, sys.basis);
+  EXPECT_EQ(lu.eta_nonzeros(), 0u);
+
+  std::vector<double> w(sys.m, 0.0);
+  w[2] = 1.0;
+  w[5] = 0.25;
+  w[7] = -0.5;
+  lu.update(2, w);
+  EXPECT_EQ(lu.eta_count(), 1u);
+  EXPECT_EQ(lu.eta_nonzeros(), 2u);  // off-pivot entries only
+
+  lu.factorize(sys.m, sys.cols, sys.basis);
+  EXPECT_EQ(lu.eta_count(), 0u);
+  EXPECT_EQ(lu.eta_nonzeros(), 0u);
+}
+
+}  // namespace

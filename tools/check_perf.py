@@ -10,10 +10,16 @@ disabled, or a per-node allocation creeping back in — trips the gate.
 Failure conditions:
   * a benchmark's nodes_per_second drops more than --tolerance (default
     25%) below its baseline floor;
+  * a benchmark explores more nodes than its baseline `max_nodes` cap
+    (node counts are deterministic at jobs=1, so a cap catches cut or
+    branching regressions that wall-time floors would miss);
   * srrp_warm_speedup falls below the baseline's min_srrp_warm_speedup
     (the ISSUE 5 acceptance bar: warm starts must at least double B&B
     node throughput on the SRRP deterministic equivalent);
   * a baseline benchmark is missing from the measured file.
+
+On failure, each offending line reports the measured-vs-floor ratio so
+the log shows how far off the run was without a manual division.
 
 Usage: check_perf.py MEASURED_JSON BASELINE_JSON [--tolerance 0.25]
 """
@@ -21,6 +27,12 @@ Usage: check_perf.py MEASURED_JSON BASELINE_JSON [--tolerance 0.25]
 import argparse
 import json
 import sys
+
+
+def ratio_str(actual: float, floor: float) -> str:
+    if floor <= 0:
+        return "n/a"
+    return f"{actual / floor:.2f}x"
 
 
 def main() -> int:
@@ -42,20 +54,35 @@ def main() -> int:
 
     for base in baseline.get("results", []):
         name = base["name"]
-        if "nodes_per_second" not in base:
+        gates_nps = "nodes_per_second" in base
+        gates_nodes = "max_nodes" in base
+        if not gates_nps and not gates_nodes:
             continue
         got = measured_by_name.get(name)
         if got is None:
             failures.append(f"{name}: missing from measured results")
             continue
-        floor = base["nodes_per_second"] * (1.0 - args.tolerance)
-        actual = got.get("nodes_per_second", 0.0)
-        status = "ok" if actual >= floor else "FAIL"
-        print(f"{status:4} {name}: {actual:.0f} nodes/s "
-              f"(floor {floor:.0f}, baseline {base['nodes_per_second']:.0f})")
-        if actual < floor:
-            failures.append(
-                f"{name}: {actual:.0f} nodes/s below floor {floor:.0f}")
+        if gates_nps:
+            floor = base["nodes_per_second"] * (1.0 - args.tolerance)
+            actual = got.get("nodes_per_second", 0.0)
+            status = "ok" if actual >= floor else "FAIL"
+            print(f"{status:4} {name}: {actual:.0f} nodes/s "
+                  f"(floor {floor:.0f}, baseline "
+                  f"{base['nodes_per_second']:.0f}, "
+                  f"{ratio_str(actual, floor)} of floor)")
+            if actual < floor:
+                failures.append(
+                    f"{name}: {actual:.0f} nodes/s below floor {floor:.0f} "
+                    f"({ratio_str(actual, floor)} of floor)")
+        if gates_nodes:
+            cap = base["max_nodes"]
+            nodes = got.get("nodes", 0)
+            status = "ok" if nodes <= cap else "FAIL"
+            print(f"{status:4} {name}: {nodes} nodes (cap {cap})")
+            if nodes > cap:
+                failures.append(
+                    f"{name}: {nodes} nodes exceeds cap {cap} "
+                    f"({nodes / cap:.2f}x of cap)")
 
     min_speedup = baseline.get("min_srrp_warm_speedup")
     if min_speedup is not None:
@@ -65,7 +92,8 @@ def main() -> int:
               f"(minimum {min_speedup:.2f}x)")
         if speedup < min_speedup:
             failures.append(
-                f"srrp_warm_speedup {speedup:.2f}x below {min_speedup:.2f}x")
+                f"srrp_warm_speedup {speedup:.2f}x below {min_speedup:.2f}x "
+                f"({ratio_str(speedup, min_speedup)} of minimum)")
 
     if failures:
         print("\nperf-smoke FAILED:", file=sys.stderr)

@@ -27,6 +27,12 @@ type and scope information:
                          exempt (exact by construction).
   naked-new-delete       No new/delete expressions in library code
                          (src/); placement new is exempt.
+  dense-matrix           std::vector<std::vector<double>> in src/lp/ is
+                         the dense-basis representation the sparse-LU
+                         simplex replaced; new LP-layer code must use
+                         compressed column storage (or mark a deliberate
+                         dense scratch with
+                         `rrp-lint: allow(dense-matrix)`).
 
 Suppression: append `rrp-lint: allow(<rule>[, <rule>...])` in a comment
 on any line covered by the offending expression.
@@ -397,12 +403,48 @@ def rule_naked_new_delete(root: Node, ctx: FileContext) -> list:
     return findings
 
 
+# Nested vector-of-vector-of-double (tolerating inline namespaces and
+# spelled-out default allocators in canonical type spellings).
+DENSE_MATRIX_RE = re.compile(
+    r"std::(__\w+::)?vector<\s*std::(__\w+::)?vector<\s*double\b"
+)
+
+
+def rule_dense_matrix(root: Node, ctx: FileContext) -> list:
+    if not in_dirs(ctx.path, ("src/lp",)):
+        return []
+    findings = []
+    seen_lines = set()
+    for node in root.walk():
+        if node.kind not in TYPED_DECL_KINDS:
+            continue
+        if not DENSE_MATRIX_RE.search(node.type):
+            continue
+        if node.line in seen_lines:  # VAR_DECL + its TYPE_REF child
+            continue
+        seen_lines.add(node.line)
+        findings.append(
+            Finding(
+                "dense-matrix",
+                ctx.path,
+                node.line,
+                "std::vector<std::vector<double>> in the LP layer "
+                "reintroduces dense-basis storage; use compressed column "
+                "storage, or mark a deliberate dense scratch with "
+                "`rrp-lint: allow(dense-matrix)`",
+                end_line=node.end_line,
+            )
+        )
+    return findings
+
+
 RULES: list = [
     ("raw-sync-primitive", rule_raw_sync_primitive),
     ("unnamed-lock-temporary", rule_unnamed_lock_temporary),
     ("solver-deadline-param", rule_solver_deadline_param),
     ("float-equality", rule_float_equality),
     ("naked-new-delete", rule_naked_new_delete),
+    ("dense-matrix", rule_dense_matrix),
 ]
 
 

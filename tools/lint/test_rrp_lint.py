@@ -485,6 +485,71 @@ class AstNakedNewDeleteTests(unittest.TestCase):
         self.assertNotIn("naked-new-delete", fired(tree, "tests/t.cpp"))
 
 
+class AstDenseMatrixTests(unittest.TestCase):
+    DENSE = (
+        "std::vector<std::vector<double, std::allocator<double>>, "
+        "std::allocator<std::vector<double, std::allocator<double>>>>"
+    )
+
+    def test_dense_member_in_lp_fires(self):
+        tree = N("FIELD_DECL", spelling="binv_", type=self.DENSE, line=9)
+        self.assertIn("dense-matrix", fired(tree, "src/lp/simplex.hpp"))
+
+    def test_libcxx_inline_namespace_fires(self):
+        tree = N(
+            "VAR_DECL",
+            spelling="m",
+            type="std::__1::vector<std::__1::vector<double>>",
+            line=3,
+        )
+        self.assertIn("dense-matrix", fired(tree, "src/lp/x.cpp"))
+
+    def test_outside_lp_layer_passes(self):
+        tree = N("VAR_DECL", spelling="costs", type=self.DENSE, line=5)
+        self.assertNotIn("dense-matrix", fired(tree, "src/core/eval.cpp"))
+        self.assertNotIn("dense-matrix", fired(tree, "src/milp/x.cpp"))
+        self.assertNotIn("dense-matrix", fired(tree, "tests/t.cpp"))
+
+    def test_sparse_entry_columns_pass(self):
+        tree = N(
+            "FIELD_DECL",
+            spelling="cols_",
+            type="std::vector<std::vector<rrp::lp::Entry>>",
+            line=4,
+        )
+        self.assertNotIn("dense-matrix", fired(tree, "src/lp/simplex.hpp"))
+
+    def test_flat_vector_passes(self):
+        tree = N(
+            "VAR_DECL", spelling="w", type="std::vector<double>", line=2
+        )
+        self.assertNotIn("dense-matrix", fired(tree, "src/lp/simplex.cpp"))
+
+    def test_allow_comment_suppresses(self):
+        tree = N("VAR_DECL", spelling="scratch", type=self.DENSE, line=6)
+        self.assertNotIn(
+            "dense-matrix",
+            fired(tree, "src/lp/x.cpp", allow={6: {"dense-matrix"}}),
+        )
+
+    def test_decl_and_type_ref_same_line_reported_once(self):
+        tree = N(
+            "VAR_DECL",
+            N("TYPE_REF", type=self.DENSE, line=7),
+            spelling="m",
+            type=self.DENSE,
+            line=7,
+        )
+        root = link_parents(N("TRANSLATION_UNIT", tree))
+        ctx = FileContext(path="src/lp/x.cpp")
+        hits = [
+            f
+            for f in rrp_lint_ast.run_rules(root, ctx)
+            if f.rule == "dense-matrix"
+        ]
+        self.assertEqual(len(hits), 1)
+
+
 class AstHelperTests(unittest.TestCase):
     def test_parse_allow_comments(self):
         allow = rrp_lint_ast.parse_allow_comments(
@@ -507,6 +572,7 @@ class AstHelperTests(unittest.TestCase):
                 "solver-deadline-param",
                 "float-equality",
                 "naked-new-delete",
+                "dense-matrix",
             ],
         )
 

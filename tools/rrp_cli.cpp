@@ -215,7 +215,12 @@ int cmd_plan(const Args& args) {
     const std::size_t total_lps =
         plan.warm_started_nodes + plan.cold_solved_nodes;
     std::cout << "b&b nodes " << plan.nodes_explored << ", warm-started LPs "
-              << plan.warm_started_nodes << "/" << total_lps << "\n";
+              << plan.warm_started_nodes << "/" << total_lps;
+    if (plan.cuts_added > 0) {
+      std::cout << ", root cuts " << plan.cuts_added << " (gap closed "
+                << Table::pct(plan.root_gap_closed) << ")";
+    }
+    std::cout << "\n";
   }
   return 0;
 }
@@ -389,6 +394,9 @@ int cmd_simulate(const Args& args) {
           {"warm-started LPs",
            Table::pct(static_cast<double>(result.solver_warm_started_nodes) /
                       static_cast<double>(total_lps))});
+    if (result.solver_cuts_added > 0)
+      table.add_row({"root cuts added",
+                     std::to_string(result.solver_cuts_added)});
   }
   table.add_row({"degraded re-plans",
                  std::to_string(result.degraded_replans())});
