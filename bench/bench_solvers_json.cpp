@@ -23,6 +23,7 @@
 #include "core/srrp.hpp"
 #include "lp/simplex.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -70,8 +71,16 @@ std::string fmt(double v) {
 void write_json(const std::vector<Record>& records, double srrp_warm_speedup,
                 std::ostream& out) {
   out << "{\n";
-  out << "  \"schema\": \"rrp-bench-solvers-v2\",\n";
+  out << "  \"schema\": \"rrp-bench-solvers-v3\",\n";
   out << "  \"repeats\": " << kRepeats << ",\n";
+  // Whether the RRP_OBSERVABILITY instrumentation macros were compiled
+  // in; check_perf.py's --obs-off gate requires an ON/OFF pair.
+  out << "  \"observability\": "
+      << (RRP_OBSERVABILITY_ENABLED ? "true" : "false") << ",\n";
+  // Full registry snapshot after all measured solves: counters for
+  // pivots, refactorisations, nodes, cuts, recoveries and friends.
+  out << "  \"metrics\": " << obs::global_registry().scrape().to_json()
+      << ",\n";
   out << "  \"srrp_warm_speedup\": " << fmt(srrp_warm_speedup) << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {

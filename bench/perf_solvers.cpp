@@ -3,6 +3,8 @@
 // scaling with the horizon, SARIMA fitting, and scenario-tree SRRP.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/deadline.hpp"
 #include "common/rng.hpp"
 #include "core/demand.hpp"
@@ -12,6 +14,7 @@
 #include "core/wagner_whitin.hpp"
 #include "lp/simplex.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "obs/obs.hpp"
 #include "timeseries/arima.hpp"
 
 namespace {
@@ -184,6 +187,53 @@ void BM_SrrpTreeDp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SrrpTreeDp)->Arg(2)->Arg(3)->Arg(4)->Arg(8);
+
+// Instrumentation overhead pair (ISSUE 9 acceptance: <2% on warm SRRP
+// node throughput).  Both args run the same warm aggregated SRRP solve
+// with the macros compiled in; Arg 1 additionally enables span
+// recording and installs an event sink, so every RRP_TRACE_SPAN and
+// RRP_OBS_EVENT site pays its full armed cost instead of one relaxed
+// load.  The JSON suite's obs-on/obs-off gate (tools/check_perf.py
+// --obs-off) compares separate ON/OFF builds; this pair isolates the
+// runtime arming cost within one build.
+class DiscardSink final : public obs::EventSink {
+ public:
+  void write(const obs::Event&) override {}
+};
+
+void BM_SrrpAggregatedObs(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<double> history;
+  for (int i = 0; i < 1000; ++i)
+    history.push_back(0.05 + 0.03 * rng.uniform());
+  const auto base = core::EmpiricalPriceDistribution::from_history(history,
+                                                                   12);
+  std::vector<std::size_t> widths = {3, 2, 2, 1, 1, 1};
+  std::vector<double> bids(6, 0.065);
+  core::SrrpInstance inst;
+  inst.demand = core::generate_demand(6, core::DemandConfig{}, rng);
+  inst.tree = core::ScenarioTree::build(
+      core::make_stage_supports(base, bids, 0.2, widths));
+  milp::BnbOptions opt;
+  opt.relative_gap = 1e-3;
+  opt.warm_start = true;
+  const bool armed = state.range(0) != 0;
+  auto& recorder = obs::TraceRecorder::instance();
+  if (armed) {
+    recorder.enable();
+    obs::EventLog::instance().set_sink(std::make_shared<DiscardSink>());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_srrp(inst, opt, core::SrrpFormulation::Aggregated));
+  }
+  if (armed) {
+    recorder.disable();
+    recorder.clear();
+    obs::EventLog::instance().set_sink(nullptr);
+  }
+}
+BENCHMARK(BM_SrrpAggregatedObs)->Arg(0)->Arg(1);
 
 void BM_SarimaFit(benchmark::State& state) {
   Rng rng(17);

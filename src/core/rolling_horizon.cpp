@@ -13,6 +13,7 @@
 #include "core/srrp_dp.hpp"
 #include "core/wagner_whitin.hpp"
 #include "market/auction.hpp"
+#include "obs/obs.hpp"
 #include "timeseries/arima.hpp"
 
 namespace rrp::core {
@@ -103,6 +104,32 @@ const char* to_string(RevocationRecovery recovery) {
 namespace {
 
 constexpr double kPriceFloor = 1e-4;
+
+/// Process-wide degradation telemetry, fed unconditionally (not through
+/// the compile-out macros): the SimulationResult fallback counters are
+/// computed as before/after deltas over these in PolicyRunner::run(),
+/// so they must advance in RRP_OBSERVABILITY=OFF builds too.  (Same
+/// pattern as SolveCounters in milp/branch_and_bound.cpp.)
+struct RhCounters {
+  obs::Counter& replans = obs::global_registry().counter("rrp.rh.replans");
+  obs::Counter& replan_timeouts =
+      obs::global_registry().counter("rrp.rh.replan_timeouts");
+  obs::Counter& replan_numerical_failures =
+      obs::global_registry().counter("rrp.rh.replan_numerical_failures");
+  obs::Counter& replans_rejected =
+      obs::global_registry().counter("rrp.rh.replans_rejected");
+  obs::Counter& fallback_reused_tail =
+      obs::global_registry().counter("rrp.rh.fallback_reused_tail");
+  obs::Counter& fallback_heuristic =
+      obs::global_registry().counter("rrp.rh.fallback_heuristic");
+  obs::Counter& fallback_on_demand =
+      obs::global_registry().counter("rrp.rh.fallback_on_demand");
+};
+
+RhCounters& rh_counters() {
+  static RhCounters counters;
+  return counters;
+}
 
 /// Execution engine for one (inputs, policy) pair.
 class PolicyRunner {
@@ -351,6 +378,10 @@ void PolicyRunner::commit_tree(std::size_t t, SrrpPolicy policy,
 }
 
 void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
+  RRP_TRACE_SPAN("rh.replan");
+  RRP_TRACE_ARG("slot", t);
+  RRP_TRACE_ARG("window", w);
+  rh_counters().replans.add(1);
   milp::BnbOptions solver = cfg_.solver;
   if (cfg_.replan_time_limit > 0.0) {
     const common::Clock& clock =
@@ -442,13 +473,13 @@ void PolicyRunner::degrade(std::size_t t, std::size_t w, double store,
                            FallbackReason reason) {
   switch (reason) {
     case FallbackReason::SolverTimeout:
-      ++result_.replan_timeouts;
+      rh_counters().replan_timeouts.add(1);
       break;
     case FallbackReason::NumericalFailure:
-      ++result_.replan_numerical_failures;
+      rh_counters().replan_numerical_failures.add(1);
       break;
     case FallbackReason::PlanRejected:
-      ++result_.replans_rejected;
+      rh_counters().replans_rejected.add(1);
       break;
   }
   FallbackEvent ev;
@@ -461,7 +492,7 @@ void PolicyRunner::degrade(std::size_t t, std::size_t w, double store,
   // plan-consistent).
   if (plan_covers(t)) {
     ev.action = FallbackAction::ReusedPlanTail;
-    ++result_.fallback_reused_tail;
+    rh_counters().fallback_reused_tail.add(1);
     handled = true;
   }
 
@@ -475,7 +506,7 @@ void PolicyRunner::degrade(std::size_t t, std::size_t w, double store,
       if (plan.feasible()) {
         commit_schedule(t, std::move(plan), estimates);
         ev.action = FallbackAction::HeuristicPlan;
-        ++result_.fallback_heuristic;
+        rh_counters().fallback_heuristic.add(1);
         handled = true;
       }
     } catch (const Error&) {
@@ -488,12 +519,16 @@ void PolicyRunner::degrade(std::size_t t, std::size_t w, double store,
   if (!handled) {
     mode_ = PlanMode::None;
     ev.action = FallbackAction::OnDemand;
-    ++result_.fallback_on_demand;
+    rh_counters().fallback_on_demand.add(1);
   }
 
   // Single exit: exactly one FallbackEvent per degraded re-plan, no
   // matter how many faults (say a timeout and a revocation) coincide at
   // the same slot.
+  RRP_OBS_EVENT("rh", "fallback",
+                {{"slot", static_cast<std::uint64_t>(t)},
+                 {"reason", to_string(reason)},
+                 {"action", to_string(ev.action)}});
   result_.fallbacks.push_back(ev);
 }
 
@@ -670,6 +705,13 @@ void PolicyRunner::apply_revocation(std::size_t t, SlotRecord& rec) {
       ++result_.revoked_storm;
       break;
   }
+  RRP_COUNTER_ADD("rrp.rh.revocations", 1);
+  RRP_OBS_EVENT("rh", "revocation",
+                {{"slot", static_cast<std::uint64_t>(t)},
+                 {"kind", market::to_string(*kind)},
+                 {"fraction", fraction},
+                 {"lost_work", lost},
+                 {"recovery", to_string(recovery)}});
   result_.revocations.push_back(
       RevocationEvent{t, *kind, fraction, lost, recovery});
 }
@@ -708,6 +750,11 @@ void PolicyRunner::observe_tick(std::size_t t) {
       ev.kind = fault->kind;
       ev.raw = raw;
       ev.used = used;
+      RRP_COUNTER_ADD("rrp.rh.price_faults", 1);
+      RRP_OBS_EVENT("rh", "price_fault",
+                    {{"slot", static_cast<std::uint64_t>(t)},
+                     {"kind", testing::to_string(fault->kind)},
+                     {"used", used}});
       result_.price_faults.push_back(ev);
     }
   }
@@ -715,6 +762,21 @@ void PolicyRunner::observe_tick(std::size_t t) {
 }
 
 SimulationResult PolicyRunner::run() {
+  RRP_TRACE_SPAN("rh.simulate");
+  // Compatibility view: the SimulationResult degradation counters are
+  // deltas over the process-wide registry across this simulation.
+  // Exact whenever simulations do not overlap in one process; under
+  // evaluate_policies' parallel trials the overlapping windows can
+  // cross-attribute these diagnostics, but that path consumes only
+  // costs and per-slot records, never the fallback counts.
+  const RhCounters& tel = rh_counters();
+  const std::uint64_t timeouts0 = tel.replan_timeouts.value();
+  const std::uint64_t numerical0 = tel.replan_numerical_failures.value();
+  const std::uint64_t rejected0 = tel.replans_rejected.value();
+  const std::uint64_t reused0 = tel.fallback_reused_tail.value();
+  const std::uint64_t heuristic0 = tel.fallback_heuristic.value();
+  const std::uint64_t on_demand0 = tel.fallback_on_demand.value();
+
   const std::size_t T = in_.horizon();
   result_.slots.reserve(T);
   double store = in_.initial_storage;
@@ -764,6 +826,19 @@ SimulationResult PolicyRunner::run() {
     result_.slots.push_back(rec);
     observe_tick(t);
   }
+
+  result_.replan_timeouts =
+      static_cast<std::size_t>(tel.replan_timeouts.value() - timeouts0);
+  result_.replan_numerical_failures = static_cast<std::size_t>(
+      tel.replan_numerical_failures.value() - numerical0);
+  result_.replans_rejected =
+      static_cast<std::size_t>(tel.replans_rejected.value() - rejected0);
+  result_.fallback_reused_tail =
+      static_cast<std::size_t>(tel.fallback_reused_tail.value() - reused0);
+  result_.fallback_heuristic =
+      static_cast<std::size_t>(tel.fallback_heuristic.value() - heuristic0);
+  result_.fallback_on_demand =
+      static_cast<std::size_t>(tel.fallback_on_demand.value() - on_demand0);
   return std::move(result_);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lp/simplex.hpp"
+#include "obs/obs.hpp"
 
 namespace rrp::lp {
 
@@ -318,6 +319,8 @@ std::vector<double> PresolvedLp::restore(
 }
 
 PresolvedLp presolve(const LinearProgram& lp) {
+  RRP_TRACE_SPAN("lp.presolve");
+  RRP_COUNTER_ADD("rrp.presolve.calls", 1);
   WorkingState s;
   const std::size_t n = lp.num_variables();
   s.lo.resize(n);
@@ -375,6 +378,10 @@ PresolvedLp presolve(const LinearProgram& lp) {
     out.reduced.add_row(std::move(entries), s.row_lo[r], s.row_hi[r],
                         lp.row(r).name);
   }
+  RRP_COUNTER_ADD("rrp.presolve.rows_removed", out.rows_removed);
+  RRP_COUNTER_ADD("rrp.presolve.vars_removed", out.vars_removed);
+  RRP_TRACE_ARG("rows_removed", out.rows_removed);
+  RRP_TRACE_ARG("vars_removed", out.vars_removed);
   return out;
 }
 

@@ -7,11 +7,33 @@
 
 #include "common/fault_injection.hpp"
 #include "common/invariant.hpp"
+#include "obs/obs.hpp"
 
 namespace rrp::lp {
 
 namespace {
 constexpr double kPivotTol = 1e-9;
+
+// Factorisation telemetry feeds the registry unconditionally (not via
+// the compile-out macros): the milp::MipResult compatibility view reads
+// these counters at solve end, so they must stay correct in
+// RRP_OBSERVABILITY=OFF builds too.  One sharded relaxed add per event;
+// the registry lookup runs once per process.
+obs::Counter& refactorizations_counter() {
+  static obs::Counter& c =
+      obs::global_registry().counter("rrp.lp.refactorizations");
+  return c;
+}
+obs::Counter& eta_updates_counter() {
+  static obs::Counter& c =
+      obs::global_registry().counter("rrp.lp.eta_updates");
+  return c;
+}
+obs::Gauge& fill_ratio_sum_gauge() {
+  static obs::Gauge& g =
+      obs::global_registry().gauge("rrp.lp.fill_ratio_sum");
+  return g;
+}
 }  // namespace
 
 SimplexSolver::SimplexSolver(const LinearProgram& lp) {
@@ -90,9 +112,16 @@ double SimplexSolver::reduced_cost(std::size_t j,
 }
 
 void SimplexSolver::refactorize() {
+  RRP_TRACE_SPAN("lp.refactor");
   lu_.factorize(m_, cols_, basis_);  // throws NumericalError if singular
+  const double fill = lu_.fill_ratio();
   ++factor_stats_.refactorizations;
-  factor_stats_.fill_ratio_sum += lu_.fill_ratio();
+  factor_stats_.fill_ratio_sum += fill;
+  refactorizations_counter().add(1);
+  fill_ratio_sum_gauge().add(fill);
+  RRP_TRACE_ARG("fill_ratio", fill);
+  RRP_HISTOGRAM_OBSERVE("rrp.lp.fill_ratio", fill,
+                        {1.0, 1.5, 2.0, 3.0, 5.0, 8.0});
   // Fill trigger for the eta file: once the accumulated eta nonzeros
   // outgrow the factor itself, replaying them costs more than a fresh
   // factorisation would.
@@ -216,6 +245,7 @@ SimplexSolver::PhaseResult SimplexSolver::run_phase(
   for (std::size_t iter = 0; iter < max_iters; ++iter, ++iterations_) {
     // One deadline poll per pivot; a pointer compare when unlimited.
     if (opt_->deadline.expired()) return PhaseResult::TimeLimit;
+    RRP_COUNTER_ADD("rrp.lp.pivots.primal", 1);
     compute_duals(cost);
 
     // --- Pricing: choose the entering variable and its direction. ---
@@ -325,6 +355,7 @@ SimplexSolver::PhaseResult SimplexSolver::run_phase(
         throw NumericalError("simplex: vanishing pivot element");
       lu_.update(leave_pos, w_);
       ++factor_stats_.eta_updates;
+      eta_updates_counter().add(1);
       if (++pivots_since_refactor_ >= opt_->refactor_every ||
           lu_.eta_nonzeros() > eta_nnz_cap_)
         refactorize();
@@ -353,6 +384,7 @@ SimplexSolver::DualResult SimplexSolver::run_dual(
   // primal infeasibility certificate independent of the objective.
   for (std::size_t iter = 0; iter < max_iters; ++iter, ++iterations_) {
     if (opt_->deadline.expired()) return DualResult::TimeLimit;
+    RRP_COUNTER_ADD("rrp.lp.pivots.dual", 1);
 
     // --- Leaving row: most violated basic variable. ---
     std::size_t r = m_;
@@ -448,6 +480,7 @@ SimplexSolver::DualResult SimplexSolver::run_dual(
     xb_[r] = enter_val;
     lu_.update(r, w_);
     ++factor_stats_.eta_updates;
+    eta_updates_counter().add(1);
     if (++pivots_since_refactor_ >= opt_->refactor_every ||
         lu_.eta_nonzeros() > eta_nnz_cap_)
       refactorize();
@@ -533,6 +566,8 @@ Solution SimplexSolver::finish_phase2() {
 }
 
 Solution SimplexSolver::cold_solve() {
+  RRP_TRACE_SPAN("lp.cold_solve");
+  RRP_TRACE_ARG("rows", m_);
   // Initial nonbasic point: every structural/slack at its finite bound
   // nearest zero (0 for free variables).
   for (std::size_t j = 0; j < art_begin_; ++j) {
@@ -722,6 +757,8 @@ Solution SimplexSolver::solve_from(const Basis& start,
   opt_ = &options;
   if (start.empty() || !install_basis(start)) return cold_solve();
 
+  RRP_TRACE_SPAN("lp.warm_solve");
+  RRP_TRACE_ARG("rows", m_);
   // Re-optimise: dual simplex restores primal feasibility (bound changes
   // leave the parent basis dual feasible), then primal phase 2 cleans up
   // any residual dual infeasibility.  Numerical trouble on the warm path

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace rrp::market {
 
@@ -123,10 +124,18 @@ std::optional<RevocationKind> RevocationModel::revocation(
     std::size_t t, double bid, double intra_slot_max) const {
   RRP_EXPECTS(t < fraction_.size());
   if (!cfg_.enabled) return std::nullopt;
-  if (storm_at(t) && severity_u_[t] < cfg_.storm_severity)
+  if (storm_at(t) && severity_u_[t] < cfg_.storm_severity) {
+    RRP_COUNTER_ADD("rrp.market.revocations_drawn.storm", 1);
     return RevocationKind::Storm;
-  if (intra_slot_max > bid) return RevocationKind::BidCross;
-  if (hazard_u_[t] < cfg_.hazard_per_slot) return RevocationKind::Hazard;
+  }
+  if (intra_slot_max > bid) {
+    RRP_COUNTER_ADD("rrp.market.revocations_drawn.bid_cross", 1);
+    return RevocationKind::BidCross;
+  }
+  if (hazard_u_[t] < cfg_.hazard_per_slot) {
+    RRP_COUNTER_ADD("rrp.market.revocations_drawn.hazard", 1);
+    return RevocationKind::Hazard;
+  }
   return std::nullopt;
 }
 

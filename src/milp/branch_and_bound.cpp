@@ -17,12 +17,45 @@
 #include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "milp/cuts.hpp"
+#include "obs/obs.hpp"
 
 namespace rrp::milp {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Process-wide solve telemetry, fed unconditionally (not through the
+/// compile-out macros): the MipResult compatibility fields are computed
+/// as before/after deltas over these counters in Solver::run(), so they
+/// must advance in RRP_OBSERVABILITY=OFF builds too.  A sharded relaxed
+/// add per event keeps the workers race free without per-worker structs
+/// reduced at join.  The rrp.lp.* entries are written by the simplex
+/// layer (src/lp/simplex.cpp); they are looked up here only to snapshot
+/// factorisation deltas.
+struct SolveCounters {
+  obs::Counter& nodes = obs::global_registry().counter("rrp.bnb.nodes");
+  obs::Counter& lp_iterations =
+      obs::global_registry().counter("rrp.bnb.lp_iterations");
+  obs::Counter& recoveries =
+      obs::global_registry().counter("rrp.bnb.lp_recoveries");
+  obs::Counter& warm_nodes =
+      obs::global_registry().counter("rrp.bnb.warm_nodes");
+  obs::Counter& cold_nodes =
+      obs::global_registry().counter("rrp.bnb.cold_nodes");
+  obs::Counter& cuts = obs::global_registry().counter("rrp.bnb.cuts_added");
+  obs::Counter& refactorizations =
+      obs::global_registry().counter("rrp.lp.refactorizations");
+  obs::Counter& eta_updates =
+      obs::global_registry().counter("rrp.lp.eta_updates");
+  obs::Gauge& fill_ratio_sum =
+      obs::global_registry().gauge("rrp.lp.fill_ratio_sum");
+};
+
+SolveCounters& solve_counters() {
+  static SolveCounters counters;
+  return counters;
+}
 
 struct Node {
   // Bound overrides for the integer variables only, indexed by the
@@ -73,18 +106,13 @@ struct Pseudocosts {
 };
 
 /// Everything a tree-search worker owns privately: a persistent simplex
-/// solver (factorised basis + work buffers live across the nodes this
-/// worker processes) and telemetry counters that are reduced into the
-/// MipResult once, after all workers have joined — so the totals are
-/// race free without per-node atomics.
+/// solver whose factorised basis and work buffers live across the nodes
+/// this worker processes.  Telemetry goes straight to the sharded obs
+/// registry (see SolveCounters) instead of per-worker fields.
 struct WorkerState {
   explicit WorkerState(const lp::LinearProgram& lp) : solver(lp) {}
 
   lp::SimplexSolver solver;
-  std::size_t lp_iterations = 0;
-  std::size_t recoveries = 0;
-  std::size_t warm_nodes = 0;
-  std::size_t cold_nodes = 0;
 };
 
 /// Restores the bounds of the given variables on destruction, so the
@@ -289,31 +317,29 @@ class Solver {
 #endif
 
   // Root cut telemetry, written before the workers start (internal
-  // minimisation space) and read in the single-threaded epilogue.
-  std::size_t cuts_added_ = 0;
+  // minimisation space) and read in the single-threaded epilogue.  Cut
+  // and factorisation counts live in the obs registry (SolveCounters).
   double root_lp_obj_ = kInf;   ///< root relaxation value before cuts
   double root_cut_obj_ = kInf;  ///< root relaxation value after cuts
-  lp::FactorizationStats root_factor_stats_;
 };
 
 std::shared_ptr<const lp::Basis> Solver::run_root_cuts(double& root_bound) {
+  RRP_TRACE_SPAN("bnb.root_cuts");
   lp::SimplexSolver solver(relaxation_);
   lp::Solution sol;
   try {
     sol = solver.solve(lp_opt_);
   } catch (const NumericalError&) {
-    root_factor_stats_ += solver.factor_stats();
     return nullptr;
   }
-  if (sol.status != lp::SolveStatus::Optimal) {
-    root_factor_stats_ += solver.factor_stats();
-    return nullptr;
-  }
+  if (sol.status != lp::SolveStatus::Optimal) return nullptr;
   root_lp_obj_ = root_cut_obj_ = sense_mult_ * model_.objective_value(sol.x);
 
   CutPool pool;
   bool usable = true;
   for (std::size_t round = 0; round < opt_.max_cut_rounds; ++round) {
+    RRP_TRACE_SPAN("bnb.cut_round");
+    RRP_TRACE_ARG("round", round);
     const std::vector<Cut> cuts =
         opt_.cut_generator->separate(sol.x, opt_.cut_violation_tol);
     const std::size_t old_rows = relaxation_.num_rows();
@@ -324,12 +350,15 @@ std::shared_ptr<const lp::Basis> Solver::run_root_cuts(double& root_bound) {
       relaxation_.add_row(c.entries, c.lo, c.hi);
       ++added;
     }
+    RRP_TRACE_ARG("added", added);
     if (added == 0) break;
-    cuts_added_ += added;
+    solve_counters().cuts.add(added);
+    RRP_OBS_EVENT("bnb", "cut_round",
+                  {{"round", static_cast<std::uint64_t>(round)},
+                   {"added", static_cast<std::uint64_t>(added)}});
 
     // Rebuild the solver over the extended program; the parent basis
     // plus the new cut slacks (basic) warm starts the dual simplex.
-    root_factor_stats_ += solver.factor_stats();
     solver = lp::SimplexSolver(relaxation_);
     lp::Basis start;
     if (!parent.empty()) {
@@ -353,7 +382,6 @@ std::shared_ptr<const lp::Basis> Solver::run_root_cuts(double& root_bound) {
     }
     root_cut_obj_ = sense_mult_ * model_.objective_value(sol.x);
   }
-  root_factor_stats_ += solver.factor_stats();
   compute_incumbent_feas_tol();  // cut rows change the max row L1 norm
 
   if (!usable) return nullptr;
@@ -368,11 +396,11 @@ lp::Solution Solver::solve_node_lp(WorkerState& ws, const Node& node) {
   for (std::size_t k = 0; k < int_vars_.size(); ++k)
     ws.solver.set_variable_bounds(int_vars_[k], node.lo[k], node.hi[k]);
   lp::Solution sol = solve_with_recovery(ws, node.start.get());
-  ws.lp_iterations += sol.iterations;
+  solve_counters().lp_iterations.add(sol.iterations);
   if (ws.solver.last_solve_was_warm())
-    ++ws.warm_nodes;
+    solve_counters().warm_nodes.add(1);
   else
-    ++ws.cold_nodes;
+    solve_counters().cold_nodes.add(1);
   return sol;
 }
 
@@ -392,7 +420,8 @@ lp::Solution Solver::solve_with_recovery(WorkerState& ws,
   retry.pricing = lp::Pricing::Bland;
   try {
     lp::Solution sol = ws.solver.solve(retry);
-    ++ws.recoveries;
+    solve_counters().recoveries.add(1);
+    RRP_OBS_EVENT("lp", "recovery", {{"rung", 1}, {"ladder", "bland"}});
     return sol;
   } catch (const NumericalError&) {
   }
@@ -402,7 +431,8 @@ lp::Solution Solver::solve_with_recovery(WorkerState& ws,
   retry.refactor_every = 1;
   try {
     lp::Solution sol = ws.solver.solve(retry);
-    ++ws.recoveries;
+    solve_counters().recoveries.add(1);
+    RRP_OBS_EVENT("lp", "recovery", {{"rung", 2}, {"ladder", "refactor"}});
     return sol;
   } catch (const NumericalError&) {
   }
@@ -421,7 +451,8 @@ lp::Solution Solver::solve_with_recovery(WorkerState& ws,
         j, c + 9.3e-10 * (1.0 + std::fabs(c)) * (jitter - 0.5));
   }
   lp::Solution sol = ws.solver.solve(retry);  // rethrows on failure
-  ++ws.recoveries;
+  solve_counters().recoveries.add(1);
+  RRP_OBS_EVENT("lp", "recovery", {{"rung", 3}, {"ladder", "perturb"}});
   return sol;
 }
 
@@ -474,6 +505,13 @@ void Solver::offer_incumbent(const std::vector<double>& x,
   have_incumbent_ = true;
   incumbent_obj_ = internal_obj;
   incumbent_x_ = x;
+  RRP_COUNTER_ADD("rrp.bnb.incumbent_updates", 1);
+  RRP_GAUGE_SET("rrp.bnb.incumbent_objective", sense_mult_ * internal_obj);
+  RRP_OBS_EVENT(
+      "bnb", "incumbent",
+      {{"objective", sense_mult_ * internal_obj},
+       {"nodes", static_cast<std::uint64_t>(
+                     nodes_count_.load(std::memory_order_relaxed))}});
   // Snap integer variables exactly.
   for (std::size_t j : int_vars_)
     incumbent_x_[j] = std::round(incumbent_x_[j]);
@@ -496,6 +534,7 @@ void Solver::try_rounding_heuristic(WorkerState& ws, const Node& node,
   // Fix every integer variable to the nearest integer inside the node
   // bounds, then re-solve the LP for the continuous variables.  The
   // guard restores the node's bounds even when the solve throws.
+  RRP_TRACE_SPAN("bnb.heuristic");
   BoundsGuard guard(ws.solver, int_vars_);
   for (std::size_t k = 0; k < int_vars_.size(); ++k) {
     double v = std::round(x[int_vars_[k]]);
@@ -503,7 +542,7 @@ void Solver::try_rounding_heuristic(WorkerState& ws, const Node& node,
     ws.solver.set_variable_bounds(int_vars_[k], v, v);
   }
   lp::Solution sol = solve_with_recovery(ws, start);
-  ws.lp_iterations += sol.iterations;
+  solve_counters().lp_iterations.add(sol.iterations);
   if (sol.status == lp::SolveStatus::Optimal) {
     offer_incumbent(sol.x, sense_mult_ * model_.objective_value(sol.x));
   }
@@ -511,6 +550,9 @@ void Solver::try_rounding_heuristic(WorkerState& ws, const Node& node,
 
 void Solver::process_node(WorkerState& ws, Node& node,
                           std::size_t node_number) {
+  RRP_TRACE_SPAN("bnb.node");
+  RRP_TRACE_ARG("node", node_number);
+  RRP_TRACE_ARG("depth", node.depth);
   // Bound-based pruning against the incumbent, honouring both gap
   // tolerances: a node whose bound cannot improve the incumbent by more
   // than the configured gap is not worth expanding.
@@ -654,6 +696,8 @@ void Solver::worker(std::size_t w, WorkerState& ws) {
     Node node = pop_locked();
     const std::size_t node_number =
         nodes_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    solve_counters().nodes.add(1);
+    RRP_GAUGE_SET("rrp.bnb.frontier_depth", heap_.size() + stack_.size());
     ++active_;
     in_flight_[w] = node.bound;
     lock.unlock();
@@ -680,7 +724,22 @@ void Solver::worker(std::size_t w, WorkerState& ws) {
 }
 
 MipResult Solver::run() {
+  RRP_TRACE_SPAN("bnb.solve");
   MipResult result;
+
+  // Snapshot the process-wide telemetry counters so the epilogue can
+  // fill the MipResult compatibility fields from the deltas this solve
+  // produced.  Exact: no two solves run concurrently in one process
+  // (solves on worker threads nest under this call via TaskGroup).
+  const SolveCounters& tel = solve_counters();
+  const std::uint64_t lp_iterations0 = tel.lp_iterations.value();
+  const std::uint64_t recoveries0 = tel.recoveries.value();
+  const std::uint64_t warm0 = tel.warm_nodes.value();
+  const std::uint64_t cold0 = tel.cold_nodes.value();
+  const std::uint64_t cuts0 = tel.cuts.value();
+  const std::uint64_t refactorizations0 = tel.refactorizations.value();
+  const std::uint64_t eta0 = tel.eta_updates.value();
+  const double fill_sum0 = tel.fill_ratio_sum.value();
 
   std::size_t jobs = opt_.jobs;
   if (jobs == 0)
@@ -732,17 +791,27 @@ MipResult Solver::run() {
   MutexLock lock(mtx_);
   if (error_) std::rethrow_exception(error_);
 
+  // Compatibility view over the obs registry: the public MipResult
+  // telemetry fields are counter deltas across this solve, mirroring
+  // the per-worker field reduction they replace exactly (every counting
+  // site below and in src/lp/simplex.cpp advances unconditionally, so
+  // the fields stay correct under RRP_OBSERVABILITY=OFF).
   result.nodes_explored = nodes_count_.load(std::memory_order_relaxed);
-  for (const WorkerState& ws : states) {
-    result.lp_iterations += ws.lp_iterations;
-    result.lp_failures_recovered += ws.recoveries;
-    result.warm_started_nodes += ws.warm_nodes;
-    result.cold_solved_nodes += ws.cold_nodes;
-    result.factor_stats += ws.solver.factor_stats();
-  }
-  result.factor_stats += root_factor_stats_;
-  result.cuts_added = cuts_added_;
-  if (cuts_added_ > 0 && have_incumbent_ && std::isfinite(root_lp_obj_)) {
+  result.lp_iterations =
+      static_cast<std::size_t>(tel.lp_iterations.value() - lp_iterations0);
+  result.lp_failures_recovered =
+      static_cast<std::size_t>(tel.recoveries.value() - recoveries0);
+  result.warm_started_nodes =
+      static_cast<std::size_t>(tel.warm_nodes.value() - warm0);
+  result.cold_solved_nodes =
+      static_cast<std::size_t>(tel.cold_nodes.value() - cold0);
+  result.cuts_added = static_cast<std::size_t>(tel.cuts.value() - cuts0);
+  result.factor_stats.refactorizations = static_cast<std::size_t>(
+      tel.refactorizations.value() - refactorizations0);
+  result.factor_stats.eta_updates =
+      static_cast<std::size_t>(tel.eta_updates.value() - eta0);
+  result.factor_stats.fill_ratio_sum = tel.fill_ratio_sum.value() - fill_sum0;
+  if (result.cuts_added > 0 && have_incumbent_ && std::isfinite(root_lp_obj_)) {
     const double denom = incumbent_obj_ - root_lp_obj_;
     if (denom > 1e-12)
       result.root_gap_closed =

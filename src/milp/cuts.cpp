@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/invariant.hpp"
+#include "obs/obs.hpp"
 
 namespace rrp::milp {
 
@@ -25,6 +26,8 @@ void LotSizingCutGenerator::add_chain(std::vector<LotSlot> slots,
 
 std::vector<Cut> LotSizingCutGenerator::separate(
     const std::vector<double>& x, double min_violation) const {
+  RRP_TRACE_SPAN("cuts.separate");
+  RRP_COUNTER_ADD("rrp.cuts.separation_calls", 1);
   std::vector<Cut> cuts;
   std::vector<double> cum;  // cumulative net demand through period l
   for (const Chain& chain : chains_) {
@@ -71,6 +74,7 @@ std::vector<Cut> LotSizingCutGenerator::separate(
       if (delta_l - lhs > min_violation) cuts.push_back(std::move(cut));
     }
   }
+  RRP_TRACE_ARG("violated", cuts.size());
   return cuts;
 }
 

@@ -1,0 +1,111 @@
+#include "obs/events.hpp"
+
+#include <sstream>
+
+namespace rrp::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';  // other control chars: blank out
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string event_to_jsonl(const Event& event) {
+  std::ostringstream os;
+  os << "{\"ts\":" << event.ts_seconds << ",\"cat\":\"" << event.category
+     << "\",\"event\":\"" << event.name << '"';
+  for (const auto& f : event.fields) {
+    os << ",\"" << f.key << "\":";
+    if (f.is_string) {
+      os << '"';
+      append_escaped(os, f.str);
+      os << '"';
+    } else {
+      os << f.num;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {}
+
+bool JsonlFileSink::ok() const {
+  MutexLock lock(mu_);
+  return out_.good();
+}
+
+void JsonlFileSink::write(const Event& event) {
+  const std::string line = event_to_jsonl(event);
+  MutexLock lock(mu_);
+  out_ << line << '\n';
+}
+
+void VectorSink::write(const Event& event) {
+  MutexLock lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<Event> VectorSink::events() const {
+  MutexLock lock(mu_);
+  return events_;
+}
+
+EventLog::EventLog() : clock_(&common::real_clock()) {}
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::set_sink(std::shared_ptr<EventSink> sink) {
+  MutexLock lock(mu_);
+  sink_ = std::move(sink);
+  has_sink_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+void EventLog::emit(const char* category, const char* name,
+                    std::initializer_list<EventField> fields) {
+  if (!enabled()) return;
+  std::shared_ptr<EventSink> sink;
+  {
+    MutexLock lock(mu_);
+    sink = sink_;
+  }
+  if (sink == nullptr) return;
+  Event event;
+  event.ts_seconds =
+      clock_.load(std::memory_order_relaxed)->now_seconds();
+  event.category = category;
+  event.name = name;
+  event.fields.assign(fields.begin(), fields.end());
+  sink->write(event);
+}
+
+}  // namespace rrp::obs

@@ -1,0 +1,188 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace rrp::obs {
+
+namespace detail {
+
+SpanRing::SpanRing(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid), records_(capacity) {}
+
+void SpanRing::push(const SpanRecord& record) {
+  MutexLock lock(mu_);
+  records_[next_] = record;
+  next_ = (next_ + 1) % records_.size();
+  if (size_ < records_.size())
+    ++size_;
+  else
+    ++dropped_;
+}
+
+void SpanRing::snapshot(std::vector<SpanRecord>& out) const {
+  MutexLock lock(mu_);
+  const std::size_t start = (next_ + records_.size() - size_) %
+                            records_.size();
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(records_[(start + i) % records_.size()]);
+}
+
+void SpanRing::clear() {
+  MutexLock lock(mu_);
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::uint64_t SpanRing::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+/// Innermost open span of the calling thread (RRP_TRACE_ARG target) and
+/// its nesting depth.  Plain thread-locals: only this thread touches
+/// them.
+thread_local TraceSpan* t_open_span = nullptr;
+thread_local std::uint32_t t_depth = 0;
+thread_local std::shared_ptr<SpanRing> t_ring;
+
+}  // namespace
+
+}  // namespace detail
+
+TraceRecorder::TraceRecorder() : clock_(&common::real_clock()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_ring_capacity(std::size_t spans) {
+  ring_capacity_.store(spans == 0 ? 1 : spans, std::memory_order_relaxed);
+}
+
+detail::SpanRing& TraceRecorder::local_ring() {
+  if (detail::t_ring == nullptr) {
+    MutexLock lock(mu_);
+    detail::t_ring = std::make_shared<detail::SpanRing>(
+        next_tid_++, ring_capacity_.load(std::memory_order_relaxed));
+    rings_.push_back(detail::t_ring);
+  }
+  return *detail::t_ring;
+}
+
+std::vector<SpanRecord> TraceRecorder::collect() const {
+  std::vector<std::shared_ptr<detail::SpanRing>> rings;
+  {
+    MutexLock lock(mu_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings) ring->snapshot(out);
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::vector<std::shared_ptr<detail::SpanRing>> rings;
+  {
+    MutexLock lock(mu_);
+    rings = rings_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& ring : rings) total += ring->dropped();
+  return total;
+}
+
+void TraceRecorder::clear() {
+  std::vector<std::shared_ptr<detail::SpanRing>> rings;
+  {
+    MutexLock lock(mu_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) ring->clear();
+}
+
+namespace {
+
+/// JSON number formatting for timestamps: fixed-point microseconds.
+std::string format_us(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << seconds * 1e6;
+  return os.str();
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  std::vector<SpanRecord> spans = collect();
+  // Chrome's importer wants complete events in start order; ties broken
+  // by longer span first so parents precede their children.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_seconds < b.start_seconds) return true;
+                     if (b.start_seconds < a.start_seconds) return false;
+                     return a.dur_seconds > b.dur_seconds;
+                   });
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const char* sep = "";
+  for (const auto& s : spans) {
+    out << sep << "{\"name\":\"" << s.name
+        << "\",\"cat\":\"rrp\",\"ph\":\"X\",\"ts\":"
+        << format_us(s.start_seconds)
+        << ",\"dur\":" << format_us(s.dur_seconds) << ",\"pid\":1,\"tid\":"
+        << s.tid;
+    if (s.num_args > 0) {
+      out << ",\"args\":{";
+      for (std::uint32_t i = 0; i < s.num_args; ++i) {
+        std::ostringstream val;
+        val << s.args[i].value;
+        out << (i ? "," : "") << '"' << s.args[i].key
+            << "\":" << val.str();
+      }
+      out << '}';
+    }
+    out << '}';
+    sep = ",";
+  }
+  out << "]}";
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  if (!recorder.enabled()) return;
+  active_ = true;
+  record_.name = name;
+  record_.depth = detail::t_depth++;
+  record_.tid = recorder.local_ring().tid();
+  prev_open_ = detail::t_open_span;
+  detail::t_open_span = this;
+  record_.start_seconds = recorder.now_seconds();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  record_.dur_seconds =
+      std::max(0.0, recorder.now_seconds() - record_.start_seconds);
+  detail::t_open_span = prev_open_;
+  --detail::t_depth;
+  recorder.local_ring().push(record_);
+}
+
+void TraceSpan::arg(const char* key, double value) noexcept {
+  if (!active_ || record_.num_args >= kMaxSpanArgs) return;
+  record_.args[record_.num_args] = SpanArg{key, value};
+  ++record_.num_args;
+}
+
+void TraceSpan::current_arg(const char* key, double value) noexcept {
+  if (detail::t_open_span != nullptr) detail::t_open_span->arg(key, value);
+}
+
+}  // namespace rrp::obs

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/special.hpp"
 #include "common/stats.hpp"
+#include "obs/obs.hpp"
 #include "timeseries/acf.hpp"
 #include "timeseries/series.hpp"
 
@@ -103,6 +104,8 @@ std::vector<double> css_residuals(std::span<const double> z,
 
 SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
                        const SarimaFitOptions& options) {
+  RRP_TRACE_SPAN("ts.fit_sarima");
+  RRP_TRACE_ARG("n", x.size());
   RRP_EXPECTS(!order.has_seasonal() || order.s >= 2);
   const std::vector<double> w = apply_differencing(x, order);
   const std::size_t max_ar_lag =
@@ -173,6 +176,9 @@ SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
     // The mean lives on the data scale; everything else is O(1).
     opt_result = nelder_mead(css_of, start, nm);
   }
+  RRP_COUNTER_ADD("rrp.ts.sarima_fits", 1);
+  RRP_COUNTER_ADD("rrp.ts.sarima_fit_evaluations", opt_result.evaluations);
+  RRP_TRACE_ARG("evaluations", opt_result.evaluations);
 
   const Unpacked fitted = unpack(opt_result.x);
   SarimaModel model;

@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "common/sync.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "timeseries/acf.hpp"
 #include "timeseries/series.hpp"
 
@@ -76,6 +77,10 @@ AutoArimaResult auto_arima(std::span<const double> x,
     }
   }
   RRP_EXPECTS(!grid.empty());
+  RRP_TRACE_SPAN("ts.auto_arima");
+  RRP_TRACE_ARG("candidates", grid.size());
+  RRP_COUNTER_ADD("rrp.ts.auto_arima_searches", 1);
+  RRP_COUNTER_ADD("rrp.ts.auto_arima_candidates", grid.size());
 
   std::vector<double> scores(grid.size(),
                              std::numeric_limits<double>::infinity());

@@ -1,0 +1,31 @@
+// Compiled with RRP_OBSERVABILITY_FORCE_OFF (see tests/CMakeLists.txt)
+// to prove the instrumentation macros are true no-ops in stripped
+// builds: value arguments must never be evaluated — the zero-overhead
+// half of the observability contract (DESIGN.md "Observability").
+#include "obs/obs.hpp"
+
+#if RRP_OBSERVABILITY_ENABLED
+#error "obs_off_probe.cpp must be compiled with observability off"
+#endif
+
+namespace rrp_test {
+
+/// Returns true if any disabled instrumentation macro evaluated its
+/// value argument.
+bool obs_off_probe_evaluated() {
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return 1;
+  };
+  RRP_COUNTER_ADD("probe.counter", touch());
+  RRP_GAUGE_SET("probe.gauge", touch());
+  RRP_GAUGE_ADD("probe.gauge", touch());
+  RRP_HISTOGRAM_OBSERVE("probe.histogram", touch(), {1.0, 2.0});
+  RRP_TRACE_SPAN("probe.span");
+  RRP_TRACE_ARG("probe", touch());
+  RRP_OBS_EVENT("probe", "event", {{"value", touch()}});
+  return evaluated;
+}
+
+}  // namespace rrp_test

@@ -16,12 +16,18 @@ Failure conditions:
   * srrp_warm_speedup falls below the baseline's min_srrp_warm_speedup
     (the ISSUE 5 acceptance bar: warm starts must at least double B&B
     node throughput on the SRRP deterministic equivalent);
-  * a baseline benchmark is missing from the measured file.
+  * a baseline benchmark is missing from the measured file;
+  * with --obs-off OBSOFF_JSON (a run from an RRP_OBSERVABILITY=OFF
+    build): the obs-ON SRRP warm node throughput (--obs-row) drops more
+    than --obs-tolerance (default 2%) below the obs-OFF run — the
+    instrumentation-overhead budget.  Both files carry an
+    "observability" flag so the gate refuses a mismatched pair.
 
 On failure, each offending line reports the measured-vs-floor ratio so
 the log shows how far off the run was without a manual division.
 
 Usage: check_perf.py MEASURED_JSON BASELINE_JSON [--tolerance 0.25]
+                     [--obs-off OBSOFF_JSON] [--obs-tolerance 0.02]
 """
 
 import argparse
@@ -42,6 +48,17 @@ def main() -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional drop below the baseline "
                              "floor (default 0.25)")
+    parser.add_argument("--obs-off",
+                        help="BENCH_solvers.json from an "
+                             "RRP_OBSERVABILITY=OFF build; enables the "
+                             "instrumentation-overhead gate")
+    parser.add_argument("--obs-row", default="srrp_aggregated_w3_warm",
+                        help="benchmark entry the overhead gate compares "
+                             "(default srrp_aggregated_w3_warm)")
+    parser.add_argument("--obs-tolerance", type=float, default=0.02,
+                        help="allowed fractional node-throughput drop of "
+                             "the obs-ON run vs the obs-OFF run "
+                             "(default 0.02)")
     args = parser.parse_args()
 
     with open(args.measured) as f:
@@ -94,6 +111,36 @@ def main() -> int:
             failures.append(
                 f"srrp_warm_speedup {speedup:.2f}x below {min_speedup:.2f}x "
                 f"({ratio_str(speedup, min_speedup)} of minimum)")
+
+    if args.obs_off:
+        with open(args.obs_off) as f:
+            obs_off = json.load(f)
+        if measured.get("observability") is not True:
+            failures.append("obs gate: MEASURED_JSON was not produced by an "
+                            "RRP_OBSERVABILITY=ON build")
+        if obs_off.get("observability") is not False:
+            failures.append("obs gate: --obs-off file was not produced by an "
+                            "RRP_OBSERVABILITY=OFF build")
+        off_by_name = {r["name"]: r for r in obs_off.get("results", [])}
+        on_row = measured_by_name.get(args.obs_row)
+        off_row = off_by_name.get(args.obs_row)
+        if on_row is None or off_row is None:
+            failures.append(f"obs gate: {args.obs_row} missing from "
+                            "measured and/or --obs-off results")
+        else:
+            on_nps = on_row.get("nodes_per_second", 0.0)
+            off_nps = off_row.get("nodes_per_second", 0.0)
+            floor = off_nps * (1.0 - args.obs_tolerance)
+            status = "ok" if on_nps >= floor else "FAIL"
+            print(f"{status:4} obs overhead on {args.obs_row}: "
+                  f"{on_nps:.0f} nodes/s with obs vs {off_nps:.0f} without "
+                  f"(floor {floor:.0f}, {ratio_str(on_nps, floor)} of floor)")
+            if on_nps < floor:
+                overhead = 1.0 - on_nps / off_nps if off_nps > 0 else 0.0
+                failures.append(
+                    f"obs gate: instrumentation costs {overhead:.1%} of "
+                    f"{args.obs_row} node throughput, budget is "
+                    f"{args.obs_tolerance:.1%}")
 
     if failures:
         print("\nperf-smoke FAILED:", file=sys.stderr)

@@ -33,6 +33,16 @@ type and scope information:
                          compressed column storage (or mark a deliberate
                          dense scratch with
                          `rrp-lint: allow(dense-matrix)`).
+  raw-chrono-timing      Direct std::chrono clock reads
+                         (steady_clock / system_clock /
+                         high_resolution_clock ::now()) outside
+                         src/common/deadline.* and src/obs/.  Unlike the
+                         regex linter's no-raw-clock rule this sees
+                         through type aliases (`using Clock =
+                         std::chrono::steady_clock; Clock::now();`)
+                         because it matches canonical types.  Time must
+                         flow through rrp::common::Clock so deadlines
+                         and trace timestamps stay injectable.
 
 Suppression: append `rrp-lint: allow(<rule>[, <rule>...])` in a comment
 on any line covered by the offending expression.
@@ -438,6 +448,56 @@ def rule_dense_matrix(root: Node, ctx: FileContext) -> list:
     return findings
 
 
+# std::chrono clock types in canonical spellings: libc++ nests the
+# inline namespace outside chrono (std::__1::chrono::steady_clock),
+# libstdc++ inside it (std::chrono::_V2::steady_clock).
+CHRONO_CLOCK_RE = re.compile(
+    r"\bstd::(__\w+::)?chrono::(_V\d+::)?"
+    r"(steady_clock|system_clock|high_resolution_clock)\b"
+)
+
+# The sanctioned homes of raw clock reads: the Clock/Deadline seam
+# itself and the observability layer that timestamps trace spans.
+CLOCK_HOMES = ("src/common/deadline.", "src/obs/")
+
+
+def rule_raw_chrono_timing(root: Node, ctx: FileContext) -> list:
+    if any(ctx.path.startswith(home) for home in CLOCK_HOMES):
+        return []
+    findings = []
+    seen_lines = set()
+    for node in root.walk():
+        # A clock read is a call to a member named `now` whose canonical
+        # type mentions one of the std::chrono clocks — true for the
+        # CALL_EXPR (returns time_point<clock, ...>) and for the
+        # DECL_REF_EXPR naming the function, whichever libclang exposes.
+        if node.kind not in ("CALL_EXPR", "DECL_REF_EXPR",
+                             "MEMBER_REF_EXPR"):
+            continue
+        if node.spelling != "now":
+            continue
+        m = CHRONO_CLOCK_RE.search(node.type)
+        if not m:
+            continue
+        if node.line in seen_lines:  # CALL_EXPR + its DECL_REF_EXPR
+            continue
+        seen_lines.add(node.line)
+        findings.append(
+            Finding(
+                "raw-chrono-timing",
+                ctx.path,
+                node.line,
+                f"direct std::chrono::{m.group(3)}::now() read "
+                "(aliases included); route timing through "
+                "rrp::common::Clock / common::real_clock() so tests "
+                "can inject a FakeClock, or mark a deliberate read "
+                "with `rrp-lint: allow(raw-chrono-timing)`",
+                end_line=node.end_line,
+            )
+        )
+    return findings
+
+
 RULES: list = [
     ("raw-sync-primitive", rule_raw_sync_primitive),
     ("unnamed-lock-temporary", rule_unnamed_lock_temporary),
@@ -445,6 +505,7 @@ RULES: list = [
     ("float-equality", rule_float_equality),
     ("naked-new-delete", rule_naked_new_delete),
     ("dense-matrix", rule_dense_matrix),
+    ("raw-chrono-timing", rule_raw_chrono_timing),
 ]
 
 

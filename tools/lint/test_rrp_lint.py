@@ -550,6 +550,99 @@ class AstDenseMatrixTests(unittest.TestCase):
         self.assertEqual(len(hits), 1)
 
 
+class AstRawChronoTimingTests(unittest.TestCase):
+    STEADY_TP = (
+        "std::chrono::time_point<std::chrono::steady_clock, "
+        "std::chrono::duration<long, std::ratio<1, 1000000000>>>"
+    )
+
+    def _now_call(self, type_spelling, line=4):
+        return N(
+            "CALL_EXPR", spelling="now", type=type_spelling, line=line
+        )
+
+    def test_steady_clock_now_fires(self):
+        tree = self._now_call(self.STEADY_TP)
+        self.assertIn("raw-chrono-timing", fired(tree, "bench/abl.cpp"))
+
+    def test_aliased_clock_now_fires(self):
+        # `using Clock = std::chrono::steady_clock; Clock::now();` —
+        # canonical types see through the alias the regex rule misses.
+        tree = self._now_call(self.STEADY_TP)
+        self.assertIn("raw-chrono-timing", fired(tree, "src/core/x.cpp"))
+
+    def test_libstdcxx_inline_namespace_fires(self):
+        tree = self._now_call(
+            "std::chrono::time_point<std::chrono::_V2::system_clock, "
+            "std::chrono::duration<long, std::ratio<1, 1000000000>>>"
+        )
+        self.assertIn("raw-chrono-timing", fired(tree, "tests/t.cpp"))
+
+    def test_libcxx_inline_namespace_fires(self):
+        tree = self._now_call(
+            "std::__1::chrono::time_point<"
+            "std::__1::chrono::high_resolution_clock, "
+            "std::__1::chrono::duration<long long, "
+            "std::__1::ratio<1, 1000000000>>>"
+        )
+        self.assertIn("raw-chrono-timing", fired(tree, "tools/x.cpp"))
+
+    def test_deadline_home_is_exempt(self):
+        tree = self._now_call(self.STEADY_TP)
+        self.assertNotIn(
+            "raw-chrono-timing", fired(tree, "src/common/deadline.cpp")
+        )
+
+    def test_obs_layer_is_exempt(self):
+        tree = self._now_call(self.STEADY_TP)
+        self.assertNotIn(
+            "raw-chrono-timing", fired(tree, "src/obs/trace.cpp")
+        )
+
+    def test_rrp_clock_wrapper_passes(self):
+        # common::real_clock().now_seconds() is the sanctioned read.
+        tree = N(
+            "CALL_EXPR", spelling="now_seconds", type="double", line=4
+        )
+        self.assertNotIn("raw-chrono-timing", fired(tree, "bench/b.cpp"))
+
+    def test_unrelated_now_passes(self):
+        # A user-defined now() that never touches std::chrono clocks.
+        tree = self._now_call("double")
+        self.assertNotIn(
+            "raw-chrono-timing", fired(tree, "bench/b.cpp")
+        )
+
+    def test_allow_comment_suppresses(self):
+        tree = self._now_call(self.STEADY_TP, line=6)
+        self.assertNotIn(
+            "raw-chrono-timing",
+            fired(tree, "bench/b.cpp", allow={6: {"raw-chrono-timing"}}),
+        )
+
+    def test_call_and_ref_same_line_reported_once(self):
+        tree = N(
+            "CALL_EXPR",
+            N(
+                "DECL_REF_EXPR",
+                spelling="now",
+                type=self.STEADY_TP + " ()",
+                line=7,
+            ),
+            spelling="now",
+            type=self.STEADY_TP,
+            line=7,
+        )
+        root = link_parents(N("TRANSLATION_UNIT", tree))
+        ctx = FileContext(path="bench/b.cpp")
+        hits = [
+            f
+            for f in rrp_lint_ast.run_rules(root, ctx)
+            if f.rule == "raw-chrono-timing"
+        ]
+        self.assertEqual(len(hits), 1)
+
+
 class AstHelperTests(unittest.TestCase):
     def test_parse_allow_comments(self):
         allow = rrp_lint_ast.parse_allow_comments(
@@ -573,6 +666,7 @@ class AstHelperTests(unittest.TestCase):
                 "float-equality",
                 "naked-new-delete",
                 "dense-matrix",
+                "raw-chrono-timing",
             ],
         )
 
@@ -652,6 +746,25 @@ class AstEndToEndTests(unittest.TestCase):
         )
         hits = [f for f in findings if f.rule == "solver-deadline-param"]
         self.assertEqual([f.line for f in hits], [3])
+
+    def test_aliased_chrono_clock_read_fires(self):
+        findings = self.lint_snippet(
+            "#include <chrono>\n"
+            "using Clock = std::chrono::steady_clock;\n"
+            "double wall() {\n"
+            "  const auto t0 = Clock::now();\n"
+            "  const auto t1 = std::chrono::steady_clock::now();\n"
+            "  const auto t2 =\n"
+            "      Clock::now();  // rrp-lint: allow(raw-chrono-timing)\n"
+            "  return std::chrono::duration<double>(t1 - t0).count() +\n"
+            "         std::chrono::duration<double>(t1 - t2).count();\n"
+            "}\n",
+            "bench/fake.cpp",
+        )
+        lines = sorted(
+            f.line for f in findings if f.rule == "raw-chrono-timing"
+        )
+        self.assertEqual(lines, [4, 5])
 
     def test_naked_new_fires_and_placement_is_exempt(self):
         findings = self.lint_snippet(

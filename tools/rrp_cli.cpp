@@ -8,8 +8,10 @@
 //
 // Run `rrp <command> --help` for per-command flags.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "core/wagner_whitin.hpp"
 #include "market/auction.hpp"
 #include "market/trace_generator.hpp"
+#include "obs/obs.hpp"
 #include "timeseries/acf.hpp"
 #include "timeseries/auto_arima.hpp"
 #include "timeseries/diagnostics.hpp"
@@ -73,6 +76,58 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
   bool help_ = false;
+};
+
+/// Arms the observability layer from the global flags (valid on every
+/// subcommand) and flushes the outputs when the command finishes:
+///   --metrics-out FILE  write a registry snapshot, one `name value`
+///                       per line
+///   --trace-out FILE    record trace spans, write Chrome trace JSON
+///                       (load in Perfetto / chrome://tracing)
+///   --events-out FILE   stream structured events as JSONL
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : metrics_out_(args.get("metrics-out", "")),
+        trace_out_(args.get("trace-out", "")) {
+    if (!trace_out_.empty()) obs::TraceRecorder::instance().enable();
+    const std::string events_out = args.get("events-out", "");
+    if (!events_out.empty()) {
+      auto sink = std::make_shared<obs::JsonlFileSink>(events_out);
+      if (!sink->ok())
+        std::cerr << "rrp: cannot open " << events_out
+                  << " for --events-out; events disabled\n";
+      else
+        obs::EventLog::instance().set_sink(std::move(sink));
+    }
+  }
+
+  ~ObsSession() {
+    if (!trace_out_.empty()) {
+      obs::TraceRecorder::instance().disable();
+      std::ofstream out(trace_out_);
+      if (!out)
+        std::cerr << "rrp: cannot open " << trace_out_ << " for --trace-out\n";
+      else
+        obs::TraceRecorder::instance().write_chrome_trace(out);
+    }
+    if (!metrics_out_.empty()) {
+      std::ofstream out(metrics_out_);
+      if (!out)
+        std::cerr << "rrp: cannot open " << metrics_out_
+                  << " for --metrics-out\n";
+      else
+        out << obs::global_registry().scrape().to_text();
+    }
+    obs::EventLog::instance().set_sink(nullptr);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string metrics_out_;
+  std::string trace_out_;
 };
 
 market::SpotTrace load_or_generate(const Args& args, market::VmClass vm) {
@@ -480,7 +535,13 @@ void usage() {
       "  analyze       summarise a trace and its predictability\n"
       "  plan          optimal DRRP schedule for one VM class\n"
       "  simulate      run a rental policy against the spot market\n"
-      "  availability  profile a fixed bid against a trace\n";
+      "  availability  profile a fixed bid against a trace\n"
+      "\n"
+      "observability flags (any command):\n"
+      "  --metrics-out FILE   write the metrics registry as JSON on exit\n"
+      "  --trace-out FILE     record spans, write Chrome trace JSON\n"
+      "                       (open in Perfetto or chrome://tracing)\n"
+      "  --events-out FILE    stream structured events as JSONL\n";
 }
 
 }  // namespace
@@ -493,6 +554,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
+    ObsSession obs_session(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "plan") return cmd_plan(args);
