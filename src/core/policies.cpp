@@ -4,6 +4,23 @@
 
 namespace rrp::core {
 
+const char* to_string(ReplanMode mode) {
+  switch (mode) {
+    case ReplanMode::Rebuild:
+      return "rebuild";
+    case ReplanMode::Incremental:
+      return "incremental";
+  }
+  return "unknown";
+}
+
+ts::SarimaRefitOptions default_policy_sarima_refit() {
+  ts::SarimaRefitOptions refit;
+  // The evaluation budget every policy fit has always used.
+  refit.scratch.optimizer.max_evaluations = 4000;
+  return refit;
+}
+
 void PolicyConfig::validate() const {
   RRP_EXPECTS(lookahead >= 1);
   // Rejects negatives and NaN; +infinity is an explicit "no limit".
@@ -12,6 +29,7 @@ void PolicyConfig::validate() const {
   RRP_EXPECTS(replan_every <= lookahead);
   RRP_EXPECTS(distribution_support >= 2);
   RRP_EXPECTS(fit_window >= 48);
+  RRP_EXPECTS(forecast_window >= 48);
   if (planner == PlannerKind::Srrp) {
     RRP_EXPECTS(!stage_widths.empty());
     for (std::size_t w : stage_widths) RRP_EXPECTS(w >= 1);

@@ -20,10 +20,27 @@
 
 #include "common/deadline.hpp"
 #include "milp/branch_and_bound.hpp"
+#include "timeseries/arima.hpp"
 
 namespace rrp::core {
 
 enum class PlannerKind { NoPlan, Drrp, Srrp };
+
+/// How a re-plan refreshes its models (ISSUE 10).  Incremental is the
+/// default: sliding-window distributions, warm SARIMA refits and
+/// scenario-tree repair make the per-replan cost a function of new
+/// data since the last refresh.  Rebuild recomputes everything from the
+/// full window each time and serves as the equivalence oracle: for
+/// expected-mean policies both modes produce bit-identical plans
+/// (property-tested in test_replan_equivalence.cpp).
+enum class ReplanMode { Rebuild, Incremental };
+
+const char* to_string(ReplanMode mode);
+
+/// The SARIMA refit defaults used by every policy: the historical
+/// 4000-evaluation Nelder-Mead budget for cold fits, the stock drift
+/// thresholds for warm maintenance.
+ts::SarimaRefitOptions default_policy_sarima_refit();
 
 enum class BidStrategy {
   Predicted,       ///< SARIMA day-ahead forecasts (Section IV-A)
@@ -70,6 +87,20 @@ struct PolicyConfig {
   bool markov_tree = false;
   /// Hours of history used for the base distribution / SARIMA fit.
   std::size_t fit_window = 24 * 60;
+  /// Hours of trailing history fed to the SARIMA forecaster at each
+  /// re-plan (bounded so forecast cost does not grow with total
+  /// history); clamped to the observations available.
+  std::size_t forecast_window = 24 * 14;
+  /// Refresh the price models every this many re-plans; 0 (default)
+  /// keeps the classic fit-once behaviour where models are estimated at
+  /// construction and never touched again.
+  std::size_t model_update_every = 0;
+  /// Model-refresh strategy when model_update_every > 0; see ReplanMode.
+  ReplanMode replan_mode = ReplanMode::Incremental;
+  /// Drift thresholds and warm-start budget for incremental SARIMA
+  /// maintenance; `sarima_refit.scratch` is also the option set for the
+  /// construction-time fit and every Rebuild-mode fit.
+  ts::SarimaRefitOptions sarima_refit = default_policy_sarima_refit();
   milp::BnbOptions solver;
   /// Wall-clock budget (seconds) for each re-plan solve; 0 disables.
   /// On expiry the MILP backend returns its best incumbent (anytime

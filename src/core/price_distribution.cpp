@@ -9,44 +9,27 @@
 namespace rrp::core {
 
 namespace {
+
 constexpr double kProbEps = 1e-12;
-}
 
-EmpiricalPriceDistribution::EmpiricalPriceDistribution(
-    std::vector<double> values, std::vector<double> probs)
-    : values_(std::move(values)), probs_(std::move(probs)) {
-  RRP_EXPECTS(!values_.empty());
-  RRP_EXPECTS(values_.size() == probs_.size());
-  double total = 0.0;
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    RRP_EXPECTS(values_[i] > 0.0);
-    RRP_EXPECTS(probs_[i] > 0.0);
-    if (i > 0) RRP_EXPECTS(values_[i] > values_[i - 1]);
-    total += probs_[i];
-  }
-  RRP_EXPECTS(std::fabs(total - 1.0) < 1e-9);
-}
-
-EmpiricalPriceDistribution EmpiricalPriceDistribution::from_history(
-    std::span<const double> prices, std::size_t max_support) {
-  RRP_EXPECTS(!prices.empty());
-  RRP_EXPECTS(max_support >= 1);
-
-  // Exact empirical distribution over distinct values first.
-  std::map<double, std::size_t> counts;
-  for (double p : prices) {
-    RRP_EXPECTS(p > 0.0);
-    ++counts[p];
-  }
-  const double n = static_cast<double>(prices.size());
-
-  if (counts.size() <= max_support) {
+/// The one clustering kernel behind both the batch path (from_history)
+/// and the sliding snapshot: given the sorted distinct values of a
+/// window with their multiplicities, produce the (at most max_support
+/// point) distribution.  Sharing the exact arithmetic — the same walk
+/// order, the same mass accumulation, the same normalisation — is what
+/// makes SlidingEmpiricalDistribution::snapshot() bit-identical to
+/// EmpiricalPriceDistribution::from_history() by construction.
+EmpiricalPriceDistribution distribution_from_counts(
+    std::span<const double> distinct_values,
+    std::span<const std::size_t> value_counts, double n,
+    std::size_t max_support) {
+  if (distinct_values.size() <= max_support) {
     std::vector<double> values, probs;
-    values.reserve(counts.size());
-    probs.reserve(counts.size());
-    for (const auto& [value, count] : counts) {
-      values.push_back(value);
-      probs.push_back(static_cast<double>(count) / n);
+    values.reserve(distinct_values.size());
+    probs.reserve(distinct_values.size());
+    for (std::size_t i = 0; i < distinct_values.size(); ++i) {
+      values.push_back(distinct_values[i]);
+      probs.push_back(static_cast<double>(value_counts[i]) / n);
     }
     return EmpiricalPriceDistribution(std::move(values), std::move(probs));
   }
@@ -58,8 +41,9 @@ EmpiricalPriceDistribution EmpiricalPriceDistribution::from_history(
   const double target = 1.0 / static_cast<double>(max_support);
   double bucket_mass = 0.0, bucket_weighted = 0.0, consumed = 0.0;
   std::size_t buckets_done = 0;
-  for (const auto& [value, count] : counts) {
-    const double mass = static_cast<double>(count) / n;
+  for (std::size_t i = 0; i < distinct_values.size(); ++i) {
+    const double value = distinct_values[i];
+    const double mass = static_cast<double>(value_counts[i]) / n;
     bucket_mass += mass;
     bucket_weighted += mass * value;
     consumed += mass;
@@ -82,6 +66,121 @@ EmpiricalPriceDistribution EmpiricalPriceDistribution::from_history(
   for (double p : probs) total += p;
   for (double& p : probs) p /= total;
   return EmpiricalPriceDistribution(std::move(values), std::move(probs));
+}
+
+}  // namespace
+
+EmpiricalPriceDistribution::EmpiricalPriceDistribution(
+    std::vector<double> values, std::vector<double> probs)
+    : values_(std::move(values)), probs_(std::move(probs)) {
+  RRP_EXPECTS(!values_.empty());
+  RRP_EXPECTS(values_.size() == probs_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    RRP_EXPECTS(values_[i] > 0.0);
+    RRP_EXPECTS(probs_[i] > 0.0);
+    if (i > 0) RRP_EXPECTS(values_[i] > values_[i - 1]);
+    total += probs_[i];
+  }
+  RRP_EXPECTS(std::fabs(total - 1.0) < 1e-9);
+}
+
+EmpiricalPriceDistribution EmpiricalPriceDistribution::from_history(
+    std::span<const double> prices, std::size_t max_support) {
+  RRP_EXPECTS(!prices.empty());
+  RRP_EXPECTS(max_support >= 1);
+
+  // Exact empirical counts over sorted distinct values, then the shared
+  // clustering kernel.
+  std::map<double, std::size_t> counts;
+  for (double p : prices) {
+    RRP_EXPECTS(p > 0.0);
+    ++counts[p];
+  }
+  std::vector<double> distinct_values;
+  std::vector<std::size_t> value_counts;
+  distinct_values.reserve(counts.size());
+  value_counts.reserve(counts.size());
+  for (const auto& [value, count] : counts) {
+    distinct_values.push_back(value);
+    value_counts.push_back(count);
+  }
+  return distribution_from_counts(distinct_values, value_counts,
+                                  static_cast<double>(prices.size()),
+                                  max_support);
+}
+
+SlidingEmpiricalDistribution::SlidingEmpiricalDistribution(
+    std::size_t capacity)
+    : ring_(capacity, 0.0) {
+  RRP_EXPECTS(capacity >= 1);
+}
+
+void SlidingEmpiricalDistribution::add_value(double price) {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), price);
+  const auto idx = static_cast<std::size_t>(it - values_.begin());
+  if (it != values_.end() && *it == price) {
+    ++counts_[idx];
+  } else {
+    values_.insert(it, price);
+    counts_.insert(counts_.begin() + static_cast<long>(idx), 1);
+  }
+}
+
+void SlidingEmpiricalDistribution::remove_value(double price) {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), price);
+  RRP_EXPECTS(it != values_.end() && *it == price);
+  const auto idx = static_cast<std::size_t>(it - values_.begin());
+  if (--counts_[idx] == 0) {
+    values_.erase(it);
+    counts_.erase(counts_.begin() + static_cast<long>(idx));
+  }
+}
+
+void SlidingEmpiricalDistribution::push(double price) {
+  RRP_EXPECTS(std::isfinite(price) && price > 0.0);
+  if (count_ == ring_.size()) {
+    remove_value(ring_[head_]);  // head_ is also the oldest slot when full
+  } else {
+    ++count_;
+  }
+  ring_[head_] = price;
+  head_ = (head_ + 1) % ring_.size();
+  add_value(price);
+}
+
+double SlidingEmpiricalDistribution::mean() const {
+  RRP_EXPECTS(count_ > 0);
+  // Oldest-to-newest plain accumulation: the identical operation order
+  // rrp::stats::mean applies to the window vector, hence bit-identical.
+  // The ring wraps at most once, so walk it as two contiguous segments
+  // rather than paying a modulo division per element.
+  const std::size_t oldest = full() ? head_ : 0;
+  const std::size_t first = std::min(count_, ring_.size() - oldest);
+  double s = 0.0;
+  for (std::size_t i = 0; i < first; ++i) s += ring_[oldest + i];
+  for (std::size_t i = 0; i + first < count_; ++i) s += ring_[i];
+  return s / static_cast<double>(count_);
+}
+
+std::vector<double> SlidingEmpiricalDistribution::window() const {
+  const std::size_t oldest = full() ? head_ : 0;
+  const std::size_t first = std::min(count_, ring_.size() - oldest);
+  std::vector<double> out;
+  out.reserve(count_);
+  out.insert(out.end(), ring_.begin() + static_cast<long>(oldest),
+             ring_.begin() + static_cast<long>(oldest + first));
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<long>(count_ - first));
+  return out;
+}
+
+EmpiricalPriceDistribution SlidingEmpiricalDistribution::snapshot(
+    std::size_t max_support) const {
+  RRP_EXPECTS(count_ > 0);
+  RRP_EXPECTS(max_support >= 1);
+  return distribution_from_counts(values_, counts_,
+                                  static_cast<double>(count_), max_support);
 }
 
 double EmpiricalPriceDistribution::mean() const {
@@ -138,7 +237,9 @@ std::vector<PricePoint> reduce_support(std::span<const PricePoint> points,
       regular.push_back(p);
     }
   }
-  std::sort(regular.begin(), regular.end(),
+  // Deliberate batch-path sort: reduce_support takes an arbitrary point
+  // set, not the maintained sliding window.
+  std::sort(regular.begin(), regular.end(),  // rrp-lint: allow(batch-sort)
             [](const PricePoint& a, const PricePoint& b) {
               return a.price < b.price;
             });

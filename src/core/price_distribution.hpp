@@ -56,6 +56,57 @@ class EmpiricalPriceDistribution {
   std::vector<double> probs_;
 };
 
+/// Sliding-window empirical distribution with incremental maintenance
+/// (ISSUE 10): a ring buffer of the last `capacity` observations plus a
+/// bucketed count index over the sorted distinct values, so adding a
+/// tick updates one bucket instead of re-sorting the window.  Add/evict
+/// is O(log k) to locate the bucket plus an O(k) shift only when a
+/// distinct value appears or dies (k = distinct values in the window,
+/// typically far below the window length); no call ever sorts the full
+/// history, which is what the `batch-sort` AST-lint rule enforces for
+/// this file.
+///
+/// snapshot() and mean() are bit-identical to the batch path on the
+/// same window (EmpiricalPriceDistribution::from_history and
+/// rrp::stats::mean respectively): both walk the identical sorted
+/// (value, count) sequence through the identical clustering
+/// arithmetic, property-tested in test_price_distribution.cpp.
+class SlidingEmpiricalDistribution {
+ public:
+  explicit SlidingEmpiricalDistribution(std::size_t capacity);
+
+  /// Appends one observation (> 0, finite), evicting the oldest when
+  /// the window is full.
+  void push(double price);
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return ring_.size(); }
+  bool full() const { return count_ == ring_.size(); }
+  /// Distinct values currently in the window (the index size k).
+  std::size_t distinct() const { return values_.size(); }
+
+  /// Mean of the window, summed oldest-to-newest — the same order and
+  /// arithmetic as rrp::stats::mean over the window vector.
+  double mean() const;
+
+  /// The window as a vector, oldest first (the series from_history
+  /// would receive); exposed for equivalence tests.
+  std::vector<double> window() const;
+
+  /// The batch-equivalent distribution of the current window.
+  EmpiricalPriceDistribution snapshot(std::size_t max_support = 16) const;
+
+ private:
+  void add_value(double price);
+  void remove_value(double price);
+
+  std::vector<double> ring_;         ///< fixed capacity, circular
+  std::size_t head_ = 0;             ///< next write position
+  std::size_t count_ = 0;            ///< observations held (<= capacity)
+  std::vector<double> values_;       ///< sorted distinct window values
+  std::vector<std::size_t> counts_;  ///< multiplicity per distinct value
+};
+
 /// Reduces a discrete set of price points to at most `max_points` by
 /// quantile clustering (probability-weighted); preserves any out-of-bid
 /// point exactly.  Used to bound per-stage branching in scenario trees.

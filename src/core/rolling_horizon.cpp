@@ -164,17 +164,24 @@ class PolicyRunner {
     if (cfg_.bids == BidStrategy::Predicted) {
       // The paper's selected order for hourly spot prices:
       // SARIMA(2,0,1)(2,0,0)_24 (Section IV-A2).
-      ts::SarimaOrder order;
-      order.p = 2;
-      order.q = 1;
-      order.P = 2;
-      order.s = 24;
-      ts::SarimaFitOptions fit;
-      fit.optimizer.max_evaluations = 4000;
-      sarima_ = ts::fit_sarima(fit_series_, order, fit);
+      sarima_order_.p = 2;
+      sarima_order_.q = 1;
+      sarima_order_.P = 2;
+      sarima_order_.s = 24;
+      sarima_ = ts::fit_sarima(fit_series_, sarima_order_,
+                               cfg_.sarima_refit.scratch);
     }
 
     observed_ = fit_series_;  // grows as spot prices realise
+
+    // Incremental maintenance keeps the fit window as a sliding
+    // distribution, fed in lockstep with observed_, so a refresh reads
+    // the window off the index instead of re-scanning history.
+    if (cfg_.model_update_every > 0 &&
+        cfg_.replan_mode == ReplanMode::Incremental) {
+      sliding_.emplace(cfg_.fit_window);
+      for (double p : fit_series_) sliding_->push(p);
+    }
   }
 
   SimulationResult run();
@@ -194,6 +201,14 @@ class PolicyRunner {
   /// fire here; on any failure (injected or real) control moves to
   /// degrade() and the slot is still served.
   void replan(std::size_t t, std::size_t w, double store);
+
+  /// Model refresh at the re-plan cadence (model_update_every > 0):
+  /// either from scratch over the full window (Rebuild, the oracle) or
+  /// via the incremental layer (sliding distribution, warm SARIMA
+  /// refit).  Timed into model_maintenance_seconds.
+  void refresh_models();
+  void refresh_rebuild();
+  void refresh_incremental();
 
   /// The recovery ladder: reuse the cached plan's tail, else plan with
   /// the Wagner-Whitin heuristic, else serve the slot on demand.
@@ -248,10 +263,13 @@ class PolicyRunner {
   std::vector<double> observed_;
   double history_mean_ = 0.0;
   EmpiricalPriceDistribution base_dist_{{1.0}, {1.0}};
+  std::optional<SlidingEmpiricalDistribution> sliding_;
+  ts::SarimaOrder sarima_order_;
   std::optional<ts::SarimaModel> sarima_;
   std::optional<MarkovPriceModel> markov_;
   std::optional<market::RevocationModel> revocation_;
   SimulationResult result_;
+  std::size_t replans_done_ = 0;  ///< replan() calls so far
 
   // --- Cached plan state (replan_every > 1, paper Section V-D). ---
   PlanMode mode_ = PlanMode::None;
@@ -288,7 +306,7 @@ std::vector<double> PolicyRunner::price_estimates(std::size_t t,
       // Forecast from the observed series; a bounded tail suffices
       // because the expanded SARIMA lags reach back ~2 seasons.
       const std::size_t tail =
-          std::min<std::size_t>(observed_.size(), 24 * 14);
+          std::min<std::size_t>(observed_.size(), cfg_.forecast_window);
       std::vector<double> recent(observed_.end() - static_cast<long>(tail),
                                  observed_.end());
       auto f = ts::forecast(*sarima_, recent, w);
@@ -377,11 +395,78 @@ void PolicyRunner::commit_tree(std::size_t t, SrrpPolicy policy,
   mode_ = PlanMode::Tree;
 }
 
+void PolicyRunner::refresh_rebuild() {
+  // The oracle path: recompute every model from the full fit window,
+  // exactly as construction does.  O(window) + a cold SARIMA fit.
+  const std::size_t window = std::min(cfg_.fit_window, observed_.size());
+  const std::vector<double> tail(observed_.end() - static_cast<long>(window),
+                                 observed_.end());
+  history_mean_ = rrp::stats::mean(tail);
+  base_dist_ = EmpiricalPriceDistribution::from_history(
+      tail, cfg_.distribution_support);
+  if (markov_.has_value())
+    markov_ = MarkovPriceModel::fit(tail, cfg_.distribution_support);
+  if (sarima_.has_value()) {
+    sarima_ =
+        ts::fit_sarima(tail, sarima_order_, cfg_.sarima_refit.scratch);
+    ++result_.sarima_scratch_refits;
+  }
+}
+
+void PolicyRunner::refresh_incremental() {
+  RRP_TRACE_SPAN("rh.replan_incremental");
+  RRP_COUNTER_ADD("rrp.rh.replan_incremental", 1);
+  // mean() and snapshot() are bit-identical to the rebuild path over
+  // the same window (shared clustering kernel, same summation order).
+  history_mean_ = sliding_->mean();
+  base_dist_ = sliding_->snapshot(cfg_.distribution_support);
+  if (markov_.has_value()) {
+    const std::vector<double> tail = sliding_->window();
+    markov_ = MarkovPriceModel::fit(tail, cfg_.distribution_support);
+  }
+  if (sarima_.has_value()) {
+    const std::size_t window = std::min(cfg_.fit_window, observed_.size());
+    auto refit = ts::refit_sarima(
+        *sarima_, std::span<const double>(observed_).last(window),
+        cfg_.sarima_refit);
+    switch (refit.action) {
+      case ts::SarimaRefitAction::Kept:
+        ++result_.sarima_refits_kept;
+        break;
+      case ts::SarimaRefitAction::WarmRefit:
+        ++result_.sarima_warm_refits;
+        break;
+      case ts::SarimaRefitAction::ScratchRefit:
+        ++result_.sarima_scratch_refits;
+        break;
+    }
+    sarima_ = std::move(refit.model);
+  }
+}
+
+void PolicyRunner::refresh_models() {
+  const common::Clock& wall = common::real_clock();
+  const double t0 = wall.now_seconds();
+  ++result_.model_refreshes;
+  if (cfg_.replan_mode == ReplanMode::Rebuild) {
+    refresh_rebuild();
+  } else {
+    refresh_incremental();
+  }
+  result_.model_maintenance_seconds += wall.now_seconds() - t0;
+}
+
 void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
   RRP_TRACE_SPAN("rh.replan");
   RRP_TRACE_ARG("slot", t);
   RRP_TRACE_ARG("window", w);
   rh_counters().replans.add(1);
+  // Refresh models at the configured cadence; the construction-time fit
+  // covers the first plan.
+  if (cfg_.model_update_every > 0 && replans_done_ > 0 &&
+      replans_done_ % cfg_.model_update_every == 0)
+    refresh_models();
+  ++replans_done_;
   milp::BnbOptions solver = cfg_.solver;
   if (cfg_.replan_time_limit > 0.0) {
     const common::Clock& clock =
@@ -433,11 +518,28 @@ void PolicyRunner::replan(std::size_t t, std::size_t w, double store) {
                            in_.demand.begin() + static_cast<long>(t + w));
         if (markov_.has_value()) {
           // Conditional tree rooted at the price currently in force.
+          // Per-parent widths make conditional trees unrepairable, so
+          // this path always rebuilds.
           inst.tree = markov_->build_tree(observed_.back(), estimates,
                                           lambda_, widths);
+          ++result_.tree_rebuilds;
         } else {
-          inst.tree = ScenarioTree::build(
-              make_stage_supports(base_dist_, estimates, lambda_, widths));
+          const auto supports =
+              make_stage_supports(base_dist_, estimates, lambda_, widths);
+          bool repaired = false;
+          if (cfg_.replan_mode == ReplanMode::Incremental &&
+              mode_ == PlanMode::Tree) {
+            // Repair the cached tree in place (on a copy, so a refusal
+            // costs nothing): arithmetically identical to a rebuild.
+            inst.tree = cached_tree_;
+            repaired = inst.tree.repair(supports);
+          }
+          if (repaired) {
+            ++result_.tree_repairs;
+          } else {
+            inst.tree = ScenarioTree::build(supports);
+            ++result_.tree_rebuilds;
+          }
         }
         inst.costs = in_.costs;
         inst.initial_storage = store;
@@ -759,6 +861,9 @@ void PolicyRunner::observe_tick(std::size_t t) {
     }
   }
   observed_.push_back(used);
+  // The sliding window sees exactly what observed_ sees: sanitised
+  // ticks, in order.
+  if (sliding_.has_value()) sliding_->push(used);
 }
 
 SimulationResult PolicyRunner::run() {
@@ -787,7 +892,14 @@ SimulationResult PolicyRunner::run() {
     if (cfg_.planner == PlannerKind::NoPlan) {
       rec = execute_no_plan(t, store);
     } else {
-      if (needs_replan(t)) replan(t, w, store);
+      if (needs_replan(t)) {
+        // Latency on the process wall clock, never cfg_.clock: a test
+        // FakeClock auto-advances on reads and would count them.
+        const common::Clock& wall = common::real_clock();
+        const double r0 = wall.now_seconds();
+        replan(t, w, store);
+        result_.replan_seconds.push_back(wall.now_seconds() - r0);
+      }
       switch (mode_) {
         case PlanMode::None:
           rec = execute_no_plan(t, store);
@@ -870,6 +982,19 @@ double ideal_case_cost(const SimulationInputs& inputs) {
 double overpay_fraction(double policy_cost, double ideal_cost) {
   RRP_EXPECTS(ideal_cost > 0.0);
   return (policy_cost - ideal_cost) / ideal_cost;
+}
+
+double latency_percentile(std::span<const double> samples, double pct) {
+  RRP_EXPECTS(pct >= 0.0 && pct <= 100.0);
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (rank - static_cast<double>(lo)) *
+                          (sorted[hi] - sorted[lo]);
 }
 
 }  // namespace rrp::core

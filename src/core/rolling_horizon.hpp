@@ -10,6 +10,7 @@
 // on-demand rental at lambda to keep serving demand.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/fault_injection.hpp"
@@ -156,6 +157,21 @@ struct SimulationResult {
   std::size_t solver_cold_solved_nodes = 0;
   std::size_t solver_cuts_added = 0;       ///< root (l,S) cuts, summed
 
+  // --- Re-plan latency & model maintenance (ISSUE 10). -----------------
+  /// Wall-clock seconds of each executed re-plan (model refresh
+  /// included), in execution order; feeds the CLI p50/p95 footer and
+  /// bench_replan_json.
+  std::vector<double> replan_seconds;
+  /// Seconds of replan_seconds spent refreshing models (distribution,
+  /// SARIMA, Markov chain) as opposed to solving.
+  double model_maintenance_seconds = 0.0;
+  std::size_t model_refreshes = 0;
+  std::size_t sarima_refits_kept = 0;
+  std::size_t sarima_warm_refits = 0;
+  std::size_t sarima_scratch_refits = 0;
+  std::size_t tree_repairs = 0;   ///< scenario trees repaired in place
+  std::size_t tree_rebuilds = 0;  ///< scenario trees built from scratch
+
   // --- Revocation telemetry (one RevocationEvent per revoked slot). ---
   std::vector<RevocationEvent> revocations;
   std::vector<MigrationEvent> migrations;
@@ -203,5 +219,10 @@ double ideal_case_cost(const SimulationInputs& inputs);
 /// Overpay of a policy relative to the ideal-case (oracle) cost, the
 /// y-axis of Figure 12(a): (cost - ideal) / ideal.
 double overpay_fraction(double policy_cost, double ideal_cost);
+
+/// Linear-interpolated percentile (0..100) of a sample set; 0 when
+/// empty.  Used for the re-plan latency p50/p95 reported by the CLI and
+/// the replan bench.
+double latency_percentile(std::span<const double> samples, double pct);
 
 }  // namespace rrp::core

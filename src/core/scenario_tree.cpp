@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/invariant.hpp"
+#include "obs/obs.hpp"
 
 namespace rrp::core {
 
@@ -113,6 +114,125 @@ ScenarioTree ScenarioTree::build_conditional(
   tree.validate();
 #endif
   return tree;
+}
+
+bool ScenarioTree::repair(
+    std::span<const std::vector<PricePoint>> stage_supports) {
+  RRP_EXPECTS(!stage_supports.empty());
+  for (const auto& support : stage_supports) {
+    RRP_EXPECTS(!support.empty());
+    double total = 0.0;
+    for (const PricePoint& p : support) {
+      RRP_EXPECTS(p.price > 0.0);
+      RRP_EXPECTS(p.prob > 0.0);
+      total += p.prob;
+    }
+    RRP_EXPECTS(std::fabs(total - 1.0) < 1e-6);
+  }
+
+  const std::size_t new_stages = stage_supports.size();
+  const std::size_t keep = std::min(num_stages_, new_stages);
+
+  // Shape checks first, so a refusal leaves the tree untouched.  Every
+  // overlapping stage must branch with the new support's width
+  // (conditional trees with per-parent supports fail here)...
+  for (std::size_t stage = 1; stage <= keep; ++stage) {
+    const std::size_t width = stage_supports[stage - 1].size();
+    for (std::size_t parent : by_stage_[stage - 1])
+      if (children_[parent].size() != width) return false;
+  }
+  // ...and retiring stages slices the vertex array, which needs the
+  // stage-contiguous id layout build() produces.
+  std::size_t retained = 0;
+  for (std::size_t stage = 0; stage <= keep; ++stage) {
+    for (std::size_t v : by_stage_[stage])
+      if (v != retained++) return false;
+  }
+
+  RRP_TRACE_SPAN("tree.repair");
+  RRP_TRACE_ARG("stages", new_stages);
+  RRP_COUNTER_ADD("rrp.tree.repairs", 1);
+
+  if (new_stages < num_stages_) {
+    vertices_.resize(retained);
+    by_stage_.resize(new_stages + 1);
+  }
+
+  // Rewrite the surviving stages in build order: a parent's path
+  // probability is final before any child is touched, so every product
+  // below is the exact multiplication build() would perform.
+  for (std::size_t stage = 1; stage <= keep; ++stage) {
+    const auto& support = stage_supports[stage - 1];
+    for (std::size_t parent : by_stage_[stage - 1]) {
+      for (std::size_t j = 0; j < support.size(); ++j) {
+        const PricePoint& p = support[j];
+        ScenarioVertex& v = vertices_[children_[parent][j]];
+        v.price = p.price;
+        v.out_of_bid = p.out_of_bid;
+        v.branch_prob = p.prob;
+        v.path_prob = vertices_[parent].path_prob * p.prob;
+      }
+    }
+  }
+
+  // Extend with the frontier loop build() uses for brand-new stages.
+  if (new_stages > num_stages_) {
+    by_stage_.resize(new_stages + 1);
+    std::vector<std::size_t> frontier = by_stage_[num_stages_];
+    for (std::size_t stage = num_stages_ + 1; stage <= new_stages;
+         ++stage) {
+      const auto& support = stage_supports[stage - 1];
+      std::vector<std::size_t> next;
+      next.reserve(frontier.size() * support.size());
+      for (std::size_t parent : frontier) {
+        for (const PricePoint& p : support) {
+          ScenarioVertex v;
+          v.parent = parent;
+          v.stage = stage;
+          v.price = p.price;
+          v.out_of_bid = p.out_of_bid;
+          v.branch_prob = p.prob;
+          v.path_prob = vertices_[parent].path_prob * p.prob;
+          vertices_.push_back(v);
+          next.push_back(vertices_.size() - 1);
+          by_stage_[stage].push_back(vertices_.size() - 1);
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+
+  num_stages_ = new_stages;
+  children_.assign(vertices_.size(), {});
+  for (std::size_t v = 1; v < vertices_.size(); ++v)
+    children_[vertices_[v].parent].push_back(v);
+
+#if RRP_INVARIANTS_ENABLED
+  validate();
+  // The repair-vs-rebuild contract, checked literally: the repaired
+  // tree must be the tree a fresh build would produce.
+  const ScenarioTree rebuilt = build(stage_supports);
+  auto fail = [](const char* cond, const std::string& detail) {
+    ::rrp::detail::invariant_fail("invariant", cond, __FILE__, __LINE__,
+                                  detail);
+  };
+  if (vertices_.size() != rebuilt.vertices_.size())
+    fail("repaired tree has rebuild's vertex count",
+         std::to_string(vertices_.size()) + " vs " +
+             std::to_string(rebuilt.vertices_.size()));
+  for (std::size_t v = 0; v < vertices_.size(); ++v) {
+    const ScenarioVertex& a = vertices_[v];
+    const ScenarioVertex& b = rebuilt.vertices_[v];
+    if (a.parent != b.parent || a.stage != b.stage ||
+        a.out_of_bid != b.out_of_bid ||
+        std::fabs(a.price - b.price) > 1e-12 ||
+        std::fabs(a.branch_prob - b.branch_prob) > 1e-12 ||
+        std::fabs(a.path_prob - b.path_prob) > 1e-12)
+      fail("repaired vertex matches rebuilt vertex",
+           "vertex " + std::to_string(v));
+  }
+#endif
+  return true;
 }
 
 std::span<const std::size_t> ScenarioTree::children(std::size_t v) const {

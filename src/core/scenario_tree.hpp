@@ -47,6 +47,20 @@ class ScenarioTree {
       const std::vector<PricePoint>& initial, std::size_t stages,
       const ConditionalSupport& conditional);
 
+  /// Incremental repair (ISSUE 10): reshapes this tree in place so it
+  /// represents `stage_supports` — rewrites prices and probabilities in
+  /// stage order, retires trailing stages, extends new ones — instead
+  /// of reallocating the whole tree.  Requires the per-stage branching
+  /// widths to match on overlapping stages and the stage-contiguous
+  /// vertex layout build() produces; returns false with the tree
+  /// untouched when the shape does not fit (e.g. conditional trees with
+  /// per-parent widths, or changed stage widths), in which case the
+  /// caller rebuilds.  A successful repair is arithmetically identical
+  /// to build(stage_supports) — the same products in the same order —
+  /// and RRP_CHECK_INVARIANTS builds verify that field by field against
+  /// a fresh build.
+  bool repair(std::span<const std::vector<PricePoint>> stage_supports);
+
   std::size_t num_vertices() const { return vertices_.size(); }
   std::size_t num_stages() const { return num_stages_; }  ///< T
   const ScenarioVertex& vertex(std::size_t v) const { return vertices_[v]; }

@@ -1,5 +1,6 @@
 #include "timeseries/acf.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -64,6 +65,27 @@ std::vector<double> pacf_to_ar(std::span<const double> partial) {
     prev = phi;
   }
   return phi;
+}
+
+std::vector<double> ar_to_pacf(std::span<const double> ar) {
+  // Runs the Durbin-Levinson step-down: at order j the last coefficient
+  // IS the j-th partial, and the order-(j-1) coefficients satisfy
+  // prev[i] = (cur[i] + a * cur[j-1-i]) / (1 - a^2).
+  const std::size_t k = ar.size();
+  std::vector<double> partial(k, 0.0);
+  std::vector<double> cur(ar.begin(), ar.end());
+  constexpr double kEdge = 1.0 - 1e-9;
+  for (std::size_t j = k; j > 0; --j) {
+    double a = cur[j - 1];
+    if (!(std::fabs(a) < kEdge)) a = std::copysign(kEdge, a);
+    partial[j - 1] = a;
+    const double denom = std::max(1.0 - a * a, 1e-12);
+    std::vector<double> prev(j - 1, 0.0);
+    for (std::size_t i = 0; i + 1 < j; ++i)
+      prev[i] = (cur[i] + a * cur[j - 2 - i]) / denom;
+    cur = std::move(prev);
+  }
+  return partial;
 }
 
 }  // namespace rrp::ts

@@ -24,4 +24,12 @@ double white_noise_band(std::size_t n);
 /// the SARIMA fitter to keep the optimiser inside the stationary region.
 std::vector<double> pacf_to_ar(std::span<const double> partial);
 
+/// Inverse Durbin-Levinson: recovers the partial autocorrelations from
+/// AR(k) coefficients, so pacf_to_ar(ar_to_pacf(phi)) == phi for any
+/// stationary phi.  Partials of a (numerically) non-stationary input
+/// are clamped just inside (-1, 1), making the round trip a projection
+/// onto the stationary region.  Seeds warm-started SARIMA refits
+/// (refit_sarima) at the incumbent parameter vector.
+std::vector<double> ar_to_pacf(std::span<const double> ar);
+
 }  // namespace rrp::ts

@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "obs/obs.hpp"
 #include "timeseries/acf.hpp"
+#include "timeseries/diagnostics.hpp"
 #include "timeseries/series.hpp"
 
 namespace rrp::ts {
@@ -38,10 +39,34 @@ std::vector<double> lag_poly(std::span<const double> coeffs, double sign,
 /// Maps unconstrained optimiser parameters to coefficients of a
 /// stationary AR polynomial via tanh + Durbin-Levinson.
 std::vector<double> constrain_ar(std::span<const double> raw) {
+  // tanh rounds to exactly +-1.0 for |raw| >~ 19, which pacf_to_ar
+  // rejects; warm starts seeded near the stationarity boundary can push
+  // the optimiser there, so keep the partials strictly inside (-1, 1).
+  constexpr double kEdge = 1.0 - 1e-9;
   std::vector<double> partial(raw.size());
   for (std::size_t i = 0; i < raw.size(); ++i)
-    partial[i] = std::tanh(raw[i]);
+    partial[i] = std::clamp(std::tanh(raw[i]), -kEdge, kEdge);
   return pacf_to_ar(partial);
+}
+
+/// Inverse of the fitter's `unpack`: the unconstrained optimiser vector
+/// that maps back to (the stationary projection of) the model's
+/// coefficients.  Seeds warm-started refits at the incumbent.
+std::vector<double> raw_parameters(const SarimaModel& m) {
+  std::vector<double> raw;
+  auto append = [&raw](std::span<const double> coeffs, bool negate) {
+    std::vector<double> c(coeffs.begin(), coeffs.end());
+    if (negate)
+      for (double& v : c) v = -v;
+    const std::vector<double> partial = ar_to_pacf(c);
+    for (double p : partial) raw.push_back(std::atanh(p));
+  };
+  append(m.phi, false);
+  append(m.theta, true);  // MA went through the negated AR map
+  append(m.sphi, false);
+  append(m.stheta, true);
+  if (m.has_mean) raw.push_back(m.mean);
+  return raw;
 }
 
 }  // namespace
@@ -102,8 +127,15 @@ std::vector<double> css_residuals(std::span<const double> z,
   return e;
 }
 
-SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
-                       const SarimaFitOptions& options) {
+namespace {
+
+/// Shared fit body.  `warm_start` empty means the classic cold start
+/// (zero coefficients, sample mean); otherwise it must match the
+/// parameter-vector layout and the optimiser is seeded there.
+SarimaModel fit_sarima_impl(std::span<const double> x,
+                            const SarimaOrder& order,
+                            const SarimaFitOptions& options,
+                            std::span<const double> warm_start) {
   RRP_TRACE_SPAN("ts.fit_sarima");
   RRP_TRACE_ARG("n", x.size());
   RRP_EXPECTS(!order.has_seasonal() || order.s >= 2);
@@ -165,6 +197,10 @@ SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
 
   std::vector<double> start(n_coef + (include_mean ? 1 : 0), 0.0);
   if (include_mean) start.back() = w_mean;
+  if (!warm_start.empty()) {
+    RRP_EXPECTS(warm_start.size() == start.size());
+    start.assign(warm_start.begin(), warm_start.end());
+  }
 
   NelderMeadResult opt_result;
   if (start.empty()) {
@@ -207,6 +243,105 @@ SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
                    ? model.aic + 2.0 * k * (k + 1.0) / (n - k - 1.0)
                    : std::numeric_limits<double>::infinity();
   return model;
+}
+
+}  // namespace
+
+SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
+                       const SarimaFitOptions& options) {
+  return fit_sarima_impl(x, order, options, {});
+}
+
+const char* to_string(SarimaRefitAction action) {
+  switch (action) {
+    case SarimaRefitAction::Kept:
+      return "kept";
+    case SarimaRefitAction::WarmRefit:
+      return "warm_refit";
+    case SarimaRefitAction::ScratchRefit:
+      return "scratch_refit";
+  }
+  return "unknown";
+}
+
+SarimaRefitResult refit_sarima(const SarimaModel& incumbent,
+                               std::span<const double> x,
+                               const SarimaRefitOptions& options) {
+  RRP_TRACE_SPAN("ts.warm_refit");
+  RRP_TRACE_ARG("n", x.size());
+  RRP_EXPECTS(incumbent.sigma2 > 0.0);
+  RRP_EXPECTS(options.warm_variance_ratio >= 1.0);
+  RRP_EXPECTS(options.scratch_variance_ratio >= options.warm_variance_ratio);
+  const SarimaOrder& order = incumbent.order;
+
+  // Diagnostic window: clamp the configured tail up so the order stays
+  // estimable after differencing, and to the available history.
+  const std::size_t s1 = std::max<std::size_t>(order.s, 1);
+  const std::size_t max_lag =
+      std::max(order.p + order.P * s1, order.q + order.Q * s1);
+  const std::size_t diff_len = order.d + order.D * order.s;
+  const std::size_t min_window =
+      diff_len + std::max(max_lag + 3, 2 * options.ljung_box_lags + 2);
+  RRP_EXPECTS(x.size() >= min_window);
+  const std::size_t window =
+      std::min(x.size(), std::max(options.diagnostic_window, min_window));
+  const std::span<const double> tail = x.subspan(x.size() - window);
+
+  // Diagnose the incumbent on the window: one CSS pass, no refit yet.
+  const std::vector<double> w = apply_differencing(tail, order);
+  std::vector<double> z(w.size());
+  for (std::size_t t = 0; t < w.size(); ++t) z[t] = w[t] - incumbent.mean;
+  const auto e = css_residuals(z, incumbent.ar_full, incumbent.ma_full);
+  const std::size_t start =
+      std::max(incumbent.ar_full.size(), incumbent.ma_full.size());
+  RRP_EXPECTS(e.size() > start);
+  double sse = 0.0;
+  for (std::size_t t = start; t < e.size(); ++t) sse += e[t] * e[t];
+  const std::size_t n_eff = e.size() - start;
+
+  SarimaRefitResult out;
+  out.variance_ratio =
+      (sse / static_cast<double>(n_eff)) / incumbent.sigma2;
+  const std::span<const double> resid(e.data() + start, n_eff);
+  const std::size_t fitted = order.num_coefficients();
+  std::size_t lags = std::max(options.ljung_box_lags, fitted + 1);
+  if (n_eff > lags + 1) {
+    try {
+      out.ljung_box_p = ljung_box(resid, lags, fitted).p_value;
+    } catch (const Error&) {
+      // Degenerate residuals (e.g. zero variance on a flat regime):
+      // nothing left to whiten, treat as passing.
+      out.ljung_box_p = 1.0;
+    }
+  }
+
+  if (out.variance_ratio <= options.warm_variance_ratio &&
+      out.ljung_box_p >= options.ljung_box_alpha) {
+    out.action = SarimaRefitAction::Kept;
+    out.model = incumbent;
+    RRP_COUNTER_ADD("rrp.ts.refits_kept", 1);
+    RRP_TRACE_ARG("action", static_cast<int>(out.action));
+    return out;
+  }
+
+  // Mean handling must follow the incumbent, or the warm-start vector
+  // would not match the parameter layout.
+  SarimaFitOptions refit_opts = options.scratch;
+  refit_opts.mean = incumbent.has_mean ? SarimaFitOptions::Mean::Include
+                                       : SarimaFitOptions::Mean::Exclude;
+  if (out.variance_ratio <= options.scratch_variance_ratio) {
+    refit_opts.optimizer.max_evaluations = options.warm_max_evaluations;
+    out.action = SarimaRefitAction::WarmRefit;
+    out.model =
+        fit_sarima_impl(tail, order, refit_opts, raw_parameters(incumbent));
+    RRP_COUNTER_ADD("rrp.ts.warm_refits", 1);
+  } else {
+    out.action = SarimaRefitAction::ScratchRefit;
+    out.model = fit_sarima_impl(tail, order, refit_opts, {});
+    RRP_COUNTER_ADD("rrp.ts.scratch_refits", 1);
+  }
+  RRP_TRACE_ARG("action", static_cast<int>(out.action));
+  return out;
 }
 
 std::vector<double> forecast(const SarimaModel& model,

@@ -87,6 +87,62 @@ std::vector<double> css_residuals(std::span<const double> z,
 SarimaModel fit_sarima(std::span<const double> x, const SarimaOrder& order,
                        const SarimaFitOptions& options = {});
 
+// --- Incremental model maintenance (ISSUE 10) ------------------------
+//
+// A rolling-horizon consumer refits its price model every few slots.
+// Refitting from scratch costs O(window * evaluations); refit_sarima
+// instead diagnoses the incumbent on a bounded tail of new data and
+// escalates only as far as the drift demands:
+//
+//   Kept          innovation variance and Ljung-Box whiteness still
+//                 pass: the incumbent is returned untouched (one CSS
+//                 pass over the diagnostic window).
+//   WarmRefit     mild drift: re-estimate on the diagnostic window,
+//                 with Nelder-Mead seeded at the incumbent parameter
+//                 vector (via ar_to_pacf) and a small evaluation cap.
+//   ScratchRefit  severe drift: full fit on the diagnostic window from
+//                 the default cold start.
+
+enum class SarimaRefitAction { Kept, WarmRefit, ScratchRefit };
+
+const char* to_string(SarimaRefitAction action);
+
+struct SarimaRefitOptions {
+  /// Nelder-Mead evaluation cap for warm-started refits (the cold-start
+  /// cap lives in `scratch.optimizer`).
+  std::size_t warm_max_evaluations = 400;
+  /// Keep the incumbent while (residual variance on new data) /
+  /// (incumbent sigma2) stays at or below this ratio...
+  double warm_variance_ratio = 1.5;
+  /// ...warm-refit up to this ratio, and refit from scratch beyond it.
+  double scratch_variance_ratio = 3.0;
+  /// Ljung-Box whiteness: a residual p-value below alpha fails the
+  /// incumbent even when the variance ratio passes.
+  double ljung_box_alpha = 0.01;
+  std::size_t ljung_box_lags = 24;
+  /// Tail of `x` used for diagnostics AND re-estimation: bounds the
+  /// refit cost by new-data volume instead of total history.  Clamped
+  /// up so the order remains estimable.
+  std::size_t diagnostic_window = 24 * 14;
+  /// Full-fit options for the ScratchRefit tier (and the base options —
+  /// mean handling — for WarmRefit).
+  SarimaFitOptions scratch;
+};
+
+struct SarimaRefitResult {
+  SarimaModel model;
+  SarimaRefitAction action = SarimaRefitAction::Kept;
+  double variance_ratio = 0.0;  ///< new-data residual var / incumbent sigma2
+  double ljung_box_p = 1.0;     ///< residual whiteness on the window
+};
+
+/// Maintains `incumbent` against the series `x` (oldest first, newest
+/// last; the diagnostic window is its tail).  Never throws on drift —
+/// the action tells the caller what was paid.
+SarimaRefitResult refit_sarima(const SarimaModel& incumbent,
+                               std::span<const double> x,
+                               const SarimaRefitOptions& options = {});
+
 /// h-step-ahead forecast from the end of `x` (the series the model was
 /// fitted on, or a compatible continuation).
 std::vector<double> forecast(const SarimaModel& model,

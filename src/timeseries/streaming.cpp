@@ -1,0 +1,78 @@
+#include "timeseries/streaming.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace rrp::ts {
+
+namespace {
+
+bool usable(double value) { return std::isfinite(value) && value > 0.0; }
+
+}  // namespace
+
+std::vector<Tick> sanitize_ticks(const std::vector<Tick>& ticks) {
+  for (std::size_t i = 1; i < ticks.size(); ++i)
+    RRP_EXPECTS(ticks[i - 1].time_hours <= ticks[i].time_hours);
+  std::vector<Tick> out;
+  out.reserve(ticks.size());
+  for (const Tick& t : ticks)
+    if (usable(t.value)) out.push_back(t);
+  return out;
+}
+
+OnlineRegularizer::OnlineRegularizer(long first_hour)
+    : first_hour_(first_hour),
+      next_hour_(first_hour),
+      last_time_(-std::numeric_limits<double>::infinity()) {}
+
+bool OnlineRegularizer::push(const Tick& tick) {
+  RRP_EXPECTS(std::isfinite(tick.time_hours));
+  RRP_EXPECTS(tick.time_hours >= last_time_);
+  last_time_ = tick.time_hours;
+  if (!usable(tick.value)) {
+    ++ticks_rejected_;
+    return false;
+  }
+  // A tick for an hour already emitted would rewrite history: the batch
+  // path would have consumed it at that hour.
+  RRP_EXPECTS(series_.empty() ||
+              tick.time_hours > static_cast<double>(next_hour_ - 1));
+  if (!seeded_) {
+    // Same seeding contract as hourly_locf: the first (usable) tick
+    // must be at or before the start of the grid.
+    RRP_EXPECTS(tick.time_hours <= static_cast<double>(first_hour_));
+    seeded_ = true;
+  }
+  pending_.push_back(tick);
+  ++ticks_accepted_;
+  return true;
+}
+
+void OnlineRegularizer::advance_to(long last_hour) {
+  if (last_hour <= next_hour_) return;
+  RRP_EXPECTS(seeded_);
+  RRP_TRACE_SPAN("ts.online_regularize");
+  RRP_TRACE_ARG("hours", last_hour - next_hour_);
+  RRP_COUNTER_ADD("rrp.ts.online_regularize_hours",
+                  static_cast<std::uint64_t>(last_hour - next_hour_));
+  series_.reserve(series_.size() +
+                  static_cast<std::size_t>(last_hour - next_hour_));
+  if (series_.empty()) current_ = pending_.front().value;
+  for (long h = next_hour_; h < last_hour; ++h) {
+    // Mirror of the hourly_locf inner loop: the last tick at or before
+    // the start of hour h is the price in force.
+    while (!pending_.empty() &&
+           pending_.front().time_hours <= static_cast<double>(h)) {
+      current_ = pending_.front().value;
+      pending_.pop_front();
+    }
+    series_.push_back(current_);
+  }
+  next_hour_ = last_hour;
+}
+
+}  // namespace rrp::ts

@@ -1,0 +1,75 @@
+// Incremental regularisation of irregular spot-price tick streams
+// (ISSUE 10).
+//
+// `hourly_locf()` (regularize.hpp) re-scans the whole tick vector on
+// every call, so a live consumer re-regularising after each new update
+// pays O(total history) per tick.  OnlineRegularizer keeps the LOCF
+// cursor between calls: ingesting a tick is O(1), and extending the
+// hourly grid costs O(new hours + new ticks) regardless of how much
+// history has already been consumed.  Its output is defined to be
+// bit-identical to the batch path:
+//
+//   online.series() == hourly_locf(sanitize_ticks(all ticks),
+//                                  first_hour, next_hour)
+//
+// where sanitize_ticks() drops the unusable ticks (non-finite or
+// non-positive values) a faulty feed can deliver — the same ticks
+// push() rejects, so chaos streams regularise identically either way.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "timeseries/regularize.hpp"
+
+namespace rrp::ts {
+
+/// Batch-side twin of OnlineRegularizer::push()'s rejection rule:
+/// removes ticks whose value is NaN, infinite or <= 0.  Times must be
+/// non-decreasing (checked).  The survivors feed hourly_locf().
+std::vector<Tick> sanitize_ticks(const std::vector<Tick>& ticks);
+
+class OnlineRegularizer {
+ public:
+  /// Grid starts at hour index `first_hour`.  At least one accepted
+  /// tick with time <= first_hour must arrive before the first
+  /// advance_to() (same seeding contract as hourly_locf).
+  explicit OnlineRegularizer(long first_hour);
+
+  /// Ingests one tick.  Times must be non-decreasing across calls and
+  /// not precede an hour already emitted.  Returns false (and drops the
+  /// tick) when the value is unusable — NaN, infinite or <= 0 — exactly
+  /// the ticks sanitize_ticks() removes from a batch stream.
+  bool push(const Tick& tick);
+
+  /// Extends the hourly series to cover [first_hour, last_hour),
+  /// consuming buffered ticks.  O(new hours + ticks consumed); already
+  /// emitted hours are never revisited.  No-op when last_hour <=
+  /// next_hour().
+  void advance_to(long last_hour);
+
+  /// The regularised hourly series emitted so far, hour indices
+  /// [first_hour(), next_hour()).
+  const std::vector<double>& series() const { return series_; }
+
+  long first_hour() const { return first_hour_; }
+  /// The first hour index not yet emitted.
+  long next_hour() const { return next_hour_; }
+  /// Ticks ingested (accepted) so far.
+  std::size_t ticks_accepted() const { return ticks_accepted_; }
+  /// Unusable ticks dropped by push().
+  std::size_t ticks_rejected() const { return ticks_rejected_; }
+
+ private:
+  long first_hour_;
+  long next_hour_;
+  bool seeded_ = false;        ///< an accepted tick covers first_hour_
+  double current_ = 0.0;       ///< last accepted value (LOCF carry)
+  double last_time_ = 0.0;     ///< monotonicity check across push()es
+  std::deque<Tick> pending_;   ///< accepted ticks not yet consumed
+  std::vector<double> series_;
+  std::size_t ticks_accepted_ = 0;
+  std::size_t ticks_rejected_ = 0;
+};
+
+}  // namespace rrp::ts

@@ -124,4 +124,46 @@ TEST(PacfToAr, RejectsBoundaryValues) {
   EXPECT_THROW(pacf_to_ar(partial), rrp::ContractViolation);
 }
 
+// --- ar_to_pacf (ISSUE 10: warm-started refits) ------------------------
+//
+// Warm refits seed Nelder-Mead at the incumbent by mapping its AR
+// coefficients back to the unconstrained partial scale, so the step-down
+// must invert pacf_to_ar exactly on the stationary region and stay
+// strictly inside (-1, 1) even for coefficients at or past the boundary
+// (otherwise re-constraining via atanh/tanh would blow up).
+
+TEST(ArToPacf, RoundTripsStationaryCoefficients) {
+  const std::vector<std::vector<double>> partials = {
+      {0.6},
+      {0.5, -0.3},
+      {0.8, 0.15, -0.4},
+      {-0.95, 0.7, 0.2, -0.5},
+  };
+  for (const auto& partial : partials) {
+    const auto phi = pacf_to_ar(partial);
+    const auto back = ar_to_pacf(phi);
+    ASSERT_EQ(back.size(), partial.size());
+    for (std::size_t i = 0; i < partial.size(); ++i)
+      EXPECT_NEAR(back[i], partial[i], 1e-12) << "lag " << i + 1;
+    // And forward again: the AR polynomial is reproduced too.
+    const auto phi2 = pacf_to_ar(back);
+    for (std::size_t i = 0; i < phi.size(); ++i)
+      EXPECT_NEAR(phi2[i], phi[i], 1e-12) << "coef " << i;
+  }
+}
+
+TEST(ArToPacf, ClampsNonStationaryInputInsideOpenInterval) {
+  // A unit-root-or-worse AR coefficient maps to a partial at |1|; the
+  // step-down clamps it just inside so the result is always a legal
+  // pacf_to_ar input (the warm-start contract).
+  const std::vector<std::vector<double>> cases = {
+      {1.2}, {1.0}, {1.7, -0.7}, {-1.3}};
+  for (const std::vector<double>& ar : cases) {
+    const auto partial = ar_to_pacf(ar);
+    ASSERT_EQ(partial.size(), ar.size());
+    for (double r : partial) EXPECT_LT(std::fabs(r), 1.0);
+    EXPECT_NO_THROW(pacf_to_ar(partial));
+  }
+}
+
 }  // namespace

@@ -344,4 +344,87 @@ TEST(ForecastInterval, LevelValidation) {
   EXPECT_THROW(forecast_interval(m, x, 3, 1.0), rrp::ContractViolation);
 }
 
+// --- refit_sarima drift tiers (ISSUE 10) -------------------------------
+//
+// The maintenance ladder: same-character data keeps the incumbent
+// verbatim; innovation variance past warm_variance_ratio buys a warm
+// re-estimate; past scratch_variance_ratio a cold one.  The variance
+// ratio is (residual variance on new data) / (incumbent sigma2), so
+// scaling the innovation sd by c moves the ratio to ~c^2.
+
+SarimaModel ar1_incumbent(double phi_val, std::uint64_t seed) {
+  std::vector<double> phi = {phi_val};
+  const auto x = simulate_arma(phi, {}, 0.0, 1.0, 600, seed);
+  SarimaOrder order;
+  order.p = 1;
+  return fit_sarima(x, order);
+}
+
+TEST(RefitSarima, SameProcessKeepsIncumbentVerbatim) {
+  const auto incumbent = ar1_incumbent(0.6, 301);
+  std::vector<double> phi = {0.6};
+  const auto fresh = simulate_arma(phi, {}, 0.0, 1.0, 400, 302);
+  const auto r = refit_sarima(incumbent, fresh);
+  EXPECT_EQ(r.action, SarimaRefitAction::Kept);
+  EXPECT_NEAR(r.variance_ratio, 1.0, 0.3);
+  EXPECT_GE(r.ljung_box_p, 0.01);
+  // Kept means KEPT: the returned model is the incumbent bit for bit.
+  ASSERT_EQ(r.model.ar_full.size(), incumbent.ar_full.size());
+  EXPECT_EQ(r.model.ar_full[0], incumbent.ar_full[0]);
+  EXPECT_EQ(r.model.sigma2, incumbent.sigma2);
+  EXPECT_EQ(r.model.mean, incumbent.mean);
+}
+
+TEST(RefitSarima, MildVarianceDriftTriggersWarmRefit) {
+  const auto incumbent = ar1_incumbent(0.6, 303);
+  std::vector<double> phi = {0.6};
+  // sd 1.5 => variance ratio ~2.25, between warm (1.5) and scratch (3).
+  const auto drifted = simulate_arma(phi, {}, 0.0, 1.5, 400, 304);
+  const auto r = refit_sarima(incumbent, drifted);
+  EXPECT_EQ(r.action, SarimaRefitAction::WarmRefit);
+  EXPECT_GT(r.variance_ratio, 1.5);
+  EXPECT_LE(r.variance_ratio, 3.0);
+  // The refit absorbed the new innovation variance...
+  EXPECT_NEAR(r.model.sigma2, 2.25, 0.6);
+  // ...while the AR structure (unchanged in the data) is retained.
+  EXPECT_NEAR(r.model.ar_full[0], 0.6, 0.15);
+}
+
+TEST(RefitSarima, SevereDriftEscalatesToScratchRefit) {
+  const auto incumbent = ar1_incumbent(0.6, 305);
+  std::vector<double> phi = {0.6};
+  // sd 2.5 => variance ratio ~6.25, past the scratch threshold.
+  const auto drifted = simulate_arma(phi, {}, 0.0, 2.5, 400, 306);
+  const auto r = refit_sarima(incumbent, drifted);
+  EXPECT_EQ(r.action, SarimaRefitAction::ScratchRefit);
+  EXPECT_GT(r.variance_ratio, 3.0);
+  EXPECT_NEAR(r.model.sigma2, 6.25, 1.6);
+}
+
+TEST(RefitSarima, RefitCostIsBoundedByDiagnosticWindow) {
+  // The refit fits on the tail only: a model maintained against a huge
+  // history must equal one maintained against just that tail.
+  const auto incumbent = ar1_incumbent(0.5, 307);
+  std::vector<double> phi = {0.5};
+  const auto huge = simulate_arma(phi, {}, 0.0, 1.8, 5000, 308);
+  SarimaRefitOptions opt;
+  opt.diagnostic_window = 336;
+  const auto from_huge = refit_sarima(incumbent, huge, opt);
+  const std::span<const double> tail(huge.data() + huge.size() - 336, 336);
+  const auto from_tail = refit_sarima(incumbent, tail, opt);
+  EXPECT_EQ(from_huge.action, from_tail.action);
+  EXPECT_EQ(from_huge.variance_ratio, from_tail.variance_ratio);
+  EXPECT_EQ(from_huge.model.sigma2, from_tail.model.sigma2);
+  ASSERT_EQ(from_huge.model.ar_full.size(), from_tail.model.ar_full.size());
+  EXPECT_EQ(from_huge.model.ar_full[0], from_tail.model.ar_full[0]);
+}
+
+TEST(RefitSarima, RejectsWindowTooShortForDiagnostics) {
+  // min_window for AR(1) with the default 24 Ljung-Box lags is 50.
+  const auto incumbent = ar1_incumbent(0.6, 309);
+  std::vector<double> phi = {0.6};
+  const auto tiny = simulate_arma(phi, {}, 0.0, 1.0, 49, 310);
+  EXPECT_THROW(refit_sarima(incumbent, tiny), rrp::ContractViolation);
+}
+
 }  // namespace

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 
 namespace {
 
@@ -143,6 +148,113 @@ TEST(ReduceSupport, PureOutOfBidSurvivesCollapse) {
 TEST(MeanOf, WeightedMean) {
   std::vector<PricePoint> pts = {{1.0, 0.25, false}, {3.0, 0.75, false}};
   EXPECT_NEAR(mean_of(pts), 2.5, 1e-12);
+}
+
+// --- SlidingEmpiricalDistribution (ISSUE 10) ---------------------------
+//
+// The contract is bit-identity, not closeness: snapshot() must return
+// EXACTLY what from_history() returns on the same window, and mean()
+// must equal rrp::stats::mean on the window vector, so every comparison
+// below is EXPECT_EQ on doubles.
+
+void expect_bit_identical(const SlidingEmpiricalDistribution& sliding,
+                          std::span<const double> window,
+                          std::size_t max_support) {
+  const auto batch =
+      EmpiricalPriceDistribution::from_history(window, max_support);
+  const auto snap = sliding.snapshot(max_support);
+  ASSERT_EQ(snap.support_size(), batch.support_size());
+  for (std::size_t i = 0; i < snap.support_size(); ++i) {
+    EXPECT_EQ(snap.values()[i], batch.values()[i]) << "support " << i;
+    EXPECT_EQ(snap.probabilities()[i], batch.probabilities()[i])
+        << "support " << i;
+  }
+  EXPECT_EQ(sliding.mean(), rrp::stats::mean(window));
+}
+
+TEST(SlidingDistribution, MatchesBatchWhilePartiallyFull) {
+  SlidingEmpiricalDistribution sliding(8);
+  std::vector<double> seen;
+  for (double p : {0.3, 0.1, 0.3, 0.7, 0.2}) {
+    sliding.push(p);
+    seen.push_back(p);
+    expect_bit_identical(sliding, seen, 16);
+  }
+  EXPECT_FALSE(sliding.full());
+  EXPECT_EQ(sliding.size(), 5u);
+  EXPECT_EQ(sliding.distinct(), 4u);
+}
+
+TEST(SlidingDistribution, EvictionMatchesBatchTail) {
+  SlidingEmpiricalDistribution sliding(4);
+  std::vector<double> all = {0.5, 0.2, 0.2, 0.9, 0.1, 0.5, 0.2, 0.3};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    sliding.push(all[i]);
+    const std::size_t n = std::min<std::size_t>(i + 1, 4);
+    const std::span<const double> tail(all.data() + (i + 1 - n), n);
+    expect_bit_identical(sliding, tail, 16);
+    ASSERT_EQ(sliding.window(),
+              std::vector<double>(tail.begin(), tail.end()));
+  }
+}
+
+TEST(SlidingDistribution, PropertyRandomStreamsBitIdenticalQuantiles) {
+  // 30 random streams x rolling windows, clustering both above and
+  // below the support cap; the sliding quantile buckets must match the
+  // batch path bit for bit at every step.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    rrp::Rng rng(seed * 1234567ULL);
+    const std::size_t capacity = 16 + seed % 48;
+    const std::size_t max_support = seed % 4 == 0 ? 4 : 16;
+    SlidingEmpiricalDistribution sliding(capacity);
+    std::vector<double> all;
+    for (std::size_t i = 0; i < 3 * capacity; ++i) {
+      // Quantised prices: collisions exercise the multiplicity index.
+      const double p =
+          0.05 + 0.01 * static_cast<double>(rng.uniform_int(0, 40));
+      sliding.push(p);
+      all.push_back(p);
+      const std::size_t n = std::min(all.size(), capacity);
+      const std::span<const double> tail(all.data() + (all.size() - n), n);
+      expect_bit_identical(sliding, tail, max_support);
+    }
+    EXPECT_TRUE(sliding.full());
+  }
+}
+
+TEST(SlidingDistribution, RejectsUnusableObservations) {
+  SlidingEmpiricalDistribution sliding(4);
+  EXPECT_THROW(sliding.push(0.0), rrp::ContractViolation);
+  EXPECT_THROW(sliding.push(-1.0), rrp::ContractViolation);
+  EXPECT_THROW(sliding.push(std::nan("")), rrp::ContractViolation);
+  EXPECT_THROW(sliding.mean(), rrp::ContractViolation);  // empty window
+}
+
+TEST(SlidingDistributionConcurrency, ParallelReadersAreRaceFree) {
+  // Writes happen-before the reader threads start; concurrent const
+  // queries (mean / snapshot / window) must then be race-free — this is
+  // the test the CI TSan job pins.
+  SlidingEmpiricalDistribution sliding(64);
+  rrp::Rng rng(7);
+  for (std::size_t i = 0; i < 200; ++i)
+    sliding.push(0.05 + 0.01 * static_cast<double>(rng.uniform_int(0, 30)));
+  const double expected_mean = sliding.mean();
+  const auto expected = sliding.snapshot(8);
+
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(sliding.mean(), expected_mean);
+        const auto snap = sliding.snapshot(8);
+        ASSERT_EQ(snap.support_size(), expected.support_size());
+        EXPECT_EQ(snap.values(), expected.values());
+        EXPECT_EQ(sliding.window().size(), 64u);
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
 }
 
 }  // namespace

@@ -111,4 +111,129 @@ TEST(ScenarioTree, ValidationRejectsBadSupports) {
   EXPECT_THROW(ScenarioTree::build(zero_price), rrp::ContractViolation);
 }
 
+// --- In-place repair (ISSUE 10) ----------------------------------------
+//
+// A successful repair must leave the tree EXACTLY equal to a fresh
+// build() on the new supports — same vertices, same probabilities to
+// the last bit — because the rolling-horizon incremental mode feeds
+// repaired trees to the same solver that consumed built ones.
+
+void expect_equals_fresh_build(
+    const ScenarioTree& repaired,
+    const std::vector<std::vector<PricePoint>>& supports) {
+  const auto fresh = ScenarioTree::build(supports);
+  ASSERT_EQ(repaired.num_vertices(), fresh.num_vertices());
+  ASSERT_EQ(repaired.num_stages(), fresh.num_stages());
+  for (std::size_t v = 0; v < fresh.num_vertices(); ++v) {
+    SCOPED_TRACE(v);
+    EXPECT_EQ(repaired.vertex(v).parent, fresh.vertex(v).parent);
+    EXPECT_EQ(repaired.vertex(v).stage, fresh.vertex(v).stage);
+    EXPECT_EQ(repaired.vertex(v).price, fresh.vertex(v).price);
+    EXPECT_EQ(repaired.vertex(v).out_of_bid, fresh.vertex(v).out_of_bid);
+    EXPECT_EQ(repaired.vertex(v).branch_prob, fresh.vertex(v).branch_prob);
+    EXPECT_EQ(repaired.vertex(v).path_prob, fresh.vertex(v).path_prob);
+    ASSERT_EQ(repaired.children(v).size(), fresh.children(v).size());
+    for (std::size_t c = 0; c < fresh.children(v).size(); ++c)
+      EXPECT_EQ(repaired.children(v)[c], fresh.children(v)[c]);
+  }
+  repaired.validate();
+}
+
+TEST(ScenarioTreeRepair, ReweightSameShapeMatchesBuild) {
+  std::vector<std::vector<PricePoint>> before = {
+      support({{0.05, 0.4}, {0.06, 0.6}}),
+      support({{0.05, 0.3}, {0.07, 0.7}})};
+  auto tree = ScenarioTree::build(before);
+  std::vector<std::vector<PricePoint>> after = {
+      support({{0.04, 0.5}, {0.08, 0.5}}),
+      support({{0.06, 0.2}, {0.09, 0.8}})};
+  EXPECT_TRUE(tree.repair(after));
+  expect_equals_fresh_build(tree, after);
+}
+
+TEST(ScenarioTreeRepair, ExtendAddsStages) {
+  std::vector<std::vector<PricePoint>> before = {
+      support({{0.05, 1.0}}), support({{0.06, 0.5}, {0.07, 0.5}})};
+  auto tree = ScenarioTree::build(before);
+  std::vector<std::vector<PricePoint>> after = {
+      support({{0.05, 1.0}}), support({{0.06, 0.4}, {0.07, 0.6}}),
+      support({{0.05, 0.3}, {0.06, 0.3}, {0.08, 0.4}})};
+  EXPECT_TRUE(tree.repair(after));
+  expect_equals_fresh_build(tree, after);
+  EXPECT_EQ(tree.num_stages(), 3u);
+}
+
+TEST(ScenarioTreeRepair, RetireDropsTrailingStages) {
+  // The rolling horizon shrinks near the end of the evaluation window:
+  // w = min(lookahead, T - t) retires trailing stages every replan.
+  std::vector<std::vector<PricePoint>> before = {
+      support({{0.05, 0.5}, {0.06, 0.5}}),
+      support({{0.05, 0.5}, {0.07, 0.5}}),
+      support({{0.06, 1.0}})};
+  auto tree = ScenarioTree::build(before);
+  std::vector<std::vector<PricePoint>> after = {
+      support({{0.04, 0.6}, {0.09, 0.4}})};
+  EXPECT_TRUE(tree.repair(after));
+  expect_equals_fresh_build(tree, after);
+  EXPECT_EQ(tree.num_stages(), 1u);
+}
+
+TEST(ScenarioTreeRepair, RepeatedRepairsStayIdentical) {
+  // Replan after replan, the same tree object is repaired over and
+  // over; drift would compound, so every step must equal a fresh build.
+  std::vector<std::vector<PricePoint>> initial = {
+      support({{0.05, 0.5}, {0.06, 0.5}}),
+      support({{0.07, 0.5}, {0.09, 0.5}})};
+  auto tree = ScenarioTree::build(initial);
+  for (int step = 0; step < 6; ++step) {
+    const double shift = 0.01 * step;
+    std::vector<std::vector<PricePoint>> supports = {
+        support({{0.05 + shift, 0.4}, {0.06 + shift, 0.6}}),
+        support({{0.05 + shift, 0.7}, {0.08 + shift, 0.3}})};
+    ASSERT_TRUE(tree.repair(supports));
+    expect_equals_fresh_build(tree, supports);
+  }
+}
+
+TEST(ScenarioTreeRepair, WidthMismatchRefusesAndLeavesTreeIntact) {
+  std::vector<std::vector<PricePoint>> before = {
+      support({{0.05, 0.4}, {0.06, 0.6}})};
+  auto tree = ScenarioTree::build(before);
+  std::vector<std::vector<PricePoint>> wider = {
+      support({{0.05, 0.3}, {0.06, 0.3}, {0.07, 0.4}})};
+  EXPECT_FALSE(tree.repair(wider));
+  // Untouched: still the original tree.
+  expect_equals_fresh_build(tree, before);
+}
+
+TEST(ScenarioTreeRepair, ConditionalTreeRefusesRepair) {
+  // Conditional trees have per-parent supports (widths can differ
+  // across a stage), which repair's uniform-support contract cannot
+  // represent; it must decline rather than guess.
+  const std::vector<PricePoint> initial = {{0.05, 0.6, false},
+                                           {0.08, 0.4, false}};
+  auto tree = ScenarioTree::build_conditional(
+      initial, 2,
+      [](const ScenarioVertex& parent, std::size_t) {
+        // Width depends on the parent price: 1 or 2 children.
+        if (parent.price > 0.06)
+          return std::vector<PricePoint>{{parent.price, 1.0, false}};
+        return std::vector<PricePoint>{{parent.price, 0.5, false},
+                                       {parent.price + 0.01, 0.5, false}};
+      });
+  std::vector<std::vector<PricePoint>> supports = {
+      support({{0.05, 0.6}, {0.08, 0.4}}), support({{0.05, 1.0}})};
+  EXPECT_FALSE(tree.repair(supports));
+}
+
+TEST(ScenarioTreeRepair, RejectsInvalidSupportsLikeBuild) {
+  std::vector<std::vector<PricePoint>> initial = {support({{0.05, 1.0}})};
+  auto tree = ScenarioTree::build(initial);
+  std::vector<std::vector<PricePoint>> bad_mass = {
+      support({{0.05, 0.5}, {0.06, 0.4}})};
+  EXPECT_THROW(tree.repair(bad_mass), rrp::ContractViolation);
+  std::vector<std::vector<PricePoint>> empty_stage = {{}};
+  EXPECT_THROW(tree.repair(empty_stage), rrp::ContractViolation);
+}
+
 }  // namespace

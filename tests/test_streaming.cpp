@@ -1,0 +1,213 @@
+#include "timeseries/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/rng.hpp"
+#include "timeseries/regularize.hpp"
+
+namespace {
+
+using namespace rrp::ts;
+
+std::vector<double> batch(const std::vector<Tick>& ticks, long first_hour,
+                          long last_hour) {
+  return hourly_locf(sanitize_ticks(ticks), first_hour, last_hour);
+}
+
+/// A random irregular tick stream over [0, hours): seeded with a tick at
+/// t = 0, then a Poisson-ish number of updates per hour at uniform
+/// offsets, mimicking the paper's irregular update frequency (Fig. 4).
+std::vector<Tick> random_stream(rrp::Rng& rng, std::size_t hours) {
+  std::vector<Tick> ticks;
+  ticks.push_back({0.0, rng.uniform(0.2, 0.6)});
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(2.0);  // ~2 updates/hour on average
+    if (t >= static_cast<double>(hours)) break;
+    ticks.push_back({t, rng.uniform(0.05, 1.5)});
+  }
+  return ticks;
+}
+
+TEST(Streaming, MatchesBatchOnSimpleStream) {
+  const std::vector<Tick> ticks = {
+      {0.0, 1.0}, {2.5, 2.0}, {5.1, 3.0}, {5.6, 4.0}};
+  OnlineRegularizer online(0);
+  for (const Tick& t : ticks) EXPECT_TRUE(online.push(t));
+  online.advance_to(8);
+  EXPECT_EQ(online.series(), batch(ticks, 0, 8));
+  EXPECT_EQ(online.next_hour(), 8);
+  EXPECT_EQ(online.ticks_accepted(), 4u);
+  EXPECT_EQ(online.ticks_rejected(), 0u);
+}
+
+TEST(Streaming, IncrementalAdvanceNeverRevisitsHours) {
+  const std::vector<Tick> ticks = {{0.0, 1.0}, {1.2, 2.0}, {7.9, 3.0}};
+  OnlineRegularizer online(0);
+  for (const Tick& t : ticks) online.push(t);
+  // Advance one hour at a time; each step extends, never rewrites.
+  for (long h = 1; h <= 10; ++h) {
+    online.advance_to(h);
+    EXPECT_EQ(online.next_hour(), h);
+    EXPECT_EQ(online.series(),
+              batch(ticks, 0, h));
+  }
+  // advance_to below next_hour() is a no-op, not an error.
+  online.advance_to(3);
+  EXPECT_EQ(online.next_hour(), 10);
+}
+
+TEST(Streaming, InterleavedPushAndAdvanceMatchesBatch) {
+  rrp::Rng rng(7);
+  const std::vector<Tick> ticks = random_stream(rng, 48);
+  OnlineRegularizer online(0);
+  std::size_t consumed = 0;
+  for (long h = 1; h <= 48; ++h) {
+    // Deliver the ticks belonging to the next hour, then extend.
+    while (consumed < ticks.size() &&
+           ticks[consumed].time_hours <= static_cast<double>(h)) {
+      online.push(ticks[consumed]);
+      ++consumed;
+    }
+    online.advance_to(h);
+  }
+  while (consumed < ticks.size()) online.push(ticks[consumed++]);
+  online.advance_to(48);
+  EXPECT_EQ(online.series(), batch(ticks, 0, 48));
+}
+
+TEST(Streaming, PropertyThirtyRandomStreamsMatchBatch) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    rrp::Rng rng(seed * 0x9e3779b9ULL);
+    const std::size_t hours = 24 + seed;  // vary the grid length too
+    const std::vector<Tick> ticks = random_stream(rng, hours);
+
+    OnlineRegularizer online(0);
+    std::size_t consumed = 0;
+    long emitted = 0;
+    while (emitted < static_cast<long>(hours)) {
+      // Random replay cadence: a burst of ticks, then a grid extension
+      // of random size, exercising every interleaving of push/advance.
+      const std::size_t burst =
+          static_cast<std::size_t>(rng.uniform_int(0, 5));
+      for (std::size_t i = 0; i < burst && consumed < ticks.size(); ++i)
+        online.push(ticks[consumed++]);
+      const long target =
+          std::min<long>(static_cast<long>(hours),
+                         emitted + rng.uniform_int(1, 6));
+      // Only extend past the ticks already delivered (the LOCF carry
+      // for an hour needs every tick up to that hour).
+      while (consumed < ticks.size() &&
+             ticks[consumed].time_hours <= static_cast<double>(target))
+        online.push(ticks[consumed++]);
+      online.advance_to(target);
+      emitted = target;
+    }
+    EXPECT_EQ(online.series(), batch(ticks, 0, static_cast<long>(hours)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Streaming, RejectsUnusableTicksLikeSanitize) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  OnlineRegularizer online(0);
+  EXPECT_TRUE(online.push({0.0, 1.0}));
+  EXPECT_FALSE(online.push({0.5, nan}));
+  EXPECT_FALSE(online.push({1.5, inf}));
+  EXPECT_FALSE(online.push({2.5, -0.2}));
+  EXPECT_FALSE(online.push({3.5, 0.0}));
+  EXPECT_TRUE(online.push({4.5, 2.0}));
+  EXPECT_EQ(online.ticks_accepted(), 2u);
+  EXPECT_EQ(online.ticks_rejected(), 4u);
+  online.advance_to(6);
+  const std::vector<Tick> all = {{0.0, 1.0}, {0.5, nan},  {1.5, inf},
+                                 {2.5, -0.2}, {3.5, 0.0}, {4.5, 2.0}};
+  EXPECT_EQ(online.series(), batch(all, 0, 6));
+}
+
+TEST(Streaming, RejectsTimeRegressions) {
+  OnlineRegularizer online(0);
+  online.push({0.0, 1.0});
+  online.push({2.0, 2.0});
+  EXPECT_THROW(online.push({1.0, 3.0}), rrp::ContractViolation);
+}
+
+TEST(Streaming, RequiresSeedTick) {
+  OnlineRegularizer online(0);
+  // The first usable tick must be at or before the start of the grid
+  // (hourly_locf's seeding contract), and an unseeded grid cannot
+  // advance.
+  EXPECT_THROW(online.push({1.5, 1.0}), rrp::ContractViolation);
+  OnlineRegularizer empty(0);
+  EXPECT_THROW(empty.advance_to(1), rrp::ContractViolation);
+}
+
+TEST(Streaming, SanitizeDropsOnlyUnusable) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Tick> ticks = {
+      {0.0, 1.0}, {1.0, nan}, {2.0, 0.5}, {3.0, -1.0}};
+  const auto clean = sanitize_ticks(ticks);
+  ASSERT_EQ(clean.size(), 2u);
+  EXPECT_DOUBLE_EQ(clean[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(clean[1].value, 0.5);
+}
+
+// Chaos: a FaultInjector-scheduled broken feed (gaps, NaN ticks, spike
+// outliers, delayed re-deliveries) must regularise identically through
+// the online path and the batch path — the online sanitiser is the
+// batch sanitiser.
+TEST(StreamingChaos, FaultInjectorFeedMatchesBatch) {
+  rrp::testing::FaultInjector faults(2012);
+  constexpr std::size_t kHours = 72;
+  for (std::size_t slot = 3; slot < kHours; slot += 7)
+    faults.inject_price_gap(slot);
+  for (std::size_t slot = 5; slot < kHours; slot += 11)
+    faults.inject_price_nan(slot);
+  for (std::size_t slot = 9; slot < kHours; slot += 13)
+    faults.inject_price_spike(slot);  // seeded outlier factor in [20, 100]
+  for (std::size_t slot = 6; slot < kHours; slot += 17)
+    faults.inject_price_delay(slot);
+
+  rrp::Rng rng(99);
+  std::vector<Tick> feed;
+  feed.push_back({0.0, 0.4});
+  double last_value = 0.4;
+  for (std::size_t h = 1; h < kHours; ++h) {
+    const double t = static_cast<double>(h) - 0.5;
+    double value = 0.2 + 0.15 * rng.uniform();
+    const auto fault = faults.price_fault(h);
+    if (fault.has_value()) {
+      using rrp::testing::PriceFaultKind;
+      switch (fault->kind) {
+        case PriceFaultKind::Gap:
+          continue;  // no tick this hour: LOCF must carry
+        case PriceFaultKind::Nan:
+          value = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case PriceFaultKind::Spike:
+          value *= fault->spike_factor;  // outlier, but finite & positive
+          break;
+        case PriceFaultKind::Delayed:
+          value = last_value;  // stale re-delivery, still usable
+          break;
+      }
+    }
+    feed.push_back({t, value});
+    if (std::isfinite(value) && value > 0.0) last_value = value;
+  }
+
+  OnlineRegularizer online(0);
+  for (const Tick& t : feed) online.push(t);
+  online.advance_to(static_cast<long>(kHours));
+  EXPECT_EQ(online.series(), batch(feed, 0, static_cast<long>(kHours)));
+  EXPECT_GT(online.ticks_rejected(), 0u);  // the chaos actually bit
+}
+
+}  // namespace

@@ -26,6 +26,18 @@ Failure conditions:
 On failure, each offending line reports the measured-vs-floor ratio so
 the log shows how far off the run was without a manual division.
 
+The same script also gates the re-plan latency suite: when the baseline
+file carries "schema": "rrp-bench-replan-v1" (bench/BENCH_replan.
+baseline.json vs a BENCH_replan.json run from bench_replan_json), the
+checks switch to:
+  * flatness — the incremental mode's mean re-plan latency at
+    `to_history` may be at most `max_ratio` times its latency at
+    `from_history` (the ISSUE 10 bar: incremental maintenance cost is a
+    function of new data, not total history);
+  * min_incremental_speedup — at the pinned history, the rebuild mode's
+    mean re-plan latency must be at least `min` times the incremental
+    mode's (CI floor: incremental beats full rebuild >= 5x at 2048h).
+
 Usage: check_perf.py MEASURED_JSON BASELINE_JSON [--tolerance 0.25]
                      [--obs-off OBSOFF_JSON] [--obs-tolerance 0.02]
 """
@@ -39,6 +51,78 @@ def ratio_str(actual: float, floor: float) -> str:
     if floor <= 0:
         return "n/a"
     return f"{actual / floor:.2f}x"
+
+
+def check_replan(measured: dict, baseline: dict) -> int:
+    """Gate a rrp-bench-replan-v1 run (re-plan latency suite)."""
+    if measured.get("schema") != "rrp-bench-replan-v1":
+        print("replan gate: measured file does not carry "
+              "schema rrp-bench-replan-v1", file=sys.stderr)
+        return 1
+
+    by_key = {(r["history"], r["mode"]): r
+              for r in measured.get("results", [])}
+    failures = []
+
+    def latency(history: int, mode: str):
+        row = by_key.get((history, mode))
+        if row is None:
+            failures.append(f"missing measured row: history={history} "
+                            f"mode={mode}")
+            return None
+        return row["mean_replan_seconds"]
+
+    flat = baseline.get("flatness")
+    if flat is not None:
+        small = latency(flat["from_history"], flat["mode"])
+        large = latency(flat["to_history"], flat["mode"])
+        if small is not None and large is not None:
+            if small <= 0:
+                failures.append(f"flatness: non-positive latency at "
+                                f"history {flat['from_history']}")
+            else:
+                ratio = large / small
+                cap = flat["max_ratio"]
+                status = "ok" if ratio <= cap else "FAIL"
+                print(f"{status:4} {flat['mode']} flatness "
+                      f"{flat['from_history']}h -> {flat['to_history']}h: "
+                      f"{small * 1e3:.3f} ms -> {large * 1e3:.3f} ms "
+                      f"({ratio:.2f}x, cap {cap:.2f}x)")
+                if ratio > cap:
+                    failures.append(
+                        f"flatness: {flat['mode']} latency grew {ratio:.2f}x "
+                        f"from {flat['from_history']}h to "
+                        f"{flat['to_history']}h (cap {cap:.2f}x)")
+
+    speed = baseline.get("min_incremental_speedup")
+    if speed is not None:
+        inc = latency(speed["history"], "incremental")
+        reb = latency(speed["history"], "rebuild")
+        if inc is not None and reb is not None:
+            if inc <= 0:
+                failures.append(f"speedup: non-positive incremental latency "
+                                f"at history {speed['history']}")
+            else:
+                speedup = reb / inc
+                floor = speed["min"]
+                status = "ok" if speedup >= floor else "FAIL"
+                print(f"{status:4} incremental speedup @ "
+                      f"{speed['history']}h: rebuild {reb * 1e3:.3f} ms vs "
+                      f"incremental {inc * 1e3:.3f} ms "
+                      f"({speedup:.2f}x, minimum {floor:.2f}x)")
+                if speedup < floor:
+                    failures.append(
+                        f"speedup: incremental only {speedup:.2f}x faster "
+                        f"than rebuild at {speed['history']}h "
+                        f"(minimum {floor:.2f}x)")
+
+    if failures:
+        print("\nperf-smoke (replan) FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf-smoke (replan) passed")
+    return 0
 
 
 def main() -> int:
@@ -65,6 +149,9 @@ def main() -> int:
         measured = json.load(f)
     with open(args.baseline) as f:
         baseline = json.load(f)
+
+    if baseline.get("schema") == "rrp-bench-replan-v1":
+        return check_replan(measured, baseline)
 
     measured_by_name = {r["name"]: r for r in measured.get("results", [])}
     failures = []

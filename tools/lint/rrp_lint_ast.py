@@ -33,6 +33,14 @@ type and scope information:
                          compressed column storage (or mark a deliberate
                          dense scratch with
                          `rrp-lint: allow(dense-matrix)`).
+  batch-sort             std::sort / std::stable_sort inside
+                         src/core/price_distribution.* — the sliding
+                         window keeps its support ordered incrementally
+                         (O(1) amortized), so a full-history sort there
+                         silently reintroduces the O(n log n) re-sort
+                         the incremental replan pipeline removed.  The
+                         deliberate batch paths carry
+                         `rrp-lint: allow(batch-sort)`.
   raw-chrono-timing      Direct std::chrono clock reads
                          (steady_clock / system_clock /
                          high_resolution_clock ::now()) outside
@@ -448,6 +456,44 @@ def rule_dense_matrix(root: Node, ctx: FileContext) -> list:
     return findings
 
 
+# The files whose hot path must maintain order incrementally; any sort
+# call here is a batch-path re-sort unless explicitly allowed.
+SLIDING_DISTRIBUTION_PREFIX = "src/core/price_distribution."
+
+BATCH_SORT_NAMES = {"sort", "stable_sort"}
+
+
+def rule_batch_sort(root: Node, ctx: FileContext) -> list:
+    if not ctx.path.startswith(SLIDING_DISTRIBUTION_PREFIX):
+        return []
+    findings = []
+    seen_lines = set()
+    for node in root.walk():
+        # The call shows up as a CALL_EXPR named `sort` plus a
+        # DECL_REF_EXPR naming the function; flag whichever libclang
+        # exposes, once per line.
+        if node.kind not in ("CALL_EXPR", "DECL_REF_EXPR"):
+            continue
+        if node.spelling not in BATCH_SORT_NAMES:
+            continue
+        if node.line in seen_lines:
+            continue
+        seen_lines.add(node.line)
+        findings.append(
+            Finding(
+                "batch-sort",
+                ctx.path,
+                node.line,
+                f"std::{node.spelling} in the sliding-distribution layer "
+                "re-sorts a full window; maintain order incrementally "
+                "(SlidingEmpiricalDistribution) or mark a deliberate "
+                "batch path with `rrp-lint: allow(batch-sort)`",
+                end_line=node.end_line,
+            )
+        )
+    return findings
+
+
 # std::chrono clock types in canonical spellings: libc++ nests the
 # inline namespace outside chrono (std::__1::chrono::steady_clock),
 # libstdc++ inside it (std::chrono::_V2::steady_clock).
@@ -505,6 +551,7 @@ RULES: list = [
     ("float-equality", rule_float_equality),
     ("naked-new-delete", rule_naked_new_delete),
     ("dense-matrix", rule_dense_matrix),
+    ("batch-sort", rule_batch_sort),
     ("raw-chrono-timing", rule_raw_chrono_timing),
 ]
 

@@ -643,6 +643,67 @@ class AstRawChronoTimingTests(unittest.TestCase):
         self.assertEqual(len(hits), 1)
 
 
+class AstBatchSortTests(unittest.TestCase):
+    def _sort_call(self, name="sort", line=4):
+        return N("CALL_EXPR", spelling=name, type="void", line=line)
+
+    def test_sort_in_price_distribution_fires(self):
+        tree = self._sort_call()
+        self.assertIn(
+            "batch-sort", fired(tree, "src/core/price_distribution.cpp")
+        )
+
+    def test_stable_sort_fires(self):
+        tree = self._sort_call("stable_sort")
+        self.assertIn(
+            "batch-sort", fired(tree, "src/core/price_distribution.hpp")
+        )
+
+    def test_outside_sliding_layer_passes(self):
+        tree = self._sort_call()
+        self.assertNotIn("batch-sort", fired(tree, "src/core/srrp.cpp"))
+        self.assertNotIn("batch-sort", fired(tree, "src/lp/simplex.cpp"))
+
+    def test_unrelated_call_passes(self):
+        tree = N(
+            "CALL_EXPR",
+            spelling="snapshot",
+            type="rrp::core::EmpiricalPriceDistribution",
+            line=4,
+        )
+        self.assertNotIn(
+            "batch-sort", fired(tree, "src/core/price_distribution.cpp")
+        )
+
+    def test_allow_comment_suppresses(self):
+        tree = self._sort_call(line=6)
+        self.assertNotIn(
+            "batch-sort",
+            fired(
+                tree,
+                "src/core/price_distribution.cpp",
+                allow={6: {"batch-sort"}},
+            ),
+        )
+
+    def test_call_and_ref_same_line_reported_once(self):
+        tree = N(
+            "CALL_EXPR",
+            N("DECL_REF_EXPR", spelling="sort", type="void ()", line=7),
+            spelling="sort",
+            type="void",
+            line=7,
+        )
+        root = link_parents(N("TRANSLATION_UNIT", tree))
+        ctx = FileContext(path="src/core/price_distribution.cpp")
+        hits = [
+            f
+            for f in rrp_lint_ast.run_rules(root, ctx)
+            if f.rule == "batch-sort"
+        ]
+        self.assertEqual(len(hits), 1)
+
+
 class AstHelperTests(unittest.TestCase):
     def test_parse_allow_comments(self):
         allow = rrp_lint_ast.parse_allow_comments(
@@ -666,6 +727,7 @@ class AstHelperTests(unittest.TestCase):
                 "float-equality",
                 "naked-new-delete",
                 "dense-matrix",
+                "batch-sort",
                 "raw-chrono-timing",
             ],
         )

@@ -344,6 +344,7 @@ int cmd_simulate(const Args& args) {
     std::cout << "rrp simulate [--class c1.medium] [--hours 48] "
                  "[--policy sto-exp-mean|det-exp-mean|sto-predict|"
                  "det-predict|on-demand|no-plan] [--replan N] "
+                 "[--replan-mode rebuild|incremental] [--model-update N] "
                  "[--time-limit SECONDS] [--jobs N] [--seed N] "
                  "[--trace FILE]\n"
                  "            [--revocations calm|bid-cross|storm|all] "
@@ -352,6 +353,12 @@ int cmd_simulate(const Args& args) {
                  "  --time-limit caps each re-plan solve (0 = unlimited); "
                  "on expiry the best\n  incumbent is used and failed "
                  "re-plans degrade via the recovery ladder.\n"
+                 "  --model-update refreshes the price models every N "
+                 "re-plans (0 = fit once\n  at start, the default); "
+                 "--replan-mode picks how: incremental (sliding\n  "
+                 "distributions, warm SARIMA refits, scenario-tree "
+                 "repair; default) or\n  rebuild (recompute from the "
+                 "full window, the equivalence oracle).\n"
                  "  --jobs sets the branch & bound worker threads per "
                  "re-plan solve\n  (0 = all cores; only the MILP backend "
                  "parallelises).\n"
@@ -419,6 +426,18 @@ int cmd_simulate(const Args& args) {
     return 2;
   }
   policy.replan_time_limit = time_limit;
+  if (args.has("model-update"))
+    policy.model_update_every =
+        static_cast<std::size_t>(args.get_u64("model-update", 0));
+  const std::string mode = args.get("replan-mode", "incremental");
+  if (mode == "rebuild") policy.replan_mode = core::ReplanMode::Rebuild;
+  else if (mode == "incremental")
+    policy.replan_mode = core::ReplanMode::Incremental;
+  else {
+    std::cerr << "unknown --replan-mode: " << mode
+              << " (want rebuild|incremental)\n";
+    return 2;
+  }
   const auto jobs = static_cast<std::size_t>(args.get_u64("jobs", 0));
   policy.solver.jobs = jobs;
 
@@ -472,6 +491,38 @@ int cmd_simulate(const Args& args) {
   if (!result.price_faults.empty())
     table.add_row({"price-feed faults",
                    std::to_string(result.price_faults.size())});
+  // Re-plan latency footer (ISSUE 10): wall-clock per executed re-plan,
+  // with the model-maintenance share split out from solving.
+  if (!result.replan_seconds.empty()) {
+    table.add_row({"re-plans executed",
+                   std::to_string(result.replan_seconds.size())});
+    table.add_row(
+        {"re-plan latency p50 (ms)",
+         Table::num(core::latency_percentile(result.replan_seconds, 50.0) *
+                        1e3, 3)});
+    table.add_row(
+        {"re-plan latency p95 (ms)",
+         Table::num(core::latency_percentile(result.replan_seconds, 95.0) *
+                        1e3, 3)});
+    if (result.model_refreshes > 0) {
+      table.add_row({"model refreshes (" + std::string(core::to_string(
+                         policy.replan_mode)) + ")",
+                     std::to_string(result.model_refreshes)});
+      table.add_row({"model maintenance (ms)",
+                     Table::num(result.model_maintenance_seconds * 1e3, 3)});
+      if (result.sarima_refits_kept + result.sarima_warm_refits +
+              result.sarima_scratch_refits > 0)
+        table.add_row(
+            {"  sarima kept/warm/scratch",
+             std::to_string(result.sarima_refits_kept) + "/" +
+                 std::to_string(result.sarima_warm_refits) + "/" +
+                 std::to_string(result.sarima_scratch_refits)});
+      if (result.tree_repairs + result.tree_rebuilds > 0)
+        table.add_row({"  trees repaired/rebuilt",
+                       std::to_string(result.tree_repairs) + "/" +
+                           std::to_string(result.tree_rebuilds)});
+    }
+  }
   if (in.revocation.enabled || result.revoked_slots() > 0) {
     table.add_row({"revoked slots",
                    std::to_string(result.revoked_slots())});
